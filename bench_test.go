@@ -1,0 +1,253 @@
+// Benchmark harness: one benchmark per experimental artifact of the paper.
+//
+//   - BenchmarkTable1_*: wall-clock of the fully automated analysis per
+//     attack configuration at γ = 0.5 (the paper's Table 1). The paper
+//     reports Storm runtimes of 3.8 s (d=1,f=1) up to 77 761 s (d=4,f=2);
+//     the reproduction target is the order-of-magnitude growth with d·f,
+//     not the absolute numbers (different solver, different hardware).
+//   - BenchmarkFigure2_*: one panel of Figure 2 per γ on a reduced grid
+//     (the full grids are produced by cmd/sweep and recorded in
+//     EXPERIMENTS.md).
+//   - BenchmarkMicro_*: hot-path micro-benchmarks (transition enumeration,
+//     one compiled VI sweep, Monte-Carlo simulation throughput).
+//
+// The d=4,f=2 analysis takes minutes per run; it is skipped unless the
+// environment variable FULL_BENCH=1 is set.
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/results"
+	"repro/selfishmining"
+)
+
+// benchTable1 runs the full Algorithm-1 analysis once per iteration, as
+// Table 1 times it.
+func benchTable1(b *testing.B, d, f int) {
+	b.Helper()
+	params := selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: d, Forks: f, MaxForkLen: 4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := selfishmining.Analyze(params,
+			selfishmining.WithEpsilon(1e-4),
+			selfishmining.WithoutStrategyEval(),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ERRev < params.Adversary-1e-3 {
+			b.Fatalf("suspicious ERRev %v below honest", res.ERRev)
+		}
+	}
+}
+
+func BenchmarkTable1_Ours_d1_f1(b *testing.B) { benchTable1(b, 1, 1) }
+func BenchmarkTable1_Ours_d2_f1(b *testing.B) { benchTable1(b, 2, 1) }
+func BenchmarkTable1_Ours_d2_f2(b *testing.B) { benchTable1(b, 2, 2) }
+func BenchmarkTable1_Ours_d3_f2(b *testing.B) { benchTable1(b, 3, 2) }
+
+func BenchmarkTable1_Ours_d4_f2(b *testing.B) {
+	if os.Getenv("FULL_BENCH") == "" {
+		b.Skip("9.4M-state model; set FULL_BENCH=1 to run (minutes per iteration)")
+	}
+	benchTable1(b, 4, 2)
+}
+
+func BenchmarkTable1_SingleTree_f5(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := selfishmining.SingleTreeRevenue(0.3, 0.5, 4, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v <= 0 {
+			b.Fatalf("degenerate baseline value %v", v)
+		}
+	}
+}
+
+// benchFigure2Panel regenerates one γ-panel of Figure 2 on a reduced grid:
+// p ∈ {0.1, 0.2, 0.3} and the three smallest attack configurations.
+func benchFigure2Panel(b *testing.B, gamma float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+			Gamma: gamma,
+			PGrid: []float64{0.1, 0.2, 0.3},
+			Configs: []selfishmining.AttackConfig{
+				{Depth: 1, Forks: 1}, {Depth: 2, Forks: 1}, {Depth: 2, Forks: 2},
+			},
+			Epsilon: 1e-4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Shape check from the paper: ours(2,2) >= honest everywhere.
+		honest, ours := fig.Series[0], fig.Series[4]
+		for j := range fig.X {
+			if ours.Values[j] < honest.Values[j]-1e-3 {
+				b.Fatalf("gamma=%v p=%v: ours %v under honest %v", gamma, fig.X[j], ours.Values[j], honest.Values[j])
+			}
+		}
+	}
+}
+
+func BenchmarkFigure2_PanelGamma000(b *testing.B) { benchFigure2Panel(b, 0) }
+func BenchmarkFigure2_PanelGamma025(b *testing.B) { benchFigure2Panel(b, 0.25) }
+func BenchmarkFigure2_PanelGamma050(b *testing.B) { benchFigure2Panel(b, 0.5) }
+func BenchmarkFigure2_PanelGamma075(b *testing.B) { benchFigure2Panel(b, 0.75) }
+func BenchmarkFigure2_PanelGamma100(b *testing.B) { benchFigure2Panel(b, 1) }
+
+// BenchmarkMicro_TransitionEnumeration measures raw transition generation
+// over the full d=2, f=2 state space (the generic solver's inner loop).
+func BenchmarkMicro_TransitionEnumeration(b *testing.B) {
+	m, err := core.NewModel(core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []core.Raw
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < m.NumStates(); s++ {
+			for a := 0; a < m.NumActions(s); a++ {
+				buf = m.RawTransitions(s, a, buf[:0])
+			}
+		}
+	}
+}
+
+// BenchmarkMicro_CompiledVISweep measures one relative-value-iteration
+// sweep over the compiled d=3, f=2 model (187 500 states).
+func BenchmarkMicro_CompiledVISweep(b *testing.B) {
+	comp, err := core.Compile(core.Params{P: 0.3, Gamma: 0.5, Depth: 3, Forks: 2, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// MaxIter=1 runs exactly one cold sweep; the non-convergence error
+		// is expected and carries the partial bracket.
+		res, err := comp.MeanPayoff(0.4, core.CompiledOptions{MaxIter: 1})
+		if err == nil && !res.Converged {
+			b.Fatal("inconsistent result: nil error without convergence")
+		}
+	}
+}
+
+// BenchmarkMicro_BinarySearchStep measures a full sign-only solve on the
+// compiled d=2, f=2 model, the unit of work of Algorithm 1.
+func BenchmarkMicro_BinarySearchStep(b *testing.B) {
+	comp, err := core.Compile(core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.MeanPayoff(0.35, core.CompiledOptions{Tol: 1e-6, SignOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_Simulation measures Monte-Carlo throughput (steps/op) of
+// the chain-substrate simulator under the optimal d=2, f=1 strategy.
+func BenchmarkMicro_Simulation(b *testing.B) {
+	params := selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 1, MaxForkLen: 4,
+	}
+	res, err := selfishmining.Analyze(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Simulate(10000, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_Figure2Grid measures grid construction (results package).
+func BenchmarkMicro_Figure2Grid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if g := results.Grid(0, 0.3, 0.01); len(g) != 31 {
+			b.Fatalf("grid has %d points", len(g))
+		}
+	}
+}
+
+// BenchmarkMicro_AnalysisGeneric measures the interface-based Algorithm 1
+// on the d=2, f=1 model, for comparison against the compiled path.
+func BenchmarkMicro_AnalysisGeneric(b *testing.B) {
+	m, err := core.NewModel(core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(m, analysis.Options{Epsilon: 1e-4, SkipStrategyEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SignOnlyOff quantifies the value of the sign-only early
+// exit in Algorithm 1's inner solves: a full-precision solve at the same
+// beta for comparison with BenchmarkMicro_BinarySearchStep.
+func BenchmarkAblation_SignOnlyOff(b *testing.B) {
+	comp, err := core.Compile(core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.MeanPayoff(0.35, core.CompiledOptions{Tol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_WarmVsCold measures a full Algorithm-1 run with warm
+// starts disabled by recompiling the model every iteration (the cost the
+// compiled cache avoids across a Figure-2 sweep).
+func BenchmarkAblation_ColdCompilePerPoint(b *testing.B) {
+	params := core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		comp, err := core.Compile(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analysis.AnalyzeCompiled(comp, analysis.Options{Epsilon: 1e-4, SkipStrategyEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ForkBound quantifies the cost of raising the finiteness
+// bound l (the paper's Section 3.4 limitation): analysis time for l=5 vs
+// the default l=4 benchmarked in Table 1.
+func BenchmarkAblation_ForkBound_l5(b *testing.B) {
+	params := selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 2, MaxForkLen: 5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := selfishmining.Analyze(params,
+			selfishmining.WithEpsilon(1e-4), selfishmining.WithoutStrategyEval()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSmallConfig(t *testing.T) {
+	err := run([]string{
+		"-p", "0.3", "-gamma", "0.5", "-d", "1", "-f", "1", "-l", "3",
+		"-eps", "1e-3", "-simulate", "5000",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSaveStrategy(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-p", "0.2", "-gamma", "0", "-d", "1", "-f", "1", "-l", "2",
+		"-eps", "1e-2", "-save", dir + "/strategy.txt",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if err := run([]string{"-p", "2"}); err == nil {
+		t.Fatal("invalid p accepted")
+	}
+	if err := run([]string{"-d", "0"}); err == nil {
+		t.Fatal("invalid d accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesTable(t *testing.T) {
+	var out bytes.Buffer
+	// Keep it fast: loose epsilon; -full is off so d=4 is skipped.
+	if err := run([]string{"-eps", "1e-2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"attack,parameters,states,ERRev,time", "d=1 f=1", "d=3 f=2", "single-tree"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "d=4") {
+		t.Error("d=4 should be skipped without -full")
+	}
+}
+
+func TestRunMarkdownMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-eps", "1e-2", "-markdown"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "| attack |") {
+		t.Errorf("markdown header missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,65 @@
+// Command simulate analyzes one attack configuration and replays the
+// computed ε-optimal strategy on the physical blockchain substrate,
+// reporting empirical statistics (relative revenue, races, orphaned honest
+// blocks) against the exact values. Every run self-checks consistency
+// between the MDP's reward ledger and main-chain ownership in the block
+// tree.
+//
+// Usage:
+//
+//	simulate -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-steps 1000000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/selfishmining"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		p     = fs.Float64("p", 0.3, "adversary resource fraction")
+		gamma = fs.Float64("gamma", 0.5, "switching probability")
+		d     = fs.Int("d", 2, "attack depth")
+		f     = fs.Int("f", 2, "forks per depth")
+		l     = fs.Int("l", 4, "maximal fork length")
+		steps = fs.Int("steps", 1000000, "simulation steps")
+		seed  = fs.Int64("seed", 1, "random seed")
+		eps   = fs.Float64("eps", 1e-4, "analysis precision")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := selfishmining.AttackParams{
+		Adversary: *p, Switching: *gamma, Depth: *d, Forks: *f, MaxForkLen: *l,
+	}
+	res, err := selfishmining.Analyze(params, selfishmining.WithEpsilon(*eps))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact:   ERRev bound %.6f, strategy ERRev %.6f\n", res.ERRev, res.StrategyERRev)
+
+	st, err := res.Simulate(*steps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("empirical: ERRev %.6f +- %.6f over %d permanent blocks\n", st.ERRev, st.StdErr, st.AdvBlocks+st.HonestBlocks)
+	fmt.Printf("  chain length %d, releases %d, races %d (won %d), honest blocks orphaned %d\n",
+		st.ChainLength, st.Releases, st.Races, st.RaceWins, st.Orphaned)
+	if dev := math.Abs(st.ERRev - res.StrategyERRev); dev > 5*st.StdErr+1e-3 {
+		return fmt.Errorf("simulation deviates from exact value by %.6f (> 5 sigma): model/simulator divergence", dev)
+	}
+	fmt.Println("simulation agrees with the exact stationary analysis (within 5 sigma)")
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunAgreement(t *testing.T) {
+	err := run([]string{
+		"-p", "0.3", "-gamma", "0.5", "-d", "2", "-f", "1", "-l", "3",
+		"-steps", "150000", "-eps", "1e-4", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if err := run([]string{"-gamma", "3"}); err == nil {
+		t.Fatal("invalid gamma accepted")
+	}
+}

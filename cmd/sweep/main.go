@@ -1,0 +1,105 @@
+// Command sweep regenerates one panel of the paper's Figure 2: expected
+// relative revenue as a function of the adversary's resource fraction, for
+// the honest baseline, the single-tree selfish-mining baseline, and the
+// paper's attack at each requested (d, f) configuration.
+//
+// Usage:
+//
+//	sweep -gamma 0.5 [-pmax 0.3] [-pstep 0.01] [-configs 1x1,2x1,2x2,3x2]
+//	      [-l 4] [-width 5] [-eps 1e-4] [-o figure2c.csv] [-markdown]
+//
+// The paper's full configuration list includes 4x2 (9.4M states); include
+// it explicitly via -configs when you have the time budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/results"
+	"repro/selfishmining"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		gamma    = fs.Float64("gamma", 0.5, "switching probability in [0,1]")
+		pmin     = fs.Float64("pmin", 0, "smallest adversary resource")
+		pmax     = fs.Float64("pmax", 0.3, "largest adversary resource")
+		pstep    = fs.Float64("pstep", 0.01, "resource grid step")
+		configs  = fs.String("configs", "1x1,2x1,2x2,3x2", "comma-separated dxf attack configurations")
+		l        = fs.Int("l", 4, "maximal fork length")
+		width    = fs.Int("width", 5, "single-tree baseline width")
+		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
+		out      = fs.String("o", "", "write CSV to this file (default stdout)")
+		markdown = fs.Bool("markdown", false, "emit a Markdown table instead of CSV")
+		quiet    = fs.Bool("q", false, "suppress per-point progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfgs, err := parseConfigs(*configs)
+	if err != nil {
+		return err
+	}
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		progress = nil
+	}
+	fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+		Gamma:      *gamma,
+		PGrid:      results.Grid(*pmin, *pmax, *pstep),
+		Configs:    cfgs,
+		MaxForkLen: *l,
+		TreeWidth:  *width,
+		Epsilon:    *eps,
+		Progress:   progress,
+	})
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if *markdown {
+		return fig.WriteMarkdown(w)
+	}
+	return fig.WriteCSV(w)
+}
+
+func parseConfigs(s string) ([]selfishmining.AttackConfig, error) {
+	var out []selfishmining.AttackConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var d, f int
+		if n, err := fmt.Sscanf(part, "%dx%d", &d, &f); err != nil || n != 2 {
+			return nil, fmt.Errorf("bad config %q (want dxf, e.g. 2x2)", part)
+		}
+		out = append(out, selfishmining.AttackConfig{Depth: d, Forks: f})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no attack configurations given")
+	}
+	return out, nil
+}

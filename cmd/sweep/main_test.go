@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseConfigs(t *testing.T) {
+	got, err := parseConfigs("1x1, 2x2,3x2")
+	if err != nil {
+		t.Fatalf("parseConfigs: %v", err)
+	}
+	if len(got) != 3 || got[0].Depth != 1 || got[1].Forks != 2 || got[2].Depth != 3 {
+		t.Errorf("parseConfigs = %+v", got)
+	}
+}
+
+func TestParseConfigsErrors(t *testing.T) {
+	for _, bad := range []string{"", "2y2", "x", "2x"} {
+		if _, err := parseConfigs(bad); err == nil {
+			t.Errorf("parseConfigs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-gamma", "0.5", "-pmin", "0.1", "-pmax", "0.3", "-pstep", "0.1",
+		"-configs", "1x1", "-l", "2", "-width", "2", "-eps", "1e-3", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 grid points
+		t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "p,honest,single-tree") {
+		t.Errorf("unexpected header %q", lines[0])
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-gamma", "0", "-pmin", "0.2", "-pmax", "0.2", "-pstep", "0.1",
+		"-configs", "1x1", "-l", "2", "-width", "2", "-eps", "1e-2", "-q", "-markdown",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "| p |") {
+		t.Errorf("markdown output missing table header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-configs", "junk"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad configs accepted")
+	}
+}

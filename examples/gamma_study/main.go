@@ -1,0 +1,44 @@
+// Gamma study: how much does control over the broadcast network matter?
+//
+// Reproduces the paper's third key takeaway: even the simplest attack
+// (d = f = 1, a single withheld block) starts to pay off once the
+// switching probability γ exceeds 0.5 and the adversary holds more than a
+// quarter of the resource — so fork-choice tie-breaking policy is a real
+// security knob for efficient proof systems chains.
+//
+//	go run ./examples/gamma_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/selfishmining"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("ERRev of the d=1, f=1 attack minus honest revenue (positive = attack pays):")
+	fmt.Printf("%8s", "p\\gamma")
+	gammas := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, g := range gammas {
+		fmt.Printf("%10.2f", g)
+	}
+	fmt.Println()
+	for _, p := range []float64{0.15, 0.20, 0.25, 0.28, 0.30} {
+		fmt.Printf("%8.2f", p)
+		for _, g := range gammas {
+			res, err := selfishmining.Analyze(selfishmining.AttackParams{
+				Adversary: p, Switching: g, Depth: 1, Forks: 1, MaxForkLen: 4,
+			}, selfishmining.WithEpsilon(1e-5), selfishmining.WithoutStrategyEval())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.4f", res.ERRev-p)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nReading: the advantage is ~0 for gamma <= 0.5 and grows for")
+	fmt.Println("gamma > 0.5 at p > 0.25 — the paper's Figure 2 observation that")
+	fmt.Println("motivates auditing the adversary's control over tie-breaking.")
+}

@@ -1,0 +1,134 @@
+// Package analysis implements the paper's formal analysis procedure
+// (Algorithm 1): a binary search over β ∈ [0, 1] that locates the zero of
+// the optimal mean payoff MP*_β under the reward family
+// r_β = r_A − β(r_A + r_H), yielding an ε-tight lower bound on the optimal
+// expected relative revenue ERRev* together with a strategy achieving it
+// (Theorem 3.1 and Corollaries 3.2–3.3).
+//
+// Each binary-search step only needs the sign of MP*_β, so the inner
+// mean-payoff solves run in sign-only mode with a gain tolerance
+// calibrated from the chain's block production rate, and warm-start from
+// the previous step's value vector.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solve"
+)
+
+// Options tunes the analysis procedure.
+type Options struct {
+	// Epsilon is the precision of the binary search on β; the returned
+	// ERRev lies in [ERRev* − ε, ERRev*]. Default 1e-4.
+	Epsilon float64
+	// SolverMaxIter bounds value-iteration sweeps per solve. Default 500000.
+	SolverMaxIter int
+	// SkipStrategyEval skips the exact stationary evaluation of the final
+	// strategy (which materializes the induced chain); useful for large
+	// models where only the bound is needed.
+	SkipStrategyEval bool
+}
+
+func (o *Options) defaults() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.SolverMaxIter <= 0 {
+		o.SolverMaxIter = 500000
+	}
+}
+
+// Result is the output of Algorithm 1.
+type Result struct {
+	// ERRev is the certified lower bound β_low on the optimal expected
+	// relative revenue: ERRev ∈ [ERRev* − ε, ERRev*].
+	ERRev float64
+	// Strategy is a positional strategy achieving ERRev (Corollary 3.2).
+	Strategy []int
+	// StrategyERRev is the exact expected relative revenue of Strategy,
+	// computed independently by stationary analysis (NaN if skipped).
+	StrategyERRev float64
+	// BetaLow and BetaUp are the final binary-search bracket.
+	BetaLow, BetaUp float64
+	// Iterations is the number of binary-search steps.
+	Iterations int
+	// Sweeps is the total number of value-iteration sweeps across all solves.
+	Sweeps int
+	// Duration is the wall-clock analysis time.
+	Duration time.Duration
+}
+
+// Analyze runs Algorithm 1 on the attack MDP. The model's β is mutated
+// during the search; its final value is β_low.
+func Analyze(m *core.Model, opts Options) (*Result, error) {
+	opts.defaults()
+	start := time.Now()
+	params := m.Params()
+
+	// Gain resolution needed so that a sign decision at distance ε from
+	// β* is reliable: |dMP*_β/dβ| equals the long-run rate of permanent
+	// blocks per step, which is at least BlockRate()/2 (each block event
+	// takes a mining step plus a decision step). A quarter of that per ε
+	// leaves a 2x safety margin.
+	zeta := opts.Epsilon * params.BlockRate() / 4
+	if zeta <= 0 { // p = 1 edge case
+		zeta = opts.Epsilon * 1e-3
+	}
+
+	m.SetMode(core.RewardBeta)
+	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
+	var warm []float64
+	for res.BetaUp-res.BetaLow >= opts.Epsilon {
+		beta := (res.BetaLow + res.BetaUp) / 2
+		m.SetBeta(beta)
+		sr, err := solve.MeanPayoff(m, solve.Options{
+			Tol:           zeta,
+			MaxIter:       opts.SolverMaxIter,
+			SignOnly:      true,
+			InitialValues: warm,
+		})
+		if sr != nil {
+			res.Sweeps += sr.Iters
+			warm = sr.Values
+		}
+		if err != nil {
+			return res, fmt.Errorf("analysis: solving MP*_beta at beta=%v: %w", beta, err)
+		}
+		res.Iterations++
+		if sr.Hi < 0 || (!sr.SignKnown() && sr.Gain < 0) {
+			res.BetaUp = beta
+		} else {
+			res.BetaLow = beta
+		}
+	}
+	res.ERRev = res.BetaLow
+
+	// Final solve at β_low for the ε-optimal strategy (Theorem 3.1, part 2).
+	m.SetBeta(res.BetaLow)
+	sr, err := solve.MeanPayoff(m, solve.Options{
+		Tol:           zeta,
+		MaxIter:       opts.SolverMaxIter,
+		InitialValues: warm,
+	})
+	if sr != nil {
+		res.Sweeps += sr.Iters
+	}
+	if err != nil {
+		return res, fmt.Errorf("analysis: final solve at beta=%v: %w", res.BetaLow, err)
+	}
+	res.Strategy = sr.Policy
+
+	if !opts.SkipStrategyEval {
+		errev, err := core.ERRevOfPolicy(m, res.Strategy)
+		if err != nil {
+			return res, fmt.Errorf("analysis: evaluating final strategy: %w", err)
+		}
+		res.StrategyERRev = errev
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AnalyzeCompiled runs Algorithm 1 against a compiled model. Semantics match
+// Analyze; the compiled backend resolves probabilities once per (p, γ) and
+// keeps value vectors warm across the binary search, making it suitable for
+// the large configurations (d=3 and d=4) of the paper's evaluation.
+//
+// Chain parameters (p, γ) are those currently set on c (SetChainParams).
+func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
+	opts.defaults()
+	start := time.Now()
+	params := c.Params()
+
+	zeta := opts.Epsilon * params.BlockRate() / 4
+	if zeta <= 0 {
+		zeta = opts.Epsilon * 1e-3
+	}
+
+	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
+	warm := false
+	for res.BetaUp-res.BetaLow >= opts.Epsilon {
+		beta := (res.BetaLow + res.BetaUp) / 2
+		sr, err := c.MeanPayoff(beta, core.CompiledOptions{
+			Tol:        zeta,
+			MaxIter:    opts.SolverMaxIter,
+			SignOnly:   true,
+			KeepValues: warm,
+		})
+		if sr != nil {
+			res.Sweeps += sr.Iters
+		}
+		if err != nil {
+			return res, fmt.Errorf("analysis: compiled solve at beta=%v: %w", beta, err)
+		}
+		warm = true
+		res.Iterations++
+		if sr.Hi < 0 || (!sr.SignKnown() && sr.Gain < 0) {
+			res.BetaUp = beta
+		} else {
+			res.BetaLow = beta
+		}
+	}
+	res.ERRev = res.BetaLow
+
+	sr, err := c.MeanPayoff(res.BetaLow, core.CompiledOptions{
+		Tol:        zeta,
+		MaxIter:    opts.SolverMaxIter,
+		KeepValues: warm,
+	})
+	if sr != nil {
+		res.Sweeps += sr.Iters
+	}
+	if err != nil {
+		return res, fmt.Errorf("analysis: compiled final solve at beta=%v: %w", res.BetaLow, err)
+	}
+	res.Strategy = c.GreedyPolicy(res.BetaLow)
+
+	if !opts.SkipStrategyEval {
+		errev, err := c.EvalERRev(res.Strategy, core.CompiledOptions{Tol: zeta, MaxIter: opts.SolverMaxIter})
+		if err != nil {
+			return res, fmt.Errorf("analysis: evaluating final strategy: %w", err)
+		}
+		res.StrategyERRev = errev
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHonestERRev(t *testing.T) {
+	tests := []struct {
+		p       float64
+		want    float64
+		wantErr bool
+	}{
+		{0, 0, false},
+		{0.3, 0.3, false},
+		{1, 1, false},
+		{-0.1, 0, true},
+		{1.1, 0, true},
+		{math.NaN(), 0, true},
+	}
+	for _, tt := range tests {
+		got, err := HonestERRev(tt.p)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("HonestERRev(%v) error = %v, wantErr %v", tt.p, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("HonestERRev(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// TestEyalSirerChainMatchesClosedForm anchors the stationary machinery to
+// the published SM1 revenue formula across a grid of (p, γ).
+func TestEyalSirerChainMatchesClosedForm(t *testing.T) {
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.45} {
+		for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			want, err := EyalSirerClosedForm(p, gamma)
+			if err != nil {
+				t.Fatalf("closed form(%v, %v): %v", p, gamma, err)
+			}
+			// maxLead=400 keeps the birth-death truncation error (p/(1-p))^maxLead
+			// far below the comparison tolerance even at p=0.45.
+			got, err := EyalSirerChainERRev(p, gamma, 400)
+			if err != nil {
+				t.Fatalf("chain(%v, %v): %v", p, gamma, err)
+			}
+			if math.Abs(got-want) > 1e-7 {
+				t.Errorf("p=%v gamma=%v: chain %v vs closed form %v", p, gamma, got, want)
+			}
+		}
+	}
+}
+
+// TestEyalSirerKnownThresholds: SM1 beats honest mining above the published
+// profitability thresholds — p > 1/3 at γ=0 and p > 1/4 at γ=0.5 — and not
+// below them.
+func TestEyalSirerKnownThresholds(t *testing.T) {
+	tests := []struct {
+		p, gamma float64
+		beats    bool
+	}{
+		{0.30, 0, false},
+		{0.35, 0, true},
+		{0.24, 0.5, false},
+		{0.26, 0.5, true},
+		{0.05, 1, true}, // at γ=1 SM1 is profitable for any p > 0
+	}
+	for _, tt := range tests {
+		rev, err := EyalSirerChainERRev(tt.p, tt.gamma, 0)
+		if err != nil {
+			t.Fatalf("chain(%v, %v): %v", tt.p, tt.gamma, err)
+		}
+		if got := rev > tt.p; got != tt.beats {
+			t.Errorf("p=%v gamma=%v: revenue %v, beats honest = %v, want %v", tt.p, tt.gamma, rev, got, tt.beats)
+		}
+	}
+}
+
+func TestEyalSirerValidation(t *testing.T) {
+	if _, err := EyalSirerClosedForm(0.6, 0.5); err == nil {
+		t.Error("closed form should reject p >= 0.5")
+	}
+	if _, err := EyalSirerChainERRev(0.3, 2, 0); err == nil {
+		t.Error("chain should reject gamma > 1")
+	}
+	if _, err := EyalSirerChainERRev(0.3, 0.5, 2); err == nil {
+		t.Error("chain should reject tiny maxLead")
+	}
+	if got, err := EyalSirerChainERRev(0, 0.5, 0); err != nil || got != 0 {
+		t.Errorf("p=0: got %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestSingleTreeValidation(t *testing.T) {
+	bad := []SingleTreeParams{
+		{P: -0.1, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5},
+		{P: 0.3, Gamma: 1.5, MaxDepth: 4, MaxWidth: 5},
+		{P: 0.3, Gamma: 0.5, MaxDepth: 0, MaxWidth: 5},
+		{P: 0.3, Gamma: 0.5, MaxDepth: 4, MaxWidth: 0},
+		{P: 0.3, Gamma: 0.5, MaxDepth: 99, MaxWidth: 5},
+	}
+	for _, p := range bad {
+		if _, err := NewSingleTree(p); err == nil {
+			t.Errorf("NewSingleTree(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestSingleTreeEdgeCases(t *testing.T) {
+	if got, err := SingleTreeERRev(SingleTreeParams{P: 0, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5}); err != nil || got != 0 {
+		t.Errorf("p=0: got %v, %v; want 0, nil", got, err)
+	}
+	if got, err := SingleTreeERRev(SingleTreeParams{P: 1, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5}); err != nil || got != 1 {
+		t.Errorf("p=1: got %v, %v; want 1, nil", got, err)
+	}
+}
+
+// TestSingleTreeERRevInUnitInterval: property over random parameters.
+func TestSingleTreeERRevInUnitInterval(t *testing.T) {
+	property := func(seedP, seedG uint8) bool {
+		p := SingleTreeParams{
+			P:        float64(seedP%100) / 100,
+			Gamma:    float64(seedG%101) / 100,
+			MaxDepth: 3,
+			MaxWidth: 3,
+		}
+		got, err := SingleTreeERRev(p)
+		if err != nil {
+			return false
+		}
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleTreeMonotoneInGamma: a better network position cannot hurt a
+// race-based strategy.
+func TestSingleTreeMonotoneInGamma(t *testing.T) {
+	prev := -1.0
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, err := SingleTreeERRev(SingleTreeParams{P: 0.3, Gamma: gamma, MaxDepth: 4, MaxWidth: 5})
+		if err != nil {
+			t.Fatalf("gamma=%v: %v", gamma, err)
+		}
+		if got < prev-1e-9 {
+			t.Errorf("ERRev not monotone in gamma: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSingleTreeMonotoneInP: more resource, more revenue.
+func TestSingleTreeMonotoneInP(t *testing.T) {
+	prev := -1.0
+	for _, p := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3} {
+		got, err := SingleTreeERRev(SingleTreeParams{P: p, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5})
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if got < prev-1e-9 {
+			t.Errorf("ERRev not monotone in p: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestSingleTreeWiderTreeHelps: more width means more mining targets and a
+// faster-growing tree, so revenue cannot decrease.
+func TestSingleTreeWiderTreeHelps(t *testing.T) {
+	narrow, err := SingleTreeERRev(SingleTreeParams{P: 0.3, Gamma: 0.5, MaxDepth: 4, MaxWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := SingleTreeERRev(SingleTreeParams{P: 0.3, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide < narrow-1e-9 {
+		t.Errorf("wider tree lost revenue: width 5 %v < width 1 %v", wide, narrow)
+	}
+}
+
+// TestSingleTreeStateInvariant: occupancy of level v+1 requires occupancy
+// of level v in every reachable state (children need parents).
+func TestSingleTreeStateInvariant(t *testing.T) {
+	st, err := NewSingleTree(SingleTreeParams{P: 0.3, Gamma: 0.5, MaxDepth: 4, MaxWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range st.states {
+		for v := 1; v < st.params.MaxDepth; v++ {
+			if s.w[v] > 0 && s.w[v-1] == 0 {
+				t.Fatalf("reachable state with orphan level: %+v", s)
+			}
+		}
+		d := depth(s, st.params.MaxDepth)
+		if d > 0 && int(s.h) >= d {
+			t.Fatalf("reachable state where public chain caught the tree without racing: %+v", s)
+		}
+	}
+}
+
+// TestSingleTreePublishRules: the Eyal–Sirer threatened rule dominates the
+// literal tie rule (it converts γ-races into sure wins), and at the paper's
+// operating point it beats honest mining, making it a meaningful baseline.
+func TestSingleTreePublishRules(t *testing.T) {
+	for _, p := range []float64{0.15, 0.25, 0.3} {
+		tie, err := SingleTreeERRev(SingleTreeParams{P: p, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5, Rule: PublishTie})
+		if err != nil {
+			t.Fatalf("tie rule p=%v: %v", p, err)
+		}
+		thr, err := SingleTreeERRev(SingleTreeParams{P: p, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5, Rule: PublishThreatened})
+		if err != nil {
+			t.Fatalf("threatened rule p=%v: %v", p, err)
+		}
+		if thr < tie-1e-9 {
+			t.Errorf("p=%v: threatened %v below tie %v", p, thr, tie)
+		}
+	}
+	thr, err := SingleTreeERRev(SingleTreeParams{P: 0.3, Gamma: 0.5, MaxDepth: 4, MaxWidth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0.3 {
+		t.Errorf("ES-style single-tree at p=0.3 gamma=0.5 = %v, want above honest 0.3", thr)
+	}
+}

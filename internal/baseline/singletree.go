@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// PublishRule selects when the single-tree baseline reveals its tree.
+type PublishRule uint8
+
+// Publish rules. The paper describes the baseline as "exactly following"
+// the Eyal–Sirer attack but states the trigger as "whenever the length of
+// the main chain catches up with the depth of the private tree"; the two
+// readings differ, so both are implemented.
+const (
+	// PublishThreatened is the Eyal–Sirer rule: publish everything as soon
+	// as the public chain is within one block of the tree depth (an
+	// outright win for depth ≥ 2; from depth 1 the public catch-up is a tie
+	// and triggers a γ-race). This is the default.
+	PublishThreatened PublishRule = iota
+	// PublishTie is the literal catch-up reading: publish only when the
+	// public chain fully ties the tree depth, always racing with γ.
+	PublishTie
+)
+
+// SingleTreeParams configures the single-tree selfish mining baseline.
+type SingleTreeParams struct {
+	// P is the adversary's resource fraction in [0, 1].
+	P float64
+	// Gamma is the switching probability for tie races in [0, 1].
+	Gamma float64
+	// MaxDepth is the maximal private tree depth (the paper uses l = 4).
+	MaxDepth int
+	// MaxWidth is the maximal number of tree nodes per level (the paper
+	// uses f = 5).
+	MaxWidth int
+	// Rule selects the publication trigger (default PublishThreatened).
+	Rule PublishRule
+}
+
+// Validate checks parameter ranges.
+func (p SingleTreeParams) Validate() error {
+	if p.P < 0 || p.P > 1 || math.IsNaN(p.P) {
+		return fmt.Errorf("baseline: resource fraction P = %v outside [0, 1]", p.P)
+	}
+	if p.Gamma < 0 || p.Gamma > 1 || math.IsNaN(p.Gamma) {
+		return fmt.Errorf("baseline: switching probability Gamma = %v outside [0, 1]", p.Gamma)
+	}
+	if p.MaxDepth < 1 {
+		return fmt.Errorf("baseline: MaxDepth = %d, need >= 1", p.MaxDepth)
+	}
+	if p.MaxWidth < 1 {
+		return fmt.Errorf("baseline: MaxWidth = %d, need >= 1", p.MaxWidth)
+	}
+	return nil
+}
+
+// treeState is a node of the baseline Markov chain: the per-level occupancy
+// of the private tree (levels 1..MaxDepth) and the number of public blocks
+// mined since the fork point. The strategy is fixed, so there are no
+// decisions: the chain transitions by mining outcomes only.
+type treeState struct {
+	w [maxTreeDepth]uint8
+	h uint8
+}
+
+// maxTreeDepth bounds the supported MaxDepth so states can be array-keyed.
+const maxTreeDepth = 8
+
+// SingleTree is the exact Markov-chain evaluation of the baseline.
+type SingleTree struct {
+	params SingleTreeParams
+
+	// Explored chain.
+	states  []treeState
+	index   map[treeState]int
+	chain   *linalg.CSR
+	rewardA []float64
+	rewardH []float64
+}
+
+// NewSingleTree explores the reachable chain for the given parameters.
+func NewSingleTree(params SingleTreeParams) (*SingleTree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.MaxDepth > maxTreeDepth {
+		return nil, fmt.Errorf("baseline: MaxDepth %d exceeds supported maximum %d", params.MaxDepth, maxTreeDepth)
+	}
+	st := &SingleTree{params: params, index: make(map[treeState]int)}
+	if params.P == 1 {
+		// Degenerate: honest miners never mine, the tree never races; the
+		// chain is not ergodic and ERRev is 1 by fiat. Skip materialization.
+		return st, nil
+	}
+	if err := st.build(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// depth returns the deepest occupied level of the tree.
+func depth(s treeState, l int) int {
+	for v := l; v >= 1; v-- {
+		if s.w[v-1] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// succ describes one probabilistic successor during exploration.
+type succ struct {
+	state treeState
+	prob  float64
+	ra    float64
+	rh    float64
+}
+
+// successors enumerates the transitions out of s. The mining race follows
+// the same (p, k)-model as the attack MDP: the adversary mines on every
+// tree node (and the fork-point root) that can still accept a child; each
+// target wins with probability p/(1−p+p·σ), honest with (1−p)/(1−p+p·σ).
+func (st *SingleTree) successors(s treeState) []succ {
+	p := st.params.P
+	gamma := st.params.Gamma
+	l := st.params.MaxDepth
+	f := st.params.MaxWidth
+
+	// Targets per level v (0 = fork point root, occupancy 1): each node at
+	// level v is a target iff level v+1 has spare width.
+	var targets [maxTreeDepth]int // targets[v] = parents at level v that can spawn
+	sigma := 0
+	for v := 0; v < l; v++ {
+		occ := 1
+		if v > 0 {
+			occ = int(s.w[v-1])
+		}
+		if int(s.w[v]) < f && occ > 0 {
+			targets[v] = occ
+			sigma += occ
+		}
+	}
+	den := 1 - p + p*float64(sigma)
+	var out []succ
+
+	// Adversary grows the tree at level v+1.
+	for v := 0; v < l; v++ {
+		if targets[v] == 0 {
+			continue
+		}
+		ns := s
+		ns.w[v]++
+		out = append(out, succ{state: ns, prob: float64(targets[v]) * p / den})
+	}
+
+	// Honest miners extend the public chain.
+	hp := (1 - p) / den
+	d := depth(s, l)
+	newH := int(s.h) + 1
+	publishAll := false
+	switch {
+	case d == 0:
+		// Nothing withheld: the honest block is final; re-fork at the new tip.
+		out = append(out, succ{state: treeState{}, prob: hp, rh: float64(newH)})
+		return out
+	case st.params.Rule == PublishThreatened && d >= 2 && newH == d-1:
+		// Eyal–Sirer: the lead shrank to one; publish everything and win
+		// outright (the tree's longest path exceeds the public chain).
+		publishAll = true
+	case newH == d:
+		// The public chain fully caught up: publish and race.
+		if gamma > 0 {
+			out = append(out, succ{state: treeState{}, prob: hp * gamma, ra: float64(d)})
+		}
+		if gamma < 1 {
+			out = append(out, succ{state: treeState{}, prob: hp * (1 - gamma), rh: float64(newH)})
+		}
+		return out
+	}
+	if publishAll {
+		out = append(out, succ{state: treeState{}, prob: hp, ra: float64(d)})
+		return out
+	}
+	// Public chain still behind: keep withholding.
+	ns := s
+	ns.h++
+	out = append(out, succ{state: ns, prob: hp})
+	return out
+}
+
+// build explores the reachable state space and materializes the chain.
+func (st *SingleTree) build() error {
+	start := treeState{}
+	st.index[start] = 0
+	st.states = append(st.states, start)
+	var entries []linalg.Entry
+	for i := 0; i < len(st.states); i++ {
+		s := st.states[i]
+		var ra, rh float64
+		for _, sc := range st.successors(s) {
+			j, ok := st.index[sc.state]
+			if !ok {
+				j = len(st.states)
+				st.index[sc.state] = j
+				st.states = append(st.states, sc.state)
+			}
+			entries = append(entries, linalg.Entry{Row: i, Col: j, Val: sc.prob})
+			ra += sc.prob * sc.ra
+			rh += sc.prob * sc.rh
+		}
+		st.rewardA = append(st.rewardA, ra)
+		st.rewardH = append(st.rewardH, rh)
+	}
+	chain, err := linalg.NewCSR(len(st.states), len(st.states), entries)
+	if err != nil {
+		return fmt.Errorf("baseline: building single-tree chain: %w", err)
+	}
+	if !chain.IsStochastic(1e-9) {
+		return fmt.Errorf("baseline: single-tree chain is not stochastic")
+	}
+	st.chain = chain
+	return nil
+}
+
+// NumStates returns the size of the explored chain.
+func (st *SingleTree) NumStates() int { return len(st.states) }
+
+// ERRev computes the exact expected relative revenue of the baseline by
+// stationary analysis: gain(r_A) / (gain(r_A) + gain(r_H)).
+func (st *SingleTree) ERRev() (float64, error) {
+	if st.params.P == 0 {
+		return 0, nil
+	}
+	if st.params.P == 1 {
+		// Honest miners never win a race; the adversary owns the chain.
+		return 1, nil
+	}
+	pi, err := linalg.Stationary(st.chain, linalg.StationaryOptions{})
+	if err != nil {
+		return 0, fmt.Errorf("baseline: single-tree stationary distribution: %w", err)
+	}
+	var gA, gH float64
+	for i := range pi {
+		gA += pi[i] * st.rewardA[i]
+		gH += pi[i] * st.rewardH[i]
+	}
+	if gA+gH <= 0 {
+		return 0, fmt.Errorf("baseline: degenerate single-tree chain: total block rate %v", gA+gH)
+	}
+	return gA / (gA + gH), nil
+}
+
+// SingleTreeERRev is a convenience wrapper: build and evaluate in one call.
+func SingleTreeERRev(params SingleTreeParams) (float64, error) {
+	st, err := NewSingleTree(params)
+	if err != nil {
+		return 0, err
+	}
+	return st.ERRev()
+}

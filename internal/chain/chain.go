@@ -1,0 +1,185 @@
+// Package chain implements the longest-chain blockchain substrate used by
+// the simulator: a block tree with public/private visibility, the
+// longest-public-chain rule with first-seen tie-breaking, and fork
+// switching. It is deliberately independent of the MDP machinery so that
+// Monte-Carlo runs over real chain data structures can cross-validate the
+// MDP's reward bookkeeping.
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Owner identifies who mined a block.
+type Owner uint8
+
+// Owners.
+const (
+	Honest Owner = iota
+	Adversary
+)
+
+func (o Owner) String() string {
+	if o == Honest {
+		return "honest"
+	}
+	return "adversary"
+}
+
+// BlockID identifies a block within one Tree.
+type BlockID uint64
+
+// GenesisID is the ID of the genesis block of every Tree.
+const GenesisID BlockID = 0
+
+// Block is a node of the block tree.
+type Block struct {
+	ID     BlockID
+	Parent BlockID
+	Height int // genesis has height 0
+	Owner  Owner
+	Round  int  // time step at which the block was mined
+	Public bool // whether the block has been broadcast
+}
+
+// ErrUnknownBlock is returned when a block ID is not present in the tree.
+var ErrUnknownBlock = errors.New("chain: unknown block")
+
+// Tree is an append-only block tree with a distinguished public tip (the
+// head of the current main chain).
+type Tree struct {
+	blocks []Block // index = BlockID
+	tip    BlockID // tip of the longest public chain (first-seen tie-break)
+}
+
+// NewTree creates a tree holding only the public genesis block.
+func NewTree() *Tree {
+	return &Tree{blocks: []Block{{ID: GenesisID, Public: true}}}
+}
+
+// Len returns the number of blocks (including genesis).
+func (t *Tree) Len() int { return len(t.blocks) }
+
+// Block returns a copy of the block with the given ID.
+func (t *Tree) Block(id BlockID) (Block, error) {
+	if int(id) >= len(t.blocks) {
+		return Block{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	return t.blocks[id], nil
+}
+
+// Tip returns the main-chain tip ID.
+func (t *Tree) Tip() BlockID { return t.tip }
+
+// TipHeight returns the height of the main chain.
+func (t *Tree) TipHeight() int { return t.blocks[t.tip].Height }
+
+// Mine appends a new block under parent. Private blocks do not affect the
+// main chain until published.
+func (t *Tree) Mine(parent BlockID, owner Owner, round int, public bool) (BlockID, error) {
+	if int(parent) >= len(t.blocks) {
+		return 0, fmt.Errorf("%w: parent %d", ErrUnknownBlock, parent)
+	}
+	id := BlockID(len(t.blocks))
+	t.blocks = append(t.blocks, Block{
+		ID:     id,
+		Parent: parent,
+		Height: t.blocks[parent].Height + 1,
+		Owner:  owner,
+		Round:  round,
+		Public: public,
+	})
+	if public && t.blocks[id].Height > t.blocks[t.tip].Height {
+		t.tip = id
+	}
+	return id, nil
+}
+
+// Publish marks the chain ending at id (up to the first already-public
+// ancestor) as public. If the published chain is strictly longer than the
+// main chain it becomes the main chain; if it ties, win decides the race
+// (true = honest miners switch to it). Returns whether the published chain
+// became the main chain.
+func (t *Tree) Publish(id BlockID, win bool) (bool, error) {
+	if int(id) >= len(t.blocks) {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	for b := id; !t.blocks[b].Public; b = t.blocks[b].Parent {
+		t.blocks[b].Public = true
+	}
+	newH, curH := t.blocks[id].Height, t.blocks[t.tip].Height
+	if newH > curH || (newH == curH && win && id != t.tip) {
+		t.tip = id
+		return true, nil
+	}
+	return false, nil
+}
+
+// MainChain returns the block IDs of the main chain from genesis to tip,
+// inclusive.
+func (t *Tree) MainChain() []BlockID {
+	var rev []BlockID
+	for b := t.tip; ; b = t.blocks[b].Parent {
+		rev = append(rev, b)
+		if b == GenesisID {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AtDepth returns the main-chain block at the given depth (1 = tip). An
+// error is returned if the chain is shorter than depth.
+func (t *Tree) AtDepth(depth int) (Block, error) {
+	if depth < 1 {
+		return Block{}, fmt.Errorf("chain: depth %d must be >= 1", depth)
+	}
+	b := t.tip
+	for i := 1; i < depth; i++ {
+		if b == GenesisID {
+			return Block{}, fmt.Errorf("chain: main chain shorter than depth %d", depth)
+		}
+		b = t.blocks[b].Parent
+	}
+	return t.blocks[b], nil
+}
+
+// OwnerCounts tallies main-chain blocks by owner, excluding genesis and
+// excluding the topmost skipTop blocks (the still-contestable window).
+func (t *Tree) OwnerCounts(skipTop int) (honest, adversary int) {
+	b := t.tip
+	for i := 0; i < skipTop && b != GenesisID; i++ {
+		b = t.blocks[b].Parent
+	}
+	for ; b != GenesisID; b = t.blocks[b].Parent {
+		if t.blocks[b].Owner == Honest {
+			honest++
+		} else {
+			adversary++
+		}
+	}
+	return honest, adversary
+}
+
+// Descend returns the chain of length n under tip ending at id
+// (id included), oldest first; used to inspect revealed segments.
+func (t *Tree) Descend(id BlockID, n int) ([]Block, error) {
+	if int(id) >= len(t.blocks) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	out := make([]Block, 0, n)
+	for b := id; len(out) < n; b = t.blocks[b].Parent {
+		out = append(out, t.blocks[b])
+		if b == GenesisID {
+			break
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewTreeGenesis(t *testing.T) {
+	tr := NewTree()
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	g, err := tr.Block(GenesisID)
+	if err != nil {
+		t.Fatalf("Block(genesis): %v", err)
+	}
+	if g.Height != 0 || !g.Public {
+		t.Errorf("genesis = %+v, want height 0, public", g)
+	}
+	if tr.TipHeight() != 0 {
+		t.Errorf("TipHeight = %d, want 0", tr.TipHeight())
+	}
+}
+
+func TestMinePublicExtendsTip(t *testing.T) {
+	tr := NewTree()
+	b1, err := tr.Mine(GenesisID, Honest, 1, true)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if tr.Tip() != b1 || tr.TipHeight() != 1 {
+		t.Errorf("tip = %d height %d, want %d height 1", tr.Tip(), tr.TipHeight(), b1)
+	}
+}
+
+func TestMinePrivateDoesNotMoveTip(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Mine(GenesisID, Adversary, 1, false); err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if tr.Tip() != GenesisID {
+		t.Errorf("private block moved the tip to %d", tr.Tip())
+	}
+}
+
+func TestMineUnknownParent(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Mine(99, Honest, 1, true); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+}
+
+func TestPublishLongerChainWins(t *testing.T) {
+	tr := NewTree()
+	h1, _ := tr.Mine(GenesisID, Honest, 1, true)
+	a1, _ := tr.Mine(GenesisID, Adversary, 2, false)
+	a2, _ := tr.Mine(a1, Adversary, 3, false)
+	won, err := tr.Publish(a2, false)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if !won {
+		t.Error("strictly longer chain should win regardless of the race flag")
+	}
+	if tr.Tip() != a2 {
+		t.Errorf("tip = %d, want %d", tr.Tip(), a2)
+	}
+	// The honest block is now off the main chain.
+	main := tr.MainChain()
+	for _, id := range main {
+		if id == h1 {
+			t.Error("orphaned honest block still on the main chain")
+		}
+	}
+}
+
+func TestPublishTieRace(t *testing.T) {
+	// Lose branch: tip unchanged.
+	tr := NewTree()
+	h1, _ := tr.Mine(GenesisID, Honest, 1, true)
+	a1, _ := tr.Mine(GenesisID, Adversary, 2, false)
+	won, err := tr.Publish(a1, false)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if won || tr.Tip() != h1 {
+		t.Errorf("lost race must keep honest tip: won=%v tip=%d", won, tr.Tip())
+	}
+	// Win branch: tip switches.
+	tr2 := NewTree()
+	tr2.Mine(GenesisID, Honest, 1, true)
+	b1, _ := tr2.Mine(GenesisID, Adversary, 2, false)
+	won, err = tr2.Publish(b1, true)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if !won || tr2.Tip() != b1 {
+		t.Errorf("won race must switch tip: won=%v tip=%d", won, tr2.Tip())
+	}
+}
+
+func TestPublishMarksAncestors(t *testing.T) {
+	tr := NewTree()
+	a1, _ := tr.Mine(GenesisID, Adversary, 1, false)
+	a2, _ := tr.Mine(a1, Adversary, 2, false)
+	if _, err := tr.Publish(a2, false); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	b, _ := tr.Block(a1)
+	if !b.Public {
+		t.Error("ancestor of published block not public")
+	}
+}
+
+func TestMainChainOrder(t *testing.T) {
+	tr := NewTree()
+	b1, _ := tr.Mine(GenesisID, Honest, 1, true)
+	b2, _ := tr.Mine(b1, Adversary, 2, true)
+	main := tr.MainChain()
+	want := []BlockID{GenesisID, b1, b2}
+	if len(main) != len(want) {
+		t.Fatalf("MainChain = %v, want %v", main, want)
+	}
+	for i := range want {
+		if main[i] != want[i] {
+			t.Fatalf("MainChain = %v, want %v", main, want)
+		}
+	}
+}
+
+func TestAtDepth(t *testing.T) {
+	tr := NewTree()
+	b1, _ := tr.Mine(GenesisID, Honest, 1, true)
+	b2, _ := tr.Mine(b1, Adversary, 2, true)
+	got, err := tr.AtDepth(1)
+	if err != nil || got.ID != b2 {
+		t.Errorf("AtDepth(1) = %v, %v; want block %d", got.ID, err, b2)
+	}
+	got, err = tr.AtDepth(2)
+	if err != nil || got.ID != b1 {
+		t.Errorf("AtDepth(2) = %v, %v; want block %d", got.ID, err, b1)
+	}
+	if _, err := tr.AtDepth(5); err == nil {
+		t.Error("AtDepth beyond genesis should error")
+	}
+	if _, err := tr.AtDepth(0); err == nil {
+		t.Error("AtDepth(0) should error")
+	}
+}
+
+func TestOwnerCounts(t *testing.T) {
+	tr := NewTree()
+	b1, _ := tr.Mine(GenesisID, Honest, 1, true)
+	b2, _ := tr.Mine(b1, Adversary, 2, true)
+	tr.Mine(b2, Honest, 3, true)
+	h, a := tr.OwnerCounts(0)
+	if h != 2 || a != 1 {
+		t.Errorf("OwnerCounts(0) = %d honest, %d adversary; want 2, 1", h, a)
+	}
+	h, a = tr.OwnerCounts(1)
+	if h != 1 || a != 1 {
+		t.Errorf("OwnerCounts(1) = %d honest, %d adversary; want 1, 1", h, a)
+	}
+	h, a = tr.OwnerCounts(10)
+	if h != 0 || a != 0 {
+		t.Errorf("OwnerCounts(10) = %d, %d; want 0, 0", h, a)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := NewTree()
+	b1, _ := tr.Mine(GenesisID, Adversary, 1, false)
+	b2, _ := tr.Mine(b1, Adversary, 2, false)
+	seg, err := tr.Descend(b2, 2)
+	if err != nil {
+		t.Fatalf("Descend: %v", err)
+	}
+	if len(seg) != 2 || seg[0].ID != b1 || seg[1].ID != b2 {
+		t.Errorf("Descend = %v, want [%d %d] oldest-first", seg, b1, b2)
+	}
+	if _, err := tr.Descend(77, 1); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+}
+
+func TestPublishUnknownBlock(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.Publish(42, true); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+}

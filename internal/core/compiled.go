@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// metaTrans packs per-transition metadata into a uint32:
+//
+//	bits 0..2   TransKind
+//	bit  3      first transition of a new action
+//	bits 4..11  sigma (adversary target count)
+//	bits 12..17 rh
+//	bits 18..23 ra
+//
+// Bits 12..23 double as an index into a 4096-entry reward lookup table.
+const (
+	metaKindMask   = 0x7
+	metaNewAction  = 1 << 3
+	metaSigmaShift = 4
+	metaRwdShift   = 12
+	metaRwdMask    = 0xFFF
+	metaRHShift    = 12
+	metaRAShift    = 18
+	rwdTableSize   = 1 << 12
+)
+
+// Compiled is a flattened, solver-friendly representation of the attack
+// MDP transition structure for fixed (d, f, l). The structure is shared by
+// every (p, γ, β): probabilities are resolved by SetChainParams and the
+// scalar β-reward by a lookup table per sweep. It implements fast
+// mean-payoff value iteration and fixed-policy evaluation for large models.
+//
+// A Compiled instance is not safe for concurrent use.
+type Compiled struct {
+	params Params // P and Gamma are the values last passed to SetChainParams
+
+	transStart []int64   // per-state transition range, len n+1
+	dst        []int32   // transition destinations
+	meta       []uint32  // packed kind/flag/sigma/ra/rh
+	probs      []float32 // resolved probabilities for current (p, γ)
+
+	h, next []float64 // value-iteration buffers
+}
+
+// Compile builds the flattened transition structure. Only Depth, Forks and
+// MaxLen of params matter at compile time; P and Gamma seed the initial
+// probability resolution and can be changed with SetChainParams.
+func Compile(params Params) (*Compiled, error) {
+	m, err := NewModel(params)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+	c := &Compiled{
+		params:     params,
+		transStart: make([]int64, n+1),
+	}
+	// First pass: count transitions.
+	var buf []Raw
+	var total int64
+	for s := 0; s < n; s++ {
+		c.transStart[s] = total
+		na := m.NumActions(s)
+		for a := 0; a < na; a++ {
+			buf = m.RawTransitions(s, a, buf[:0])
+			total += int64(len(buf))
+		}
+	}
+	c.transStart[n] = total
+	c.dst = make([]int32, total)
+	c.meta = make([]uint32, total)
+	c.probs = make([]float32, total)
+	// Second pass: fill.
+	var k int64
+	for s := 0; s < n; s++ {
+		na := m.NumActions(s)
+		for a := 0; a < na; a++ {
+			buf = m.RawTransitions(s, a, buf[:0])
+			for i, r := range buf {
+				mv := uint32(r.Kind) |
+					uint32(r.Sigma)<<metaSigmaShift |
+					uint32(r.RH)<<metaRHShift |
+					uint32(r.RA)<<metaRAShift
+				if i == 0 {
+					mv |= metaNewAction
+				}
+				c.dst[k] = int32(r.Dst)
+				c.meta[k] = mv
+				k++
+			}
+		}
+	}
+	c.h = make([]float64, n)
+	c.next = make([]float64, n)
+	c.resolveProbs()
+	return c, nil
+}
+
+// Params returns the current parameters (including the last chain
+// parameters set).
+func (c *Compiled) Params() Params { return c.params }
+
+// NumStates returns the state count.
+func (c *Compiled) NumStates() int { return len(c.transStart) - 1 }
+
+// NumTransitions returns the total transition count.
+func (c *Compiled) NumTransitions() int64 { return c.transStart[c.NumStates()] }
+
+// SetChainParams re-resolves transition probabilities for new (p, γ)
+// without recompiling the structure, and clears the warm-start state.
+func (c *Compiled) SetChainParams(p, gamma float64) error {
+	np := c.params
+	np.P, np.Gamma = p, gamma
+	if err := np.Validate(); err != nil {
+		return err
+	}
+	c.params = np
+	c.resolveProbs()
+	return nil
+}
+
+func (c *Compiled) resolveProbs() {
+	p, gamma := c.params.P, c.params.Gamma
+	maxSigma := c.params.MaxSigma()
+	padv := make([]float64, maxSigma+1)
+	phon := make([]float64, maxSigma+1)
+	for s := 1; s <= maxSigma; s++ {
+		den := 1 - p + p*float64(s)
+		padv[s] = p / den
+		phon[s] = (1 - p) / den
+	}
+	for k := range c.meta {
+		mv := c.meta[k]
+		sigma := (mv >> metaSigmaShift) & 0xFF
+		switch TransKind(mv & metaKindMask) {
+		case KindAdvMine:
+			c.probs[k] = float32(padv[sigma])
+		case KindHonMine:
+			c.probs[k] = float32(phon[sigma])
+		case KindSure:
+			c.probs[k] = 1
+		case KindRaceWin:
+			c.probs[k] = float32(gamma)
+		case KindRaceLose:
+			c.probs[k] = float32(1 - gamma)
+		}
+	}
+}
+
+// rewardTable fills tab with the β-view rewards indexed by the packed
+// (ra, rh) bits.
+func rewardTable(tab *[rwdTableSize]float64, beta float64) {
+	for idx := 0; idx < rwdTableSize; idx++ {
+		ra := float64(idx >> (metaRAShift - metaRwdShift))
+		rh := float64(idx & ((1 << (metaRAShift - metaRwdShift)) - 1))
+		tab[idx] = ra - beta*(ra+rh)
+	}
+}
+
+// CompiledResult reports a compiled solve, mirroring solve.Result.
+type CompiledResult struct {
+	Gain      float64
+	Lo, Hi    float64
+	Iters     int
+	Converged bool
+}
+
+// SignKnown reports whether the bracket determines the sign of the gain.
+func (r *CompiledResult) SignKnown() bool { return r.Lo > 0 || r.Hi < 0 }
+
+// CompiledOptions tunes the compiled solver.
+type CompiledOptions struct {
+	Tol      float64 // gain bracket width target; default 1e-7
+	MaxIter  int     // sweep budget; default 500000
+	Damping  float64 // aperiodicity mix; default 0.95
+	SignOnly bool    // stop when the bracket excludes zero
+	// KeepValues reuses the value vector from the previous solve on this
+	// Compiled instance as a warm start (valid across β and nearby (p, γ)).
+	KeepValues bool
+}
+
+func (o *CompiledOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500000
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 0.95
+	}
+}
+
+// MeanPayoff runs relative value iteration for reward r_β over the compiled
+// structure. Semantics match solve.MeanPayoff on the equivalent Model.
+func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResult, error) {
+	opts.defaults()
+	n := c.NumStates()
+	if !opts.KeepValues {
+		for i := range c.h {
+			c.h[i] = 0
+		}
+	}
+	var rwd [rwdTableSize]float64
+	rewardTable(&rwd, beta)
+	tau := opts.Damping
+	res := &CompiledResult{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	h, next := c.h, c.next
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := 0; s < n; s++ {
+			kEnd := c.transStart[s+1]
+			best := math.Inf(-1)
+			var q float64
+			for k := c.transStart[s]; k < kEnd; k++ {
+				mv := c.meta[k]
+				if mv&metaNewAction != 0 && k > c.transStart[s] {
+					if q > best {
+						best = q
+					}
+					q = 0
+				}
+				q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + h[c.dst[k]])
+			}
+			if q > best {
+				best = q
+			}
+			d := best - h[s]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			next[s] = h[s] + tau*d
+		}
+		shift := next[0]
+		for s := range next {
+			next[s] -= shift
+		}
+		h, next = next, h
+		res.Iters = iter
+		if lo > res.Lo {
+			res.Lo = lo
+		}
+		if hi < res.Hi {
+			res.Hi = hi
+		}
+		if res.Hi-res.Lo < opts.Tol || (opts.SignOnly && res.SignKnown()) {
+			res.Converged = true
+			break
+		}
+	}
+	c.h, c.next = h, next
+	res.Gain = (res.Lo + res.Hi) / 2
+	if !res.Converged {
+		return res, fmt.Errorf("core: compiled solve: bracket [%v, %v] after %d sweeps without convergence", res.Lo, res.Hi, res.Iters)
+	}
+	return res, nil
+}
+
+// GreedyPolicy extracts the policy that is greedy with respect to the
+// current value vector (from the last MeanPayoff call) under reward r_β.
+func (c *Compiled) GreedyPolicy(beta float64) []int {
+	n := c.NumStates()
+	var rwd [rwdTableSize]float64
+	rewardTable(&rwd, beta)
+	policy := make([]int, n)
+	h := c.h
+	for s := 0; s < n; s++ {
+		kEnd := c.transStart[s+1]
+		best := math.Inf(-1)
+		bestA, curA := 0, -1
+		var q float64
+		for k := c.transStart[s]; k < kEnd; k++ {
+			mv := c.meta[k]
+			if mv&metaNewAction != 0 {
+				if curA >= 0 && q > best {
+					best, bestA = q, curA
+				}
+				curA++
+				q = 0
+			}
+			q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + h[c.dst[k]])
+		}
+		if curA >= 0 && q > best {
+			bestA = curA
+		}
+		policy[s] = bestA
+	}
+	return policy
+}
+
+// EvalERRev brackets the expected relative revenue of a fixed policy by two
+// iterative fixed-policy gain evaluations: gain(r_A) / gain(r_A + r_H).
+func (c *Compiled) EvalERRev(policy []int, opts CompiledOptions) (float64, error) {
+	gainA, err := c.evalPolicyGain(policy, true, opts)
+	if err != nil {
+		return 0, fmt.Errorf("core: evaluating adversary gain: %w", err)
+	}
+	gainTotal, err := c.evalPolicyGain(policy, false, opts)
+	if err != nil {
+		return 0, fmt.Errorf("core: evaluating total gain: %w", err)
+	}
+	if gainTotal <= 0 {
+		return 0, fmt.Errorf("core: total block rate %v is not positive", gainTotal)
+	}
+	return gainA / gainTotal, nil
+}
+
+// evalPolicyGain runs fixed-policy relative value iteration with reward
+// r_A (advOnly) or r_A + r_H.
+func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts CompiledOptions) (float64, error) {
+	opts.defaults()
+	n := c.NumStates()
+	if len(policy) != n {
+		return 0, fmt.Errorf("core: policy covers %d states, model has %d", len(policy), n)
+	}
+	var rwd [rwdTableSize]float64
+	for idx := 0; idx < rwdTableSize; idx++ {
+		ra := float64(idx >> (metaRAShift - metaRwdShift))
+		rh := float64(idx & ((1 << (metaRAShift - metaRwdShift)) - 1))
+		if advOnly {
+			rwd[idx] = ra
+		} else {
+			rwd[idx] = ra + rh
+		}
+	}
+	h := make([]float64, n)
+	next := make([]float64, n)
+	tau := opts.Damping
+	resLo, resHi := math.Inf(-1), math.Inf(1)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := 0; s < n; s++ {
+			// Walk to the policy[s]-th action of state s.
+			k := c.transStart[s]
+			kEnd := c.transStart[s+1]
+			act := -1
+			var q float64
+			for ; k < kEnd; k++ {
+				mv := c.meta[k]
+				if mv&metaNewAction != 0 {
+					act++
+					if act > policy[s] {
+						break
+					}
+				}
+				if act == policy[s] {
+					q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + h[c.dst[k]])
+				}
+			}
+			d := q - h[s]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			next[s] = h[s] + tau*d
+		}
+		shift := next[0]
+		for s := range next {
+			next[s] -= shift
+		}
+		h, next = next, h
+		if lo > resLo {
+			resLo = lo
+		}
+		if hi < resHi {
+			resHi = hi
+		}
+		if resHi-resLo < opts.Tol {
+			return (resLo + resHi) / 2, nil
+		}
+	}
+	return (resLo + resHi) / 2, fmt.Errorf("core: policy evaluation did not converge: bracket [%v, %v]", resLo, resHi)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mdp"
+	"repro/internal/solve"
+)
+
+func mustCompile(t *testing.T, p Params) *Compiled {
+	t.Helper()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile(%v): %v", p, err)
+	}
+	return c
+}
+
+// TestCompiledMatchesGenericGain is the central compiled-path cross-check:
+// the compiled mean-payoff must agree with the generic interface-based
+// solver over several configurations and β values.
+func TestCompiledMatchesGenericGain(t *testing.T) {
+	configs := []Params{
+		{P: 0.3, Gamma: 0.5, Depth: 1, Forks: 1, MaxLen: 4},
+		{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 4},
+		{P: 0.15, Gamma: 0.25, Depth: 2, Forks: 2, MaxLen: 3},
+	}
+	for _, p := range configs {
+		t.Run(p.String(), func(t *testing.T) {
+			m := mustModel(t, p)
+			m.SetMode(RewardBeta)
+			c := mustCompile(t, p)
+			for _, beta := range []float64{0.1, 0.35, 0.6} {
+				m.SetBeta(beta)
+				want, err := solve.MeanPayoff(m, solve.Options{Tol: 1e-9})
+				if err != nil {
+					t.Fatalf("generic solve: %v", err)
+				}
+				got, err := c.MeanPayoff(beta, CompiledOptions{Tol: 1e-9})
+				if err != nil {
+					t.Fatalf("compiled solve: %v", err)
+				}
+				if math.Abs(got.Gain-want.Gain) > 1e-6 {
+					t.Errorf("beta=%v: compiled gain %v, generic gain %v", beta, got.Gain, want.Gain)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledTransitionCountsMatch: the flattened structure must contain
+// exactly the transitions the model enumerates.
+func TestCompiledTransitionCountsMatch(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 2}
+	m := mustModel(t, p)
+	c := mustCompile(t, p)
+	var buf []Raw
+	var want int64
+	for s := 0; s < m.NumStates(); s++ {
+		for a := 0; a < m.NumActions(s); a++ {
+			buf = m.RawTransitions(s, a, buf[:0])
+			want += int64(len(buf))
+		}
+	}
+	if got := c.NumTransitions(); got != want {
+		t.Errorf("NumTransitions = %d, want %d", got, want)
+	}
+	if c.NumStates() != m.NumStates() {
+		t.Errorf("NumStates = %d, want %d", c.NumStates(), m.NumStates())
+	}
+}
+
+// TestCompiledProbsStochastic: per action, resolved probabilities sum to 1.
+func TestCompiledProbsStochastic(t *testing.T) {
+	p := Params{P: 0.25, Gamma: 0.4, Depth: 2, Forks: 1, MaxLen: 3}
+	c := mustCompile(t, p)
+	n := c.NumStates()
+	for s := 0; s < n; s++ {
+		var sum float64
+		first := true
+		for k := c.transStart[s]; k < c.transStart[s+1]; k++ {
+			if c.meta[k]&metaNewAction != 0 && !first {
+				if math.Abs(sum-1) > 1e-6 {
+					t.Fatalf("state %d: action probabilities sum to %v", s, sum)
+				}
+				sum = 0
+			}
+			first = false
+			sum += float64(c.probs[k])
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("state %d: last action probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+// TestCompiledSetChainParams: re-resolving (p, γ) must change the solve
+// result accordingly and match a fresh compile.
+func TestCompiledSetChainParams(t *testing.T) {
+	p := Params{P: 0.1, Gamma: 0, Depth: 2, Forks: 1, MaxLen: 3}
+	c := mustCompile(t, p)
+	if err := c.SetChainParams(0.3, 0.75); err != nil {
+		t.Fatalf("SetChainParams: %v", err)
+	}
+	got, err := c.MeanPayoff(0.3, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("MeanPayoff: %v", err)
+	}
+	fresh := mustCompile(t, Params{P: 0.3, Gamma: 0.75, Depth: 2, Forks: 1, MaxLen: 3})
+	want, err := fresh.MeanPayoff(0.3, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("fresh MeanPayoff: %v", err)
+	}
+	if math.Abs(got.Gain-want.Gain) > 1e-9 {
+		t.Errorf("re-resolved gain %v != fresh gain %v", got.Gain, want.Gain)
+	}
+}
+
+func TestCompiledSetChainParamsRejectsBad(t *testing.T) {
+	c := mustCompile(t, Params{P: 0.1, Gamma: 0, Depth: 1, Forks: 1, MaxLen: 2})
+	if err := c.SetChainParams(1.5, 0); err == nil {
+		t.Fatal("expected error for p=1.5, got nil")
+	}
+}
+
+// TestCompiledGreedyPolicyEval: the greedy policy extracted after a solve
+// must evaluate (iteratively) to the same ERRev as the exact stationary
+// evaluation on the generic model.
+func TestCompiledGreedyPolicyEval(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 4}
+	c := mustCompile(t, p)
+	if _, err := c.MeanPayoff(0.35, CompiledOptions{Tol: 1e-9}); err != nil {
+		t.Fatalf("MeanPayoff: %v", err)
+	}
+	policy := c.GreedyPolicy(0.35)
+	got, err := c.EvalERRev(policy, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("EvalERRev: %v", err)
+	}
+	m := mustModel(t, p)
+	want, err := ERRevOfPolicy(m, policy)
+	if err != nil {
+		t.Fatalf("ERRevOfPolicy: %v", err)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("compiled ERRev %v, exact %v", got, want)
+	}
+}
+
+// TestCompiledWarmStart: re-solving the same β from the converged value
+// vector must be much cheaper than the cold solve and give the same gain.
+func TestCompiledWarmStart(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 3}
+	c := mustCompile(t, p)
+	cold, err := c.MeanPayoff(0.4, CompiledOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	warm, err := c.MeanPayoff(0.4, CompiledOptions{Tol: 1e-8, KeepValues: true})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.Iters > cold.Iters/2 {
+		t.Errorf("warm solve took %d sweeps, cold %d; warm start ineffective", warm.Iters, cold.Iters)
+	}
+	if math.Abs(warm.Gain-cold.Gain) > 1e-7 {
+		t.Errorf("warm gain %v != cold gain %v", warm.Gain, cold.Gain)
+	}
+}
+
+// TestCompiledEvalPolicyWrongLength exercises the failure path.
+func TestCompiledEvalPolicyWrongLength(t *testing.T) {
+	c := mustCompile(t, Params{P: 0.2, Gamma: 0.5, Depth: 1, Forks: 1, MaxLen: 2})
+	if _, err := c.EvalERRev([]int{0}, CompiledOptions{}); err == nil {
+		t.Fatal("expected error for short policy, got nil")
+	}
+}
+
+// TestReachableSubmodelSameGain: restricting the attack MDP to its
+// reachable states (via mdp.Materialize) must not change the optimal mean
+// payoff — the binary search operates on gains from the initial state.
+func TestReachableSubmodelSameGain(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 3}
+	m := mustModel(t, p)
+	m.SetMode(RewardBeta)
+	m.SetBeta(0.35)
+	full, err := solve.MeanPayoff(m, solve.Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("full solve: %v", err)
+	}
+	sub, err := mdp.Materialize(m, true)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if sub.NumStates() > m.NumStates() {
+		t.Fatalf("reachable model larger than full: %d > %d", sub.NumStates(), m.NumStates())
+	}
+	restricted, err := solve.MeanPayoff(sub, solve.Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("restricted solve: %v", err)
+	}
+	if math.Abs(full.Gain-restricted.Gain) > 1e-7 {
+		t.Errorf("gain changed under reachability restriction: %v vs %v", full.Gain, restricted.Gain)
+	}
+}

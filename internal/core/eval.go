@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// ERRevOfPolicy computes the exact expected relative revenue of a fixed
+// positional strategy σ in the attack MDP:
+//
+//	ERRev(σ) = gain(r_A) / gain(r_A + r_H)
+//
+// via stationary analysis of the induced ergodic Markov chain (this is the
+// ratio form used in the proof of Theorem 3.1). It materializes the chain
+// and is therefore intended for small and medium configurations; large
+// configurations use the compiled evaluator.
+func ERRevOfPolicy(m *Model, policy []int) (float64, error) {
+	n := m.NumStates()
+	if len(policy) != n {
+		return 0, fmt.Errorf("core: policy covers %d states, model has %d", len(policy), n)
+	}
+	numVec := make([]float64, n)
+	denVec := make([]float64, n)
+	entries := make([]linalg.Entry, 0, 4*n)
+	var buf []Raw
+	p, gamma := m.params.P, m.params.Gamma
+	for s := 0; s < n; s++ {
+		a := policy[s]
+		if a < 0 || a >= m.NumActions(s) {
+			return 0, fmt.Errorf("core: policy selects action %d in state %d with %d actions", a, s, m.NumActions(s))
+		}
+		buf = m.RawTransitions(s, a, buf[:0])
+		for _, r := range buf {
+			pr := r.Prob(p, gamma)
+			entries = append(entries, linalg.Entry{Row: s, Col: r.Dst, Val: pr})
+			numVec[s] += pr * float64(r.RA)
+			denVec[s] += pr * (float64(r.RA) + float64(r.RH))
+		}
+	}
+	chain, err := linalg.NewCSR(n, n, entries)
+	if err != nil {
+		return 0, err
+	}
+	pi, err := linalg.Stationary(chain, linalg.StationaryOptions{})
+	if err != nil {
+		return 0, err
+	}
+	var gNum, gDen float64
+	for s := range pi {
+		gNum += pi[s] * numVec[s]
+		gDen += pi[s] * denVec[s]
+	}
+	if gDen <= 0 {
+		return 0, fmt.Errorf("core: total block rate %v is not positive (degenerate chain)", gDen)
+	}
+	return gNum / gDen, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase is the "type" component of an MDP state.
+type Phase uint8
+
+// Phases of a state: Mining means proofs are being computed; PendingHonest
+// means honest miners found a block that has not yet landed (the adversary
+// may race it); AdvTurn means the adversary just extended one of its private
+// forks and decides whether to keep mining or reveal.
+const (
+	Mining Phase = iota
+	PendingHonest
+	AdvTurn
+	numPhases
+)
+
+func (ph Phase) String() string {
+	switch ph {
+	case Mining:
+		return "mining"
+	case PendingHonest:
+		return "honest"
+	case AdvTurn:
+		return "adversary"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(ph))
+	}
+}
+
+// Owner identifies who mined a main-chain block.
+type Owner = uint8
+
+// Owners of main-chain blocks.
+const (
+	Honest    Owner = 0
+	Adversary Owner = 1
+)
+
+// State is a decoded MDP state. C is row-major d×f (C[(i-1)*f + (j-1)] is
+// fork j at depth i, 1-based i, j); O has d-1 entries (O[i-1] owns the block
+// at depth i).
+type State struct {
+	C     []uint8
+	O     []uint8
+	Phase Phase
+}
+
+// Codec converts between State values and dense indices
+// 0..Params.NumStates()-1. The layout is index = (cIdx·2^(d-1) + oIdx)·3 + phase
+// with cIdx a base-(l+1) little-endian number over the d·f fork lengths and
+// oIdx the owner bits.
+type Codec struct {
+	d, f, l int
+	oCount  int
+	n       int
+}
+
+// NewCodec builds the codec for validated parameters.
+func NewCodec(p Params) (*Codec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	oCount := 1 << (p.Depth - 1)
+	return &Codec{d: p.Depth, f: p.Forks, l: p.MaxLen, oCount: oCount, n: p.NumStates()}, nil
+}
+
+// NumStates returns the dense state-space size.
+func (c *Codec) NumStates() int { return c.n }
+
+// InitialIndex returns the index of the initial state: all forks empty, all
+// tracked owners honest, phase Mining.
+func (c *Codec) InitialIndex() int { return 0 }
+
+// NewState allocates a zero state with the codec's dimensions.
+func (c *Codec) NewState() *State {
+	return &State{C: make([]uint8, c.d*c.f), O: make([]uint8, c.d-1), Phase: Mining}
+}
+
+// Encode maps a state to its dense index. The state must be dimensionally
+// consistent with the codec and within value bounds.
+func (c *Codec) Encode(s *State) int {
+	cIdx := 0
+	base := c.l + 1
+	for i := len(s.C) - 1; i >= 0; i-- {
+		cIdx = cIdx*base + int(s.C[i])
+	}
+	oIdx := 0
+	for i := len(s.O) - 1; i >= 0; i-- {
+		oIdx = oIdx<<1 | int(s.O[i])
+	}
+	return (cIdx*c.oCount+oIdx)*int(numPhases) + int(s.Phase)
+}
+
+// Decode fills dst with the state for the given index. dst must have been
+// allocated with NewState (or have matching dimensions).
+func (c *Codec) Decode(idx int, dst *State) {
+	dst.Phase = Phase(idx % int(numPhases))
+	idx /= int(numPhases)
+	oIdx := idx % c.oCount
+	for i := range dst.O {
+		dst.O[i] = uint8(oIdx & 1)
+		oIdx >>= 1
+	}
+	cIdx := idx / c.oCount
+	base := c.l + 1
+	for i := range dst.C {
+		dst.C[i] = uint8(cIdx % base)
+		cIdx /= base
+	}
+}
+
+// ForkLen returns C[i,j] with 1-based i ∈ [1,d], j ∈ [1,f].
+func (s *State) ForkLen(f int, i, j int) uint8 { return s.C[(i-1)*f+(j-1)] }
+
+// SetForkLen sets C[i,j] with 1-based indices.
+func (s *State) SetForkLen(f int, i, j int, v uint8) { s.C[(i-1)*f+(j-1)] = v }
+
+// String renders the state compactly, e.g. "C=[[2 0][1 0]] O=[ha] mining".
+func (s *State) String() string {
+	var b strings.Builder
+	b.WriteString("C=[")
+	f := 1
+	if len(s.O)+1 > 0 && len(s.C) > 0 {
+		f = len(s.C) / (len(s.O) + 1)
+	}
+	for i := 0; i < len(s.C); i += f {
+		b.WriteString("[")
+		for j := 0; j < f; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", s.C[i+j])
+		}
+		b.WriteString("]")
+	}
+	b.WriteString("] O=[")
+	for _, o := range s.O {
+		if o == Honest {
+			b.WriteByte('h')
+		} else {
+			b.WriteByte('a')
+		}
+	}
+	b.WriteString("] ")
+	b.WriteString(s.Phase.String())
+	return b.String()
+}

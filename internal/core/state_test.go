@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCodec(t *testing.T, p Params) *Codec {
+	t.Helper()
+	c, err := NewCodec(p)
+	if err != nil {
+		t.Fatalf("NewCodec(%v): %v", p, err)
+	}
+	return c
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"ok small", Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4}, false},
+		{"ok boundary p", Params{P: 1, Gamma: 0, Depth: 1, Forks: 1, MaxLen: 1}, false},
+		{"negative p", Params{P: -0.1, Gamma: 0.5, Depth: 1, Forks: 1, MaxLen: 1}, true},
+		{"p above one", Params{P: 1.5, Gamma: 0.5, Depth: 1, Forks: 1, MaxLen: 1}, true},
+		{"bad gamma", Params{P: 0.3, Gamma: 2, Depth: 1, Forks: 1, MaxLen: 1}, true},
+		{"zero depth", Params{P: 0.3, Gamma: 0.5, Depth: 0, Forks: 1, MaxLen: 1}, true},
+		{"zero forks", Params{P: 0.3, Gamma: 0.5, Depth: 1, Forks: 0, MaxLen: 1}, true},
+		{"zero maxlen", Params{P: 0.3, Gamma: 0.5, Depth: 1, Forks: 1, MaxLen: 0}, true},
+		{"state explosion", Params{P: 0.3, Gamma: 0.5, Depth: 10, Forks: 10, MaxLen: 10}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNumStates(t *testing.T) {
+	tests := []struct {
+		d, f, l int
+		want    int
+	}{
+		{1, 1, 4, 15},      // 3 * 5^1 * 1
+		{2, 1, 4, 150},     // 3 * 5^2 * 2
+		{2, 2, 4, 3750},    // 3 * 5^4 * 2
+		{3, 2, 4, 187500},  // 3 * 5^6 * 4
+		{4, 2, 4, 9375000}, // 3 * 5^8 * 8
+	}
+	for _, tt := range tests {
+		p := Params{P: 0.3, Gamma: 0.5, Depth: tt.d, Forks: tt.f, MaxLen: tt.l}
+		if got := p.NumStates(); got != tt.want {
+			t.Errorf("NumStates(d=%d,f=%d,l=%d) = %d, want %d", tt.d, tt.f, tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestCodecRoundTripExhaustive(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 2}
+	c := mustCodec(t, p)
+	s := c.NewState()
+	for idx := 0; idx < c.NumStates(); idx++ {
+		c.Decode(idx, s)
+		if got := c.Encode(s); got != idx {
+			t.Fatalf("round trip failed: %d -> %v -> %d", idx, s, got)
+		}
+	}
+}
+
+func TestCodecRoundTripRandomLarge(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 4, Forks: 2, MaxLen: 4}
+	c := mustCodec(t, p)
+	s := c.NewState()
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idx := r.Intn(c.NumStates())
+		c.Decode(idx, s)
+		return c.Encode(s) == idx
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecInitialState(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 3, Forks: 2, MaxLen: 4}
+	c := mustCodec(t, p)
+	s := c.NewState()
+	c.Decode(c.InitialIndex(), s)
+	if s.Phase != Mining {
+		t.Errorf("initial phase = %v, want mining", s.Phase)
+	}
+	for _, v := range s.C {
+		if v != 0 {
+			t.Errorf("initial fork lengths not all zero: %v", s.C)
+			break
+		}
+	}
+	for _, o := range s.O {
+		if o != Honest {
+			t.Errorf("initial owners not all honest: %v", s.O)
+			break
+		}
+	}
+}
+
+func TestCodecDistinctStatesDistinctIndices(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 2}
+	c := mustCodec(t, p)
+	seen := make(map[int]string, c.NumStates())
+	s := c.NewState()
+	for idx := 0; idx < c.NumStates(); idx++ {
+		c.Decode(idx, s)
+		key := s.String()
+		if prev, dup := seen[idx]; dup {
+			t.Fatalf("index %d decoded twice: %s and %s", idx, prev, key)
+		}
+		seen[idx] = key
+	}
+	uniq := make(map[string]bool, len(seen))
+	for _, v := range seen {
+		if uniq[v] {
+			t.Fatalf("two indices decode to the same state %s", v)
+		}
+		uniq[v] = true
+	}
+}
+
+func TestForkLenAccessors(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 3, Forks: 2, MaxLen: 4}
+	c := mustCodec(t, p)
+	s := c.NewState()
+	s.SetForkLen(2, 3, 2, 4)
+	if got := s.ForkLen(2, 3, 2); got != 4 {
+		t.Errorf("ForkLen(3,2) = %d, want 4", got)
+	}
+	if s.C[5] != 4 { // (3-1)*2 + (2-1) = 5
+		t.Errorf("row-major layout wrong: C = %v", s.C)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 4}
+	c := mustCodec(t, p)
+	s := c.NewState()
+	s.SetForkLen(1, 1, 1, 2)
+	s.O[0] = Adversary
+	s.Phase = PendingHonest
+	got := s.String()
+	want := "C=[[2][0]] O=[a] honest"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestBlockRate(t *testing.T) {
+	p := Params{P: 0.3, Gamma: 0.5, Depth: 4, Forks: 2, MaxLen: 4}
+	want := 0.7 / (0.7 + 0.3*8)
+	if got := p.BlockRate(); almostNe(got, want) {
+		t.Errorf("BlockRate = %v, want %v", got, want)
+	}
+}
+
+func almostNe(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d > 1e-12
+}

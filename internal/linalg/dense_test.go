@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveDenseIdentity(t *testing.T) {
+	n := 5
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	for i := range b {
+		if !almostEq(x[i], b[i], 1e-12) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveDenseKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Errorf("got (%v, %v), want (1, 3)", x[0], x[1])
+	}
+}
+
+func TestSolveDenseRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveDense(a, []float64{2, 7})
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	if !almostEq(x[0], 7, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Errorf("got (%v, %v), want (7, 2)", x[0], x[1])
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveDense(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for singular matrix, got nil")
+	}
+}
+
+func TestSolveDenseNonSquare(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := SolveDense(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for non-square matrix, got nil")
+	}
+}
+
+func TestLUSolveDimensionMismatch(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	if _, err := f.Solve([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected dimension-mismatch error, got nil")
+	}
+}
+
+// TestSolveDenseRandomProperty checks A x = b residuals on random
+// well-conditioned systems (diagonally dominant).
+func TestSolveDenseRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // force diagonal dominance
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * want[j]
+			}
+			b[i] = s
+		}
+		got, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Errorf("Clone is not independent: original changed to %v", a.At(0, 0))
+	}
+}

@@ -1,0 +1,64 @@
+package mdp
+
+import "fmt"
+
+// Materialize converts any (possibly implicit) model into an in-memory
+// Explicit model, optionally restricted to the states reachable from the
+// initial state. Restricting renumbers states (initial state becomes 0) and
+// is useful to shrink implicit product spaces before exact analyses.
+func Materialize(m Model, reachableOnly bool) (*Explicit, error) {
+	n := m.NumStates()
+	if n == 0 {
+		return nil, fmt.Errorf("mdp: cannot materialize an empty model")
+	}
+	var keep []bool
+	if reachableOnly {
+		keep, _ = Reachable(m)
+	}
+	// Renumber: old index -> new index.
+	renum := make([]int, n)
+	for i := range renum {
+		renum[i] = -1
+	}
+	var order []int
+	add := func(s int) {
+		if renum[s] < 0 {
+			renum[s] = len(order)
+			order = append(order, s)
+		}
+	}
+	add(m.Initial())
+	for s := 0; s < n; s++ {
+		if keep == nil || keep[s] {
+			add(s)
+		}
+	}
+	out := &Explicit{Init: 0, Choices: make([][]Choice, len(order))}
+	var buf []Transition
+	labeler, _ := m.(ActionLabeler)
+	for newIdx, old := range order {
+		na := m.NumActions(old)
+		choices := make([]Choice, 0, na)
+		for a := 0; a < na; a++ {
+			buf = m.Transitions(old, a, buf[:0])
+			succ := make([]Transition, 0, len(buf))
+			for _, tr := range buf {
+				dst := renum[tr.Dst]
+				if dst < 0 {
+					if tr.Prob == 0 {
+						continue // unreachable zero-probability edge
+					}
+					return nil, fmt.Errorf("mdp: state %d action %d reaches pruned state %d with probability %v", old, a, tr.Dst, tr.Prob)
+				}
+				succ = append(succ, Transition{Dst: dst, Prob: tr.Prob, Reward: tr.Reward})
+			}
+			label := ""
+			if labeler != nil {
+				label = labeler.ActionLabel(old, a)
+			}
+			choices = append(choices, Choice{Label: label, Succ: succ})
+		}
+		out.Choices[newIdx] = choices
+	}
+	return out, nil
+}

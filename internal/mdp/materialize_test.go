@@ -1,0 +1,104 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaterializeIdentity(t *testing.T) {
+	m := twoState()
+	got, err := Materialize(m, false)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if got.NumStates() != m.NumStates() {
+		t.Fatalf("states %d, want %d", got.NumStates(), m.NumStates())
+	}
+	if err := Validate(got, 1e-12); err != nil {
+		t.Errorf("materialized model invalid: %v", err)
+	}
+	if got.ActionLabel(0, 1) != "go" {
+		t.Errorf("labels not preserved: %q", got.ActionLabel(0, 1))
+	}
+}
+
+func TestMaterializeReachablePrunes(t *testing.T) {
+	m := &Explicit{
+		Init: 1, // states 0 and 2 unreachable from 1
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 0, Prob: 1}}}},
+			{{Succ: []Transition{{Dst: 1, Prob: 1, Reward: 3}}}},
+			{{Succ: []Transition{{Dst: 1, Prob: 1}}}},
+		},
+	}
+	got, err := Materialize(m, true)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if got.NumStates() != 1 {
+		t.Fatalf("states = %d, want 1", got.NumStates())
+	}
+	if got.Initial() != 0 {
+		t.Errorf("initial = %d, want renumbered 0", got.Initial())
+	}
+	if got.Choices[0][0].Succ[0].Reward != 3 {
+		t.Errorf("rewards not preserved: %+v", got.Choices[0][0])
+	}
+}
+
+// TestMaterializePreservesGain: solving the materialized reachable model
+// must give the same mean payoff as the original (on the reachable part).
+func TestMaterializePreservesGain(t *testing.T) {
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{
+				{Succ: []Transition{{Dst: 0, Prob: 0.5, Reward: 1}, {Dst: 1, Prob: 0.5, Reward: 0}}},
+			},
+			{
+				{Succ: []Transition{{Dst: 0, Prob: 1, Reward: 2}}},
+				{Succ: []Transition{{Dst: 1, Prob: 1, Reward: 0.1}}},
+			},
+			// State 2 unreachable, with a juicy reward that must not leak in.
+			{{Succ: []Transition{{Dst: 2, Prob: 1, Reward: 100}}}},
+		},
+	}
+	mat, err := Materialize(m, true)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if mat.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", mat.NumStates())
+	}
+	chainA, rA, err := InducedChain(mat, Policy{0, 0})
+	if err != nil {
+		t.Fatalf("InducedChain: %v", err)
+	}
+	if !chainA.IsStochastic(1e-12) {
+		t.Error("materialized induced chain not stochastic")
+	}
+	// Expected one-step rewards preserved under renumbering.
+	if math.Abs(rA[0]-0.5) > 1e-12 || rA[1] != 2 {
+		t.Errorf("rewards = %v, want [0.5 2]", rA)
+	}
+}
+
+func TestMaterializeDropsZeroProbEdgesToPruned(t *testing.T) {
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 0, Prob: 1}, {Dst: 1, Prob: 0}}}},
+			{{Succ: []Transition{{Dst: 1, Prob: 1}}}},
+		},
+	}
+	got, err := Materialize(m, true)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if got.NumStates() != 1 {
+		t.Fatalf("states = %d, want 1", got.NumStates())
+	}
+	if len(got.Choices[0][0].Succ) != 1 {
+		t.Errorf("zero-probability edge to pruned state kept: %+v", got.Choices[0][0].Succ)
+	}
+}

@@ -1,0 +1,205 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+)
+
+// twoState returns a simple 2-state MDP:
+// state 0: action "stay" self-loops with reward 1; action "go" moves to 1, reward 0.
+// state 1: single action back to 0, reward 5.
+func twoState() *Explicit {
+	return &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{
+				{Label: "stay", Succ: []Transition{{Dst: 0, Prob: 1, Reward: 1}}},
+				{Label: "go", Succ: []Transition{{Dst: 1, Prob: 1, Reward: 0}}},
+			},
+			{
+				{Label: "back", Succ: []Transition{{Dst: 0, Prob: 1, Reward: 5}}},
+			},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := Validate(twoState(), 1e-9); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesNonStochastic(t *testing.T) {
+	m := twoState()
+	m.Choices[0][0].Succ[0].Prob = 0.5
+	if err := Validate(m, 1e-9); err == nil {
+		t.Fatal("expected error for substochastic action, got nil")
+	}
+}
+
+func TestValidateCatchesBadDestination(t *testing.T) {
+	m := twoState()
+	m.Choices[0][0].Succ[0].Dst = 7
+	if err := Validate(m, 1e-9); err == nil {
+		t.Fatal("expected error for out-of-range destination, got nil")
+	}
+}
+
+func TestValidateCatchesNegativeProb(t *testing.T) {
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 0, Prob: -0.5}, {Dst: 0, Prob: 1.5}}}},
+		},
+	}
+	if err := Validate(m, 1e-9); err == nil {
+		t.Fatal("expected error for negative probability, got nil")
+	}
+}
+
+func TestValidateCatchesActionlessState(t *testing.T) {
+	m := &Explicit{Init: 0, Choices: [][]Choice{{}}}
+	if err := Validate(m, 1e-9); err == nil {
+		t.Fatal("expected error for state without actions, got nil")
+	}
+}
+
+func TestValidateCatchesBadInitial(t *testing.T) {
+	m := twoState()
+	m.Init = 9
+	if err := Validate(m, 1e-9); err == nil {
+		t.Fatal("expected error for out-of-range initial state, got nil")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	m := twoState()
+	seen, count := Reachable(m)
+	if count != 2 || !seen[0] || !seen[1] {
+		t.Errorf("Reachable = %v (count %d), want both states", seen, count)
+	}
+}
+
+func TestReachablePrunes(t *testing.T) {
+	// State 2 is unreachable.
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 1, Prob: 1}}}},
+			{{Succ: []Transition{{Dst: 0, Prob: 1}}}},
+			{{Succ: []Transition{{Dst: 2, Prob: 1}}}},
+		},
+	}
+	seen, count := Reachable(m)
+	if count != 2 || seen[2] {
+		t.Errorf("Reachable count = %d, seen[2] = %v; want 2 states, state 2 unreachable", count, seen[2])
+	}
+}
+
+func TestReachableIgnoresZeroProbEdges(t *testing.T) {
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 0, Prob: 1}, {Dst: 1, Prob: 0}}}},
+			{{Succ: []Transition{{Dst: 1, Prob: 1}}}},
+		},
+	}
+	_, count := Reachable(m)
+	if count != 1 {
+		t.Errorf("Reachable count = %d, want 1 (zero-probability edge must not count)", count)
+	}
+}
+
+func TestMaxBranching(t *testing.T) {
+	m := &Explicit{
+		Init: 0,
+		Choices: [][]Choice{
+			{{Succ: []Transition{{Dst: 0, Prob: 0.2}, {Dst: 1, Prob: 0.3}, {Dst: 0, Prob: 0.5}}}},
+			{{Succ: []Transition{{Dst: 0, Prob: 1}}}},
+		},
+	}
+	if got := MaxBranching(m); got != 3 {
+		t.Errorf("MaxBranching = %d, want 3", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	m := twoState()
+	if err := (Policy{1, 0}).Validate(m); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := (Policy{2, 0}).Validate(m); err == nil {
+		t.Error("expected error for unavailable action, got nil")
+	}
+	if err := (Policy{0}).Validate(m); err == nil {
+		t.Error("expected error for wrong policy length, got nil")
+	}
+}
+
+func TestInducedChain(t *testing.T) {
+	m := twoState()
+	chain, rewards, err := InducedChain(m, Policy{1, 0}) // go, back
+	if err != nil {
+		t.Fatalf("InducedChain: %v", err)
+	}
+	if !chain.IsStochastic(1e-12) {
+		t.Error("induced chain is not stochastic")
+	}
+	if rewards[0] != 0 || rewards[1] != 5 {
+		t.Errorf("rewards = %v, want [0 5]", rewards)
+	}
+}
+
+func TestInducedChainWith(t *testing.T) {
+	m := twoState()
+	_, r, aux, err := InducedChainWith(m, Policy{0, 0}, func(s, a int, tr Transition) float64 {
+		return 2 * tr.Reward
+	})
+	if err != nil {
+		t.Fatalf("InducedChainWith: %v", err)
+	}
+	if r[0] != 1 || aux[0] != 2 {
+		t.Errorf("r = %v aux = %v, want r[0]=1 aux[0]=2", r, aux)
+	}
+}
+
+func TestExplicitActionLabel(t *testing.T) {
+	m := twoState()
+	if got := m.ActionLabel(0, 1); got != "go" {
+		t.Errorf("ActionLabel = %q, want %q", got, "go")
+	}
+	m.Choices[0][0].Label = ""
+	if got := m.ActionLabel(0, 0); got != "a0" {
+		t.Errorf("ActionLabel fallback = %q, want %q", got, "a0")
+	}
+}
+
+func TestTransitionsAppendSemantics(t *testing.T) {
+	m := twoState()
+	buf := make([]Transition, 0, 4)
+	buf = m.Transitions(0, 0, buf)
+	buf = m.Transitions(1, 0, buf)
+	if len(buf) != 2 {
+		t.Fatalf("buffer should accumulate, got len %d", len(buf))
+	}
+	if buf[1].Reward != 5 {
+		t.Errorf("second transition reward = %v, want 5", buf[1].Reward)
+	}
+}
+
+func TestProbabilitiesSumProperty(t *testing.T) {
+	m := twoState()
+	var buf []Transition
+	for s := 0; s < m.NumStates(); s++ {
+		for a := 0; a < m.NumActions(s); a++ {
+			buf = m.Transitions(s, a, buf[:0])
+			var sum float64
+			for _, tr := range buf {
+				sum += tr.Prob
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("state %d action %d: prob sum %v", s, a, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package mdp
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Policy is a positional (memoryless, deterministic) strategy: an action
+// index per state.
+type Policy []int
+
+// NewUniformPolicy returns the policy that picks action 0 everywhere.
+func NewUniformPolicy(n int) Policy { return make(Policy, n) }
+
+// Validate checks that the policy selects an available action in every state.
+func (p Policy) Validate(m Model) error {
+	if len(p) != m.NumStates() {
+		return fmt.Errorf("mdp: policy covers %d states, model has %d", len(p), m.NumStates())
+	}
+	for s, a := range p {
+		if a < 0 || a >= m.NumActions(s) {
+			return fmt.Errorf("mdp: policy selects action %d in state %d which has %d actions", a, s, m.NumActions(s))
+		}
+	}
+	return nil
+}
+
+// InducedChain builds the Markov chain obtained by fixing the policy:
+// the row-stochastic transition matrix and the vector of expected one-step
+// rewards r(s) = Σ_s' P(s, π(s), s') · reward(s, π(s), s').
+//
+// Intended for small and medium models (it materializes the chain).
+func InducedChain(m Model, p Policy) (*linalg.CSR, []float64, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	n := m.NumStates()
+	rewards := make([]float64, n)
+	var entries []linalg.Entry
+	var buf []Transition
+	for s := 0; s < n; s++ {
+		buf = m.Transitions(s, p[s], buf[:0])
+		var r float64
+		for _, tr := range buf {
+			entries = append(entries, linalg.Entry{Row: s, Col: tr.Dst, Val: tr.Prob})
+			r += tr.Prob * tr.Reward
+		}
+		rewards[s] = r
+	}
+	chain, err := linalg.NewCSR(n, n, entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chain, rewards, nil
+}
+
+// InducedChainWith builds the induced chain together with a second reward
+// vector computed by applying aux to each transition. This supports
+// evaluating two reward structures (e.g. adversary and honest block counts)
+// over the same policy in one pass.
+func InducedChainWith(m Model, p Policy, aux func(s, a int, tr Transition) float64) (*linalg.CSR, []float64, []float64, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, nil, nil, err
+	}
+	n := m.NumStates()
+	rewards := make([]float64, n)
+	auxRewards := make([]float64, n)
+	var entries []linalg.Entry
+	var buf []Transition
+	for s := 0; s < n; s++ {
+		buf = m.Transitions(s, p[s], buf[:0])
+		var r, ar float64
+		for _, tr := range buf {
+			entries = append(entries, linalg.Entry{Row: s, Col: tr.Dst, Val: tr.Prob})
+			r += tr.Prob * tr.Reward
+			ar += tr.Prob * aux(s, p[s], tr)
+		}
+		rewards[s] = r
+		auxRewards[s] = ar
+	}
+	chain, err := linalg.NewCSR(n, n, entries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return chain, rewards, auxRewards, nil
+}

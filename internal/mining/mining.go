@@ -1,0 +1,70 @@
+// Package mining implements the discrete-time (p, k)-mining race of the
+// paper's system model (Section 2.1): in each time step, an adversary
+// holding a p fraction of the resource and concurrently attempting σ block
+// extensions wins on any particular target with probability p/(1−p+p·σ),
+// and the honest miners (who extend only the public tip) win with
+// probability (1−p)/(1−p+p·σ).
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// HonestWinner is the Winner result representing the honest miners.
+const HonestWinner = -1
+
+// Race samples per-step winners of the (p, k)-mining race.
+type Race struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// NewRace creates a race sampler. p must be in [0, 1].
+func NewRace(p float64, seed int64) (*Race, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("mining: resource fraction p = %v outside [0, 1]", p)
+	}
+	return &Race{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// TargetProb returns the per-target adversary win probability for σ
+// concurrent targets.
+func TargetProb(p float64, sigma int) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	return p / (1 - p + p*float64(sigma))
+}
+
+// HonestProb returns the honest win probability for σ concurrent adversary
+// targets.
+func HonestProb(p float64, sigma int) float64 {
+	return (1 - p) / (1 - p + p*float64(sigma))
+}
+
+// Winner samples the step's winner given σ adversary targets: it returns a
+// target index in [0, σ) if the adversary wins on that target, or
+// HonestWinner if the honest miners win.
+func (r *Race) Winner(sigma int) int {
+	if sigma < 0 {
+		sigma = 0
+	}
+	u := r.rng.Float64()
+	pt := TargetProb(r.p, sigma)
+	advTotal := float64(sigma) * pt
+	if u < advTotal {
+		idx := int(u / pt)
+		if idx >= sigma { // guard against floating-point edge
+			idx = sigma - 1
+		}
+		return idx
+	}
+	return HonestWinner
+}
+
+// Bernoulli samples an event of the given probability (used for γ races).
+func (r *Race) Bernoulli(prob float64) bool {
+	return r.rng.Float64() < prob
+}

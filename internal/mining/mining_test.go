@@ -1,0 +1,99 @@
+package mining
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTargetAndHonestProbsSumToOne(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 0.3, 0.9, 1} {
+		for sigma := 1; sigma <= 8; sigma++ {
+			total := float64(sigma)*TargetProb(p, sigma) + HonestProb(p, sigma)
+			if math.Abs(total-1) > 1e-12 {
+				t.Errorf("p=%v sigma=%d: probabilities sum to %v", p, sigma, total)
+			}
+		}
+	}
+}
+
+func TestTargetProbZeroSigma(t *testing.T) {
+	if got := TargetProb(0.3, 0); got != 0 {
+		t.Errorf("TargetProb(0.3, 0) = %v, want 0", got)
+	}
+}
+
+func TestNewRaceValidation(t *testing.T) {
+	if _, err := NewRace(-0.1, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewRace(1.1, 1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := NewRace(math.NaN(), 1); err == nil {
+		t.Error("NaN p accepted")
+	}
+}
+
+func TestWinnerFrequencies(t *testing.T) {
+	const p = 0.3
+	const sigma = 4
+	r, err := NewRace(p, 42)
+	if err != nil {
+		t.Fatalf("NewRace: %v", err)
+	}
+	const trials = 200000
+	counts := make([]int, sigma)
+	honest := 0
+	for i := 0; i < trials; i++ {
+		w := r.Winner(sigma)
+		if w == HonestWinner {
+			honest++
+		} else {
+			counts[w]++
+		}
+	}
+	wantTarget := TargetProb(p, sigma)
+	for i, c := range counts {
+		rate := float64(c) / trials
+		if math.Abs(rate-wantTarget) > 0.005 {
+			t.Errorf("target %d rate %v, want ~%v", i, rate, wantTarget)
+		}
+	}
+	honestRate := float64(honest) / trials
+	if math.Abs(honestRate-HonestProb(p, sigma)) > 0.005 {
+		t.Errorf("honest rate %v, want ~%v", honestRate, HonestProb(p, sigma))
+	}
+}
+
+func TestWinnerDeterministicPerSeed(t *testing.T) {
+	a, _ := NewRace(0.3, 7)
+	b, _ := NewRace(0.3, 7)
+	for i := 0; i < 100; i++ {
+		if a.Winner(3) != b.Winner(3) {
+			t.Fatal("same seed produced different winner sequences")
+		}
+	}
+}
+
+func TestWinnerHonestOnlyWhenNoTargets(t *testing.T) {
+	r, _ := NewRace(0.9, 5)
+	for i := 0; i < 100; i++ {
+		if w := r.Winner(0); w != HonestWinner {
+			t.Fatalf("sigma=0 produced adversary winner %d", w)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r, _ := NewRace(0.5, 11)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; math.Abs(rate-0.25) > 0.005 {
+		t.Errorf("Bernoulli(0.25) rate %v", rate)
+	}
+}

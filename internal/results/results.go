@@ -1,0 +1,175 @@
+// Package results holds the experiment output types shared by the command
+// line tools and the benchmark harness: named data series over a parameter
+// grid (the paper's Figure 2), runtime tables (the paper's Table 1), and
+// CSV / Markdown renderers.
+package results
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve of a figure: a name and y-values over a shared x-grid.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a set of series over one x-grid.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// AddSeries appends a curve; its length must match the x-grid.
+func (f *Figure) AddSeries(name string, values []float64) error {
+	if len(values) != len(f.X) {
+		return fmt.Errorf("results: series %q has %d values for %d x-points", name, len(values), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+	return nil
+}
+
+// WriteCSV renders the figure as a CSV with the x column first.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, formatCell(x))
+		for _, s := range f.Series {
+			row = append(row, formatCell(s.Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the figure as a Markdown table with a title.
+func (f *Figure) WriteMarkdown(w io.Writer) error {
+	if f.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", f.Title); err != nil {
+			return err
+		}
+	}
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := make([]string, 0, len(header))
+		row = append(row, formatCell(x))
+		for _, s := range f.Series {
+			row = append(row, formatCell(s.Values[i]))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.5g", v)
+}
+
+// Table is a generic labelled table (used for Table 1 runtimes).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; its length must match the columns.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("results: row has %d cells for %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Grid builds an inclusive float grid from lo to hi in the given step,
+// guarding against floating-point drift on the final point.
+func Grid(lo, hi, step float64) []float64 {
+	if step <= 0 || hi < lo {
+		return nil
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		x := lo + float64(i)*step
+		if x > hi+step/2 {
+			break
+		}
+		if x > hi {
+			x = hi
+		}
+		out = append(out, x)
+	}
+	return out
+}

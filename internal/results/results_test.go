@@ -1,0 +1,117 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 0.3, 0.1)
+	want := []float64{0, 0.1, 0.2, 0.3}
+	if len(g) != len(want) {
+		t.Fatalf("Grid = %v, want %v", g, want)
+	}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-9 {
+			t.Fatalf("Grid = %v, want %v", g, want)
+		}
+	}
+}
+
+func TestGridSinglePoint(t *testing.T) {
+	g := Grid(0.5, 0.5, 0.1)
+	if len(g) != 1 || g[0] != 0.5 {
+		t.Errorf("Grid = %v, want [0.5]", g)
+	}
+}
+
+func TestGridInvalid(t *testing.T) {
+	if g := Grid(0, 1, 0); g != nil {
+		t.Errorf("Grid with zero step = %v, want nil", g)
+	}
+	if g := Grid(1, 0, 0.1); g != nil {
+		t.Errorf("Grid with hi < lo = %v, want nil", g)
+	}
+}
+
+func TestGridFloatDrift(t *testing.T) {
+	// 31 points from 0 to 0.3 in 0.01 steps; drift must not drop the last.
+	g := Grid(0, 0.3, 0.01)
+	if len(g) != 31 {
+		t.Fatalf("len(Grid) = %d, want 31", len(g))
+	}
+	if math.Abs(g[30]-0.3) > 1e-12 {
+		t.Errorf("last point = %v, want 0.3", g[30])
+	}
+}
+
+func TestFigureAddSeriesValidates(t *testing.T) {
+	f := &Figure{X: []float64{1, 2}}
+	if err := f.AddSeries("bad", []float64{1}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	if err := f.AddSeries("ok", []float64{1, 2}); err != nil {
+		t.Fatalf("AddSeries: %v", err)
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{XLabel: "p", X: []float64{0.1, 0.2}}
+	if err := f.AddSeries("honest", []float64{0.1, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSeries("ours", []float64{0.15, math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := buf.String()
+	want := "p,honest,ours\n0.1,0.1,0.15\n0.2,0.2,-\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFigureWriteMarkdown(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "p", X: []float64{0.1}}
+	if err := f.AddSeries("v", []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteMarkdown(&buf); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"### Fig", "| p | v |", "| 0.1 | 0.5 |"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tb := &Table{Title: "Runtimes", Columns: []string{"attack", "time"}}
+	if err := tb.AddRow("d=1", "3.8s"); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	if err := tb.AddRow("only-one-cell"); err == nil {
+		t.Fatal("short row accepted")
+	}
+	var csv, md bytes.Buffer
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(csv.String(), "d=1,3.8s") {
+		t.Errorf("CSV missing row: %q", csv.String())
+	}
+	if err := tb.WriteMarkdown(&md); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	if !strings.Contains(md.String(), "| d=1 | 3.8s |") {
+		t.Errorf("markdown missing row: %q", md.String())
+	}
+}

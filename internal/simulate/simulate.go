@@ -1,0 +1,440 @@
+// Package simulate runs selfish-mining strategies from the attack MDP on
+// the physical blockchain substrate (package chain) with the (p, k)-mining
+// race (package mining), producing an empirical estimate of the expected
+// relative revenue.
+//
+// The simulator maintains the real block tree and the MDP state mirror side
+// by side and checks, at every mining phase, that the MDP's reward
+// bookkeeping (blocks declared permanent) exactly matches ownership of the
+// main chain beyond the contestable window in the tree. A divergence is
+// returned as an error, making every Monte-Carlo run an end-to-end
+// consistency test between the formal model and the chain semantics.
+package simulate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mining"
+)
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	// Steps is the number of MDP steps executed.
+	Steps int
+	// AdvBlocks and HonestBlocks count permanent main-chain blocks.
+	AdvBlocks, HonestBlocks int
+	// ERRev is the empirical relative revenue AdvBlocks / total.
+	ERRev float64
+	// StdErr is the binomial standard error of ERRev (an approximation:
+	// block outcomes are weakly dependent).
+	StdErr float64
+	// Races and RaceWins count γ-races fought and won.
+	Races, RaceWins int
+	// Releases counts fork reveals (including races).
+	Releases int
+	// Orphaned counts honest-mined blocks orphaned by accepted releases.
+	Orphaned int
+	// ChainLength is the final main-chain height.
+	ChainLength int
+}
+
+// Run simulates the given positional strategy for the given number of MDP
+// steps. The policy must cover the model's state space (as produced by the
+// analysis package). The simulation is deterministic per seed.
+func Run(m *core.Model, policy []int, steps int, seed int64) (*Stats, error) {
+	if len(policy) != m.NumStates() {
+		return nil, fmt.Errorf("simulate: policy covers %d states, model has %d", len(policy), m.NumStates())
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("simulate: steps = %d, need > 0", steps)
+	}
+	params := m.Params()
+	race, err := mining.NewRace(params.P, seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := newRun(m, race)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < steps; i++ {
+		if err := sim.step(policy); err != nil {
+			return nil, fmt.Errorf("simulate: step %d: %w", i, err)
+		}
+	}
+	if err := sim.auditLedger(); err != nil {
+		return nil, fmt.Errorf("simulate: final audit: %w", err)
+	}
+	st := sim.stats
+	st.Steps = steps
+	st.AdvBlocks = sim.rewardA
+	st.HonestBlocks = sim.rewardH
+	total := st.AdvBlocks + st.HonestBlocks
+	if total > 0 {
+		st.ERRev = float64(st.AdvBlocks) / float64(total)
+		st.StdErr = math.Sqrt(st.ERRev * (1 - st.ERRev) / float64(total))
+	}
+	st.ChainLength = sim.tree.TipHeight()
+	return &st, nil
+}
+
+// run is the mutable simulation state.
+type run struct {
+	m     *core.Model
+	codec *core.Codec
+	race  *mining.Race
+	tree  *chain.Tree
+
+	cur   int               // current MDP state index
+	s     *core.State       // decode scratch
+	forks [][]chain.BlockID // forks[(i-1)*f+(j-1)] = block IDs of fork (i,j), oldest first
+
+	rewardA, rewardH int // accumulated permanent blocks per the MDP
+	checks           int // consistency-check counter (drives periodic audits)
+	stats            Stats
+}
+
+func newRun(m *core.Model, race *mining.Race) (*run, error) {
+	params := m.Params()
+	tree := chain.NewTree()
+	// Seed the window: the MDP's initial owner vector O = [honest]^(d-1)
+	// corresponds to d−1 pre-existing public honest blocks above genesis.
+	parent := chain.GenesisID
+	for i := 0; i < params.Depth-1; i++ {
+		id, err := tree.Mine(parent, chain.Honest, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		parent = id
+	}
+	forks := make([][]chain.BlockID, params.Depth*params.Forks)
+	return &run{
+		m:     m,
+		codec: m.Codec(),
+		race:  race,
+		tree:  tree,
+		cur:   m.Initial(),
+		s:     m.Codec().NewState(),
+		forks: forks,
+	}, nil
+}
+
+func (r *run) fork(i, j int) []chain.BlockID {
+	return r.forks[(i-1)*r.m.Params().Forks+(j-1)]
+}
+
+func (r *run) setFork(i, j int, ids []chain.BlockID) {
+	r.forks[(i-1)*r.m.Params().Forks+(j-1)] = ids
+}
+
+// step advances the simulation by one MDP transition.
+func (r *run) step(policy []int) error {
+	r.codec.Decode(r.cur, r.s)
+	switch r.s.Phase {
+	case core.Mining:
+		return r.stepMining()
+	case core.PendingHonest:
+		return r.stepPendingHonest(policy[r.cur])
+	case core.AdvTurn:
+		return r.stepAdvTurn(policy[r.cur])
+	default:
+		return fmt.Errorf("invalid phase %v", r.s.Phase)
+	}
+}
+
+// miningTargets enumerates the adversary's σ mining targets in the same
+// order as the MDP transition function: for each depth, nonempty forks
+// first (row-major), then one fresh-fork attempt if a slot is free.
+type target struct {
+	i, j  int
+	fresh bool
+}
+
+func (r *run) miningTargets() []target {
+	params := r.m.Params()
+	var out []target
+	for i := 1; i <= params.Depth; i++ {
+		freshJ := 0
+		for j := 1; j <= params.Forks; j++ {
+			if r.s.ForkLen(params.Forks, i, j) > 0 {
+				out = append(out, target{i: i, j: j})
+			} else if freshJ == 0 {
+				freshJ = j
+			}
+		}
+		if freshJ > 0 {
+			out = append(out, target{i: i, j: freshJ, fresh: true})
+		}
+	}
+	return out
+}
+
+func (r *run) stepMining() error {
+	params := r.m.Params()
+	targets := r.miningTargets()
+	w := r.race.Winner(len(targets))
+	next := r.codec.NewState()
+	copy(next.C, r.s.C)
+	copy(next.O, r.s.O)
+	if w == mining.HonestWinner {
+		// The honest block is pending: it is added to the tree only when
+		// the adversary's decision resolves.
+		next.Phase = core.PendingHonest
+		r.cur = r.codec.Encode(next)
+		return nil
+	}
+	tg := targets[w]
+	cur := r.s.ForkLen(params.Forks, tg.i, tg.j)
+	if int(cur) < params.MaxLen {
+		// Physically mine the private block.
+		parent, err := r.forkTipParent(tg.i, tg.j)
+		if err != nil {
+			return err
+		}
+		id, err := r.tree.Mine(parent, chain.Adversary, r.stats.Steps, false)
+		if err != nil {
+			return err
+		}
+		r.setFork(tg.i, tg.j, append(r.fork(tg.i, tg.j), id))
+		next.SetForkLen(params.Forks, tg.i, tg.j, cur+1)
+	}
+	// At the cap the attempt is wasted: the model discards the block, so the
+	// simulator does not materialize it either.
+	next.Phase = core.AdvTurn
+	r.cur = r.codec.Encode(next)
+	return nil
+}
+
+// forkTipParent returns the block a new fork(i,j) block extends: the last
+// private block of the fork, or the main-chain block at depth i for a
+// fresh fork.
+func (r *run) forkTipParent(i, j int) (chain.BlockID, error) {
+	if ids := r.fork(i, j); len(ids) > 0 {
+		return ids[len(ids)-1], nil
+	}
+	b, err := r.tree.AtDepth(i)
+	if err != nil {
+		return 0, fmt.Errorf("fresh fork root at depth %d: %w", i, err)
+	}
+	return b.ID, nil
+}
+
+func (r *run) stepPendingHonest(action int) error {
+	// Whatever the decision, the pending honest block is broadcast: it
+	// lands on the (old) tip first; races are then resolved against it.
+	if _, err := r.tree.Mine(r.tree.Tip(), chain.Honest, r.stats.Steps, true); err != nil {
+		return err
+	}
+	if action == 0 {
+		return r.mirrorLand()
+	}
+	i, j, k := r.releaseAction(action)
+	if k == i {
+		// γ-race: the revealed fork ties the honest block's chain.
+		r.stats.Races++
+		if win := r.race.Bernoulli(r.m.Params().Gamma); win {
+			r.stats.RaceWins++
+			return r.acceptRelease(i, j, k, true, true)
+		}
+		// Lost race: the revealed blocks stay in the tree as a public
+		// losing branch (the MDP keeps the fork available, matching
+		// longest-chain semantics).
+		lastRevealed := r.fork(i, j)[k-1]
+		if adopted, err := r.tree.Publish(lastRevealed, false); err != nil {
+			return err
+		} else if adopted {
+			return fmt.Errorf("lost race was adopted by the tree (fork(%d,%d) k=%d)", i, j, k)
+		}
+		return r.mirrorLand()
+	}
+	// k > i: strictly longer than even the extended public chain; the
+	// honest block is orphaned outright.
+	return r.acceptRelease(i, j, k, false, true)
+}
+
+func (r *run) stepAdvTurn(action int) error {
+	next := r.codec.NewState()
+	copy(next.C, r.s.C)
+	copy(next.O, r.s.O)
+	if action == 0 {
+		next.Phase = core.Mining
+		r.cur = r.codec.Encode(next)
+		return r.checkConsistency()
+	}
+	i, j, k := r.releaseAction(action)
+	return r.acceptRelease(i, j, k, false, false)
+}
+
+// releaseAction decodes a release action index against the current state
+// using the model's own enumeration (via the action label is fragile;
+// instead mirror the enumeration order).
+func (r *run) releaseAction(action int) (i, j, k int) {
+	params := r.m.Params()
+	rem := action - 1
+	for i = 1; i <= params.Depth; i++ {
+		for j = 1; j <= params.Forks; j++ {
+			c := int(r.s.ForkLen(params.Forks, i, j))
+			if c < i {
+				continue
+			}
+			cnt := c - i + 1
+			if rem < cnt {
+				return i, j, i + rem
+			}
+			rem -= cnt
+		}
+	}
+	panic(fmt.Sprintf("simulate: release action %d out of range", action))
+}
+
+// mirrorLand applies the MDP-side shift after the pending honest block has
+// been materialized on the tree: forks and owners shift one deeper, and the
+// block leaving the window becomes permanent.
+func (r *run) mirrorLand() error {
+	params := r.m.Params()
+	if params.Depth == 1 {
+		r.rewardH++
+	} else if r.s.O[params.Depth-2] == core.Adversary {
+		r.rewardA++
+	} else {
+		r.rewardH++
+	}
+	next := r.codec.NewState()
+	next.Phase = core.Mining
+	copy(next.C[params.Forks:], r.s.C[:(params.Depth-1)*params.Forks])
+	if params.Depth >= 2 {
+		next.O[0] = core.Honest
+		copy(next.O[1:], r.s.O[:params.Depth-2])
+	}
+	// Fork bookkeeping: row d is dropped, rows shift deeper.
+	nf := make([][]chain.BlockID, len(r.forks))
+	copy(nf[params.Forks:], r.forks[:(params.Depth-1)*params.Forks])
+	r.forks = nf
+	r.cur = r.codec.Encode(next)
+	return r.checkConsistency()
+}
+
+// acceptRelease publishes the first k blocks of fork (i, j) and rebuilds
+// the mirror exactly as the MDP's accept transition does. pendingLanded
+// reports that a pending honest block was materialized at depth 1 just
+// before the release (it is orphaned along with the old depths 1..i-1).
+func (r *run) acceptRelease(i, j, k int, raceWin, pendingLanded bool) error {
+	params := r.m.Params()
+	d, f := params.Depth, params.Forks
+	ids := r.fork(i, j)
+	if len(ids) < k {
+		return fmt.Errorf("release of %d blocks from fork(%d,%d) holding %d", k, i, j, len(ids))
+	}
+	r.stats.Releases++
+	// Count orphaned honest main-chain blocks: the old depths 1..i-1, which
+	// sit at current depths shifted by one if the pending block landed.
+	orphanDepths := i - 1
+	if pendingLanded {
+		orphanDepths = i
+	}
+	for depth := 1; depth <= orphanDepths; depth++ {
+		b, err := r.tree.AtDepth(depth)
+		if err != nil {
+			return err
+		}
+		if b.Owner == chain.Honest {
+			r.stats.Orphaned++
+		}
+	}
+	adopted, err := r.tree.Publish(ids[k-1], raceWin)
+	if err != nil {
+		return err
+	}
+	if !adopted {
+		return fmt.Errorf("accepted release was not adopted by the tree (fork(%d,%d) k=%d)", i, j, k)
+	}
+
+	// Mirror rewards: identical arithmetic to core's acceptRelease.
+	delta := k - i + 1
+	if k >= d {
+		r.rewardA += k - d + 1
+	}
+	for mDepth := max(i, d-delta); mDepth <= d-1; mDepth++ {
+		if r.s.O[mDepth-1] == core.Adversary {
+			r.rewardA++
+		} else {
+			r.rewardH++
+		}
+	}
+	next := r.codec.NewState()
+	next.Phase = core.Mining
+	for pos := 1; pos <= d-1; pos++ {
+		if pos <= k {
+			next.O[pos-1] = core.Adversary
+		} else {
+			next.O[pos-1] = r.s.O[pos-delta-1]
+		}
+	}
+	nf := make([][]chain.BlockID, len(r.forks))
+	// Remainder rides the new tip.
+	next.SetForkLen(f, 1, 1, r.s.ForkLen(f, i, j)-uint8(k))
+	nf[0] = append([]chain.BlockID(nil), ids[k:]...)
+	for row := k + 1; row <= d; row++ {
+		oldRow := row - delta
+		for jj := 1; jj <= f; jj++ {
+			if oldRow == i && jj == j {
+				continue
+			}
+			next.SetForkLen(f, row, jj, r.s.ForkLen(f, oldRow, jj))
+			nf[(row-1)*f+(jj-1)] = r.forks[(oldRow-1)*f+(jj-1)]
+		}
+	}
+	r.forks = nf
+	r.cur = r.codec.Encode(next)
+	return r.checkConsistency()
+}
+
+// checkEvery is how often (in calls) the full-ledger consistency audit
+// runs. The audit walks the entire main chain, so auditing every step would
+// make long simulations quadratic; periodic audits (plus one at every
+// window check) retain full divergence detection at checkpoint granularity.
+const checkEvery = 512
+
+// checkConsistency verifies, after transitions back to the mining phase,
+// that the contestable window owners agree between the tree and the MDP
+// mirror, and — periodically — that the permanent-block ledger of the tree
+// matches the MDP's accumulated rewards.
+func (r *run) checkConsistency() error {
+	params := r.m.Params()
+	r.checks++
+	if r.checks%checkEvery == 0 {
+		if err := r.auditLedger(); err != nil {
+			return err
+		}
+	}
+	r.codec.Decode(r.cur, r.s)
+	for depth := 1; depth <= params.Depth-1; depth++ {
+		b, err := r.tree.AtDepth(depth)
+		if err != nil {
+			return fmt.Errorf("window owner at depth %d: %w", depth, err)
+		}
+		want := core.Honest
+		if b.Owner == chain.Adversary {
+			want = core.Adversary
+		}
+		if r.s.O[depth-1] != want {
+			return fmt.Errorf("window divergence at depth %d: MDP %d vs tree %v", depth, r.s.O[depth-1], b.Owner)
+		}
+	}
+	r.stats.AdvBlocks = r.rewardA
+	r.stats.HonestBlocks = r.rewardH
+	return nil
+}
+
+// auditLedger performs the full permanent-block reconciliation between the
+// tree and the MDP reward stream.
+func (r *run) auditLedger() error {
+	h, a := r.tree.OwnerCounts(r.m.Params().Depth - 1)
+	if h != r.rewardH || a != r.rewardA {
+		return fmt.Errorf("ledger divergence: tree (honest=%d adv=%d) vs MDP rewards (honest=%d adv=%d)", h, a, r.rewardH, r.rewardA)
+	}
+	return nil
+}

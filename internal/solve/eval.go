@@ -1,0 +1,126 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/mdp"
+)
+
+// EvalPolicyExact computes the exact gain and bias of a fixed positional
+// policy via a dense linear solve on the induced Markov chain. Intended for
+// small and medium models; the model must be unichain under the policy.
+func EvalPolicyExact(m mdp.Model, policy []int) (gain float64, bias []float64, err error) {
+	chain, rewards, err := mdp.InducedChain(m, policy)
+	if err != nil {
+		return 0, nil, err
+	}
+	return linalg.GainBias(chain, rewards, m.Initial())
+}
+
+// EvalPolicyIterative brackets the gain of a fixed positional policy by
+// relative value iteration restricted to that policy. It scales to large
+// models where the dense solve of EvalPolicyExact is infeasible.
+func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, error) {
+	opts.defaults()
+	n := m.NumStates()
+	if len(policy) != n {
+		return nil, fmt.Errorf("solve: policy covers %d states, model has %d", len(policy), n)
+	}
+	h := make([]float64, n)
+	if opts.InitialValues != nil {
+		if len(opts.InitialValues) != n {
+			return nil, fmt.Errorf("solve: warm-start vector has %d entries, model has %d states", len(opts.InitialValues), n)
+		}
+		copy(h, opts.InitialValues)
+	}
+	next := make([]float64, n)
+	tau := opts.Damping
+	ref := m.Initial()
+	var buf []mdp.Transition
+
+	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1), Policy: policy}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := 0; s < n; s++ {
+			buf = m.Transitions(s, policy[s], buf[:0])
+			var q float64
+			for _, tr := range buf {
+				q += tr.Prob * (tr.Reward + h[tr.Dst])
+			}
+			d := q - h[s]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			next[s] = h[s] + tau*d
+		}
+		shift := next[ref]
+		for s := range next {
+			next[s] -= shift
+		}
+		h, next = next, h
+		res.Iters = iter
+		if lo > res.Lo {
+			res.Lo = lo
+		}
+		if hi < res.Hi {
+			res.Hi = hi
+		}
+		if res.Hi-res.Lo < opts.Tol || (opts.SignOnly && (res.Lo > 0 || res.Hi < 0)) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Gain = (res.Lo + res.Hi) / 2
+	res.Values = h
+	if !res.Converged {
+		return res, fmt.Errorf("%w: bracket [%v, %v] after %d sweeps", ErrNoConvergence, res.Lo, res.Hi, res.Iters)
+	}
+	return res, nil
+}
+
+// GainRatio evaluates the long-run ratio g_num / g_den of two reward
+// structures under a fixed policy on the same chain, via exact stationary
+// analysis. numFn and denFn map each transition (under the policy's action)
+// to its contribution. This is how the expected relative revenue of a
+// computed strategy is certified: ERRev(σ) = gain(r_A) / gain(r_A + r_H)
+// by the renewal-reward theorem for ergodic chains.
+func GainRatio(m mdp.Model, policy []int, numFn, denFn func(s, a int, tr mdp.Transition) float64) (float64, error) {
+	if err := mdp.Policy(policy).Validate(m); err != nil {
+		return 0, err
+	}
+	n := m.NumStates()
+	numVec := make([]float64, n)
+	denVec := make([]float64, n)
+	var entries []linalg.Entry
+	var buf []mdp.Transition
+	for s := 0; s < n; s++ {
+		buf = m.Transitions(s, policy[s], buf[:0])
+		for _, tr := range buf {
+			entries = append(entries, linalg.Entry{Row: s, Col: tr.Dst, Val: tr.Prob})
+			numVec[s] += tr.Prob * numFn(s, policy[s], tr)
+			denVec[s] += tr.Prob * denFn(s, policy[s], tr)
+		}
+	}
+	chain, err := linalg.NewCSR(n, n, entries)
+	if err != nil {
+		return 0, err
+	}
+	pi, err := linalg.Stationary(chain, linalg.StationaryOptions{})
+	if err != nil {
+		return 0, err
+	}
+	var gNum, gDen float64
+	for s := range pi {
+		gNum += pi[s] * numVec[s]
+		gDen += pi[s] * denVec[s]
+	}
+	if gDen <= 0 {
+		return 0, fmt.Errorf("solve: denominator gain %v is not positive", gDen)
+	}
+	return gNum / gDen, nil
+}

@@ -1,0 +1,73 @@
+// Package solve implements mean-payoff (long-run average reward) solvers for
+// finite unichain MDPs:
+//
+//   - relative value iteration (RVI) with certified gain brackets, damping
+//     for aperiodicity, warm starts, and an optional sign-only early exit
+//     used by the binary search of the paper's Algorithm 1;
+//   - Howard policy iteration with exact gain/bias evaluation for small
+//     models (used to cross-check RVI);
+//   - policy evaluation, both exact (dense linear solve) and iterative.
+//
+// All solvers assume the MDP is unichain: under every positional strategy
+// the induced Markov chain has a single recurrent class, so the optimal
+// gain is constant across states. The selfish-mining MDP of the paper has
+// this property (from any state, d consecutive honest blocks lead back to
+// the initial state).
+package solve
+
+import "errors"
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested precision.
+var ErrNoConvergence = errors.New("solve: iteration limit reached before convergence")
+
+// Options configures the iterative solvers.
+type Options struct {
+	// Tol is the target width of the gain bracket [Lo, Hi]. Default 1e-7.
+	Tol float64
+	// MaxIter bounds the number of value-iteration sweeps. Default 500000.
+	MaxIter int
+	// Damping tau in (0, 1]: each sweep applies h' = (1-tau)h + tau*Th,
+	// which preserves the optimal gain (after rescaling by 1/tau, handled
+	// internally) and guarantees aperiodicity. Default 0.95.
+	Damping float64
+	// SignOnly stops as soon as the gain bracket excludes 0, returning a
+	// possibly wide bracket whose sign is nevertheless certain.
+	SignOnly bool
+	// InitialValues warm-starts the value vector. Must have length
+	// NumStates if non-nil; it is not modified.
+	InitialValues []float64
+}
+
+func (o *Options) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500000
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 0.95
+	}
+}
+
+// Result reports the outcome of a mean-payoff solve.
+type Result struct {
+	// Gain is the midpoint of the final bracket.
+	Gain float64
+	// Lo and Hi bracket the optimal gain: Lo <= g* <= Hi.
+	Lo, Hi float64
+	// Policy is a gain-optimal (within bracket width) positional strategy.
+	Policy []int
+	// Values is the final (relative) value vector; pass it back via
+	// Options.InitialValues to warm-start a related solve.
+	Values []float64
+	// Iters is the number of sweeps performed.
+	Iters int
+	// Converged reports whether the bracket reached Tol (or, in SignOnly
+	// mode, excluded zero) before MaxIter.
+	Converged bool
+}
+
+// SignKnown reports whether the bracket determines the sign of the gain.
+func (r *Result) SignKnown() bool { return r.Lo > 0 || r.Hi < 0 }

@@ -1,0 +1,137 @@
+package strategy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testModel(t *testing.T) (*core.Model, core.Params) {
+	t.Helper()
+	p := core.Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 3}
+	m, err := core.NewModel(p)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m, p
+}
+
+func TestProfiledNeverRelease(t *testing.T) {
+	m, _ := testModel(t)
+	policy := make([]int, m.NumStates())
+	prof, err := Profiled(m, policy)
+	if err != nil {
+		t.Fatalf("Profiled: %v", err)
+	}
+	if prof.Counts[KindRace] != 0 || prof.Counts[KindOvertake] != 0 {
+		t.Errorf("never-release profile has releases: %+v", prof.Counts)
+	}
+	if prof.Counts[KindMine] != prof.DecisionStates {
+		t.Errorf("mine count %d != decision states %d", prof.Counts[KindMine], prof.DecisionStates)
+	}
+	if prof.DecisionStates == 0 {
+		t.Error("no decision states found")
+	}
+}
+
+func TestProfiledClassifiesRaceAndOvertake(t *testing.T) {
+	m, _ := testModel(t)
+	// Choose the first release action everywhere one exists.
+	policy := make([]int, m.NumStates())
+	for s := range policy {
+		if m.NumActions(s) > 1 {
+			policy[s] = 1
+		}
+	}
+	prof, err := Profiled(m, policy)
+	if err != nil {
+		t.Fatalf("Profiled: %v", err)
+	}
+	if prof.Counts[KindRace] == 0 {
+		t.Error("expected some race releases in the d=2 model")
+	}
+	if prof.Counts[KindOvertake] == 0 {
+		t.Error("expected some overtake releases")
+	}
+	if len(prof.ReleaseDepths) == 0 || len(prof.ReleaseLengths) == 0 {
+		t.Error("release histograms empty")
+	}
+}
+
+func TestProfiledWrongLength(t *testing.T) {
+	m, _ := testModel(t)
+	if _, err := Profiled(m, []int{0}); err == nil {
+		t.Fatal("short policy accepted")
+	}
+}
+
+func TestDescribeMentionsCounts(t *testing.T) {
+	m, _ := testModel(t)
+	policy := make([]int, m.NumStates())
+	prof, err := Profiled(m, policy)
+	if err != nil {
+		t.Fatalf("Profiled: %v", err)
+	}
+	out := prof.Describe()
+	for _, want := range []string{"decision states", "keep mining", "race releases", "overtakes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, p := testModel(t)
+	policy := make([]int, m.NumStates())
+	for s := range policy {
+		if m.NumActions(s) > 1 {
+			policy[s] = 1
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p, policy); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf, p)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(policy) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(policy))
+	}
+	for i := range policy {
+		if got[i] != policy[i] {
+			t.Fatalf("round trip mismatch at %d: %d vs %d", i, got[i], policy[i])
+		}
+	}
+}
+
+func TestReadRejectsWrongParams(t *testing.T) {
+	m, p := testModel(t)
+	policy := make([]int, m.NumStates())
+	var buf bytes.Buffer
+	if err := Write(&buf, p, policy); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	other := p
+	other.P = 0.25
+	if _, err := Read(&buf, other); err == nil {
+		t.Fatal("mismatched parameters accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	_, p := testModel(t)
+	if _, err := Read(strings.NewReader(""), p); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	header := "# selfish-mining strategy p=0.3 gamma=0.5 d=2 f=1 l=3 states=150"
+	if _, err := Read(strings.NewReader(header+"\nnot-a-number\n"), p); err == nil {
+		t.Fatal("garbage action line accepted")
+	}
+	if _, err := Read(strings.NewReader(header+"\n1\n2\n"), p); err == nil {
+		t.Fatal("truncated policy accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package selfishmining
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/results"
+)
+
+// AttackConfig names one (d, f) curve of the paper's Figure 2.
+type AttackConfig struct {
+	Depth, Forks int
+}
+
+// Figure2Configs are the five attack configurations evaluated in the paper.
+var Figure2Configs = []AttackConfig{
+	{Depth: 1, Forks: 1},
+	{Depth: 2, Forks: 1},
+	{Depth: 2, Forks: 2},
+	{Depth: 3, Forks: 2},
+	{Depth: 4, Forks: 2},
+}
+
+// SweepOptions configures a Figure-2-style parameter sweep for one γ.
+type SweepOptions struct {
+	// Gamma is the switching probability of the sweep.
+	Gamma float64
+	// PGrid lists the adversary resource fractions (x-axis). Defaults to
+	// 0..0.3 in steps of 0.01, as in the paper.
+	PGrid []float64
+	// Configs lists the attack curves to compute. Defaults to
+	// Figure2Configs.
+	Configs []AttackConfig
+	// MaxForkLen is the fork bound l (default 4, as in the paper).
+	MaxForkLen int
+	// TreeWidth is the single-tree baseline width (default 5, as in the
+	// paper; its depth equals MaxForkLen).
+	TreeWidth int
+	// Epsilon is the per-point analysis precision (default 1e-4).
+	Epsilon float64
+	// Progress, if non-nil, receives one line per completed point.
+	Progress func(format string, args ...any)
+}
+
+func (o *SweepOptions) defaults() {
+	if o.PGrid == nil {
+		o.PGrid = results.Grid(0, 0.3, 0.01)
+	}
+	if o.Configs == nil {
+		o.Configs = Figure2Configs
+	}
+	if o.MaxForkLen <= 0 {
+		o.MaxForkLen = 4
+	}
+	if o.TreeWidth <= 0 {
+		o.TreeWidth = 5
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+}
+
+// Sweep regenerates one panel of the paper's Figure 2: ERRev as a function
+// of the adversary's resource p for the honest baseline, the single-tree
+// baseline, and each requested attack configuration, at fixed γ.
+//
+// Each attack configuration is compiled once and re-solved across the p
+// grid by re-resolving transition probabilities, which is what makes the
+// full grid tractable.
+func Sweep(opts SweepOptions) (*results.Figure, error) {
+	opts.defaults()
+	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
+		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
+	}
+	fig := &results.Figure{
+		Title:  fmt.Sprintf("Expected relative revenue vs adversary resource (gamma=%g)", opts.Gamma),
+		XLabel: "p",
+		YLabel: "ERRev",
+		X:      opts.PGrid,
+	}
+
+	honest := make([]float64, len(opts.PGrid))
+	for i, p := range opts.PGrid {
+		v, err := baseline.HonestERRev(p)
+		if err != nil {
+			return nil, err
+		}
+		honest[i] = v
+	}
+	if err := fig.AddSeries("honest", honest); err != nil {
+		return nil, err
+	}
+
+	tree := make([]float64, len(opts.PGrid))
+	for i, p := range opts.PGrid {
+		v, err := baseline.SingleTreeERRev(baseline.SingleTreeParams{
+			P: p, Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tree[i] = v
+	}
+	if err := fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree); err != nil {
+		return nil, err
+	}
+	opts.Progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
+
+	for _, cfg := range opts.Configs {
+		series, err := sweepConfig(cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("selfishmining: sweeping d=%d f=%d: %w", cfg.Depth, cfg.Forks, err)
+		}
+		if err := fig.AddSeries(fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks), series); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+func sweepConfig(cfg AttackConfig, opts SweepOptions) ([]float64, error) {
+	params := core.Params{
+		P:      0.1, // placeholder; set per grid point
+		Gamma:  opts.Gamma,
+		Depth:  cfg.Depth,
+		Forks:  cfg.Forks,
+		MaxLen: opts.MaxForkLen,
+	}
+	comp, err := core.Compile(params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(opts.PGrid))
+	for i, p := range opts.PGrid {
+		if p == 0 {
+			out[i] = 0 // no resource, no revenue; the p=0 MDP is degenerate
+			continue
+		}
+		if err := comp.SetChainParams(p, opts.Gamma); err != nil {
+			return nil, err
+		}
+		res, err := analysis.AnalyzeCompiled(comp, analysis.Options{
+			Epsilon:          opts.Epsilon,
+			SkipStrategyEval: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("p=%g: %w", p, err)
+		}
+		out[i] = res.ERRev
+		opts.Progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps, %v)",
+			cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps, res.Duration.Round(time.Millisecond))
+	}
+	return out, nil
+}
