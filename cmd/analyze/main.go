@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	analyze -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4] [-simulate 200000]
-//	        [-save strategy.txt]
+//	analyze -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4] [-workers N]
+//	        [-simulate 200000] [-save strategy.txt]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string) error {
 		f        = fs.Int("f", 2, "forks per depth")
 		l        = fs.Int("l", 4, "maximal fork length")
 		eps      = fs.Float64("eps", 1e-4, "analysis precision epsilon")
+		workers  = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores); results are identical at any setting")
 		simSteps = fs.Int("simulate", 0, "if > 0, Monte-Carlo steps to cross-validate the strategy")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		save     = fs.String("save", "", "write the computed strategy to this file")
@@ -50,7 +51,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("analyzing %v (%d states, eps=%g)\n", params, params.NumStates(), *eps)
 
-	opts := []selfishmining.Option{selfishmining.WithEpsilon(*eps)}
+	opts := []selfishmining.Option{selfishmining.WithEpsilon(*eps), selfishmining.WithWorkers(*workers)}
 	if *skipEval {
 		opts = append(opts, selfishmining.WithoutStrategyEval())
 	}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	runtimes [-p 0.3] [-gamma 0.5] [-eps 1e-4] [-full] [-markdown]
+//	runtimes [-p 0.3] [-gamma 0.5] [-eps 1e-4] [-workers N] [-full] [-markdown]
 //
 // Without -full the 4x2 configuration (9.4M states) is skipped.
 package main
@@ -38,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		p        = fs.Float64("p", 0.3, "adversary resource fraction")
 		gamma    = fs.Float64("gamma", 0.5, "switching probability (Table 1 uses 0.5)")
 		eps      = fs.Float64("eps", 1e-4, "analysis precision")
+		workers  = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores)")
 		full     = fs.Bool("full", false, "include the 4x2 configuration (9.4M states)")
 		markdown = fs.Bool("markdown", false, "emit Markdown instead of CSV")
 	)
@@ -61,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		start := time.Now()
 		res, err := selfishmining.Analyze(params,
 			selfishmining.WithEpsilon(*eps),
+			selfishmining.WithWorkers(*workers),
 			selfishmining.WithoutStrategyEval(),
 		)
 		if err != nil {

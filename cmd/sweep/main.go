@@ -6,7 +6,8 @@
 // Usage:
 //
 //	sweep -gamma 0.5 [-pmax 0.3] [-pstep 0.01] [-configs 1x1,2x1,2x2,3x2]
-//	      [-l 4] [-width 5] [-eps 1e-4] [-o figure2c.csv] [-markdown]
+//	      [-l 4] [-width 5] [-eps 1e-4] [-workers N] [-o figure2c.csv]
+//	      [-markdown]
 //
 // The paper's full configuration list includes 4x2 (9.4M states); include
 // it explicitly via -configs when you have the time budget.
@@ -41,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		l        = fs.Int("l", 4, "maximal fork length")
 		width    = fs.Int("width", 5, "single-tree baseline width")
 		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
+		workers  = fs.Int("workers", 0, "worker pool size over grid points (0 = all cores); results are identical at any setting")
 		out      = fs.String("o", "", "write CSV to this file (default stdout)")
 		markdown = fs.Bool("markdown", false, "emit a Markdown table instead of CSV")
 		quiet    = fs.Bool("q", false, "suppress per-point progress on stderr")
@@ -65,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxForkLen: *l,
 		TreeWidth:  *width,
 		Epsilon:    *eps,
+		Workers:    *workers,
 		Progress:   progress,
 	})
 	if err != nil {

@@ -29,7 +29,9 @@ func main() {
 	fmt.Printf("MDP size: %d states\n\n", params.NumStates())
 
 	// Algorithm 1: epsilon-tight lower bound on the optimal expected
-	// relative revenue, plus a strategy achieving it.
+	// relative revenue, plus a strategy achieving it. Value-iteration
+	// sweeps run on all cores by default; selfishmining.WithWorkers pins
+	// the count, and any setting produces bitwise identical results.
 	res, err := selfishmining.Analyze(params, selfishmining.WithEpsilon(1e-4))
 	if err != nil {
 		log.Fatal(err)

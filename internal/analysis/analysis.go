@@ -31,6 +31,11 @@ type Options struct {
 	// strategy (which materializes the induced chain); useful for large
 	// models where only the bound is needed.
 	SkipStrategyEval bool
+	// Workers is the per-sweep parallelism of the inner value-iteration
+	// solves (see solve.Options.Workers): a positive value is honored
+	// exactly, 0 uses all cores with a small-model cutoff. Results are
+	// bitwise identical at every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -90,6 +95,7 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 			MaxIter:       opts.SolverMaxIter,
 			SignOnly:      true,
 			InitialValues: warm,
+			Workers:       opts.Workers,
 		})
 		if sr != nil {
 			res.Sweeps += sr.Iters
@@ -113,6 +119,7 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 		Tol:           zeta,
 		MaxIter:       opts.SolverMaxIter,
 		InitialValues: warm,
+		Workers:       opts.Workers,
 	})
 	if sr != nil {
 		res.Sweeps += sr.Iters

@@ -14,9 +14,15 @@ import (
 // the large configurations (d=3 and d=4) of the paper's evaluation.
 //
 // Chain parameters (p, γ) are those currently set on c (SetChainParams).
+// A positive Options.Workers is installed on c (SetWorkers) so that every
+// inner solve, the policy extraction, and the strategy evaluation share the
+// same sweep parallelism.
 func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
+	if opts.Workers > 0 {
+		c.SetWorkers(opts.Workers)
+	}
 	params := c.Params()
 
 	zeta := opts.Epsilon * params.BlockRate() / 4

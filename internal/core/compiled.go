@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // metaTrans packs per-transition metadata into a uint32:
@@ -31,16 +33,70 @@ const (
 // scalar β-reward by a lookup table per sweep. It implements fast
 // mean-payoff value iteration and fixed-policy evaluation for large models.
 //
-// A Compiled instance is not safe for concurrent use.
+// A Compiled instance is not safe for concurrent use, but Clone produces
+// independent instances that share the immutable transition structure, so
+// many clones can solve in parallel over one compilation.
+//
+// Every solver sweep may be parallelized across SetWorkers goroutines.
+// Results are bitwise identical at any worker count: a sweep writes
+// next[s] from the previous vector h only, states are partitioned into
+// contiguous chunks (par.For), and the lo/hi gain brackets are reduced
+// with exact min/max — so chunked execution reproduces the serial sweep
+// exactly. See the package par documentation for the full argument.
 type Compiled struct {
 	params Params // P and Gamma are the values last passed to SetChainParams
 
-	transStart []int64   // per-state transition range, len n+1
-	dst        []int32   // transition destinations
-	meta       []uint32  // packed kind/flag/sigma/ra/rh
-	probs      []float32 // resolved probabilities for current (p, γ)
+	transStart []int64   // per-state transition range, len n+1; shared by clones
+	dst        []int32   // transition destinations; shared by clones
+	meta       []uint32  // packed kind/flag/sigma/ra/rh; shared by clones
+	probs      []float32 // resolved probabilities for current (p, γ); per-instance
 
-	h, next []float64 // value-iteration buffers
+	h, next []float64 // value-iteration buffers; per-instance
+
+	workers int // sweep parallelism; 0 = runtime.NumCPU()
+}
+
+// minStatesPerWorker keeps small models on the serial fast path: one
+// compiled value-iteration sweep costs tens of nanoseconds per state, so a
+// goroutine is only worth spawning for chunks of at least this many states.
+const minStatesPerWorker = 1 << 11
+
+// SetWorkers sets the number of goroutines used per value-iteration sweep
+// by MeanPayoff, GreedyPolicy and EvalERRev on this instance. n > 0 forces
+// exactly n (capped at the state count); n <= 0 — the initial state — uses
+// runtime.NumCPU(), reduced automatically when the model is too small for
+// fan-out to pay off. The worker count never affects results, only
+// wall-clock time.
+func (c *Compiled) SetWorkers(n int) { c.workers = n }
+
+// sweepWorkers resolves the effective per-sweep parallelism for this model
+// size.
+func (c *Compiled) sweepWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return par.Grain(c.NumStates(), par.Workers(0), minStatesPerWorker)
+}
+
+// Clone returns an independent solver over the same compiled transition
+// structure. The immutable arrays (transition ranges, destinations,
+// metadata) are shared with the receiver; the mutable per-solve state
+// (resolved probabilities, value vectors, parameters, worker count) is
+// copied. Distinct clones are safe for concurrent use, which is how the
+// sweep orchestration in package selfishmining gives each worker its own
+// solver while compiling every (d, f, l) structure once.
+func (c *Compiled) Clone() *Compiled {
+	nc := &Compiled{
+		params:     c.params,
+		transStart: c.transStart,
+		dst:        c.dst,
+		meta:       c.meta,
+		probs:      append([]float32(nil), c.probs...),
+		h:          append([]float64(nil), c.h...),
+		next:       make([]float64, len(c.next)),
+		workers:    c.workers,
+	}
+	return nc
 }
 
 // Compile builds the flattened transition structure. Only Depth, Forks and
@@ -194,6 +250,9 @@ func (o *CompiledOptions) defaults() {
 
 // MeanPayoff runs relative value iteration for reward r_β over the compiled
 // structure. Semantics match solve.MeanPayoff on the equivalent Model.
+//
+// Each sweep is parallelized across SetWorkers goroutines; the result is
+// bitwise identical at any worker count (see the Compiled type comment).
 func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResult, error) {
 	opts.defaults()
 	n := c.NumStates()
@@ -207,38 +266,42 @@ func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResu
 	tau := opts.Damping
 	res := &CompiledResult{Lo: math.Inf(-1), Hi: math.Inf(1)}
 	h, next := c.h, c.next
+	w := c.sweepWorkers()
+	red := par.NewMinMax(par.NumChunks(n, w))
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			kEnd := c.transStart[s+1]
-			best := math.Inf(-1)
-			var q float64
-			for k := c.transStart[s]; k < kEnd; k++ {
-				mv := c.meta[k]
-				if mv&metaNewAction != 0 && k > c.transStart[s] {
-					if q > best {
-						best = q
+		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx
+		par.For(n, w, func(chunk, from, to int) {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for s := from; s < to; s++ {
+				kEnd := c.transStart[s+1]
+				best := math.Inf(-1)
+				var q float64
+				for k := c.transStart[s]; k < kEnd; k++ {
+					mv := c.meta[k]
+					if mv&metaNewAction != 0 && k > c.transStart[s] {
+						if q > best {
+							best = q
+						}
+						q = 0
 					}
-					q = 0
+					q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + hv[c.dst[k]])
 				}
-				q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + h[c.dst[k]])
+				if q > best {
+					best = q
+				}
+				d := best - hv[s]
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+				nx[s] = hv[s] + tau*d
 			}
-			if q > best {
-				best = q
-			}
-			d := best - h[s]
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-			next[s] = h[s] + tau*d
-		}
-		shift := next[0]
-		for s := range next {
-			next[s] -= shift
-		}
+			red.Set(chunk, lo, hi)
+		})
+		lo, hi := red.Reduce()
+		par.Shift(next, next[0], w)
 		h, next = next, h
 		res.Iters = iter
 		if lo > res.Lo {
@@ -262,13 +325,24 @@ func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResu
 
 // GreedyPolicy extracts the policy that is greedy with respect to the
 // current value vector (from the last MeanPayoff call) under reward r_β.
+// The extraction sweep is parallelized across SetWorkers goroutines; each
+// state's choice depends only on the frozen value vector, so the policy is
+// identical at any worker count.
 func (c *Compiled) GreedyPolicy(beta float64) []int {
 	n := c.NumStates()
 	var rwd [rwdTableSize]float64
 	rewardTable(&rwd, beta)
 	policy := make([]int, n)
 	h := c.h
-	for s := 0; s < n; s++ {
+	par.For(n, c.sweepWorkers(), func(_, from, to int) {
+		c.greedyRange(policy, h, &rwd, from, to)
+	})
+	return policy
+}
+
+// greedyRange fills policy[from:to] with the r_β-greedy action indices.
+func (c *Compiled) greedyRange(policy []int, h []float64, rwd *[rwdTableSize]float64, from, to int) {
+	for s := from; s < to; s++ {
 		kEnd := c.transStart[s+1]
 		best := math.Inf(-1)
 		bestA, curA := 0, -1
@@ -289,7 +363,6 @@ func (c *Compiled) GreedyPolicy(beta float64) []int {
 		}
 		policy[s] = bestA
 	}
-	return policy
 }
 
 // EvalERRev brackets the expected relative revenue of a fixed policy by two
@@ -310,7 +383,8 @@ func (c *Compiled) EvalERRev(policy []int, opts CompiledOptions) (float64, error
 }
 
 // evalPolicyGain runs fixed-policy relative value iteration with reward
-// r_A (advOnly) or r_A + r_H.
+// r_A (advOnly) or r_A + r_H. Sweeps are parallelized like MeanPayoff and
+// equally independent of the worker count.
 func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts CompiledOptions) (float64, error) {
 	opts.defaults()
 	n := c.NumStates()
@@ -331,39 +405,43 @@ func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts CompiledOptio
 	next := make([]float64, n)
 	tau := opts.Damping
 	resLo, resHi := math.Inf(-1), math.Inf(1)
+	w := c.sweepWorkers()
+	red := par.NewMinMax(par.NumChunks(n, w))
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			// Walk to the policy[s]-th action of state s.
-			k := c.transStart[s]
-			kEnd := c.transStart[s+1]
-			act := -1
-			var q float64
-			for ; k < kEnd; k++ {
-				mv := c.meta[k]
-				if mv&metaNewAction != 0 {
-					act++
-					if act > policy[s] {
-						break
+		hv, nx := h, next
+		par.For(n, w, func(chunk, from, to int) {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for s := from; s < to; s++ {
+				// Walk to the policy[s]-th action of state s.
+				k := c.transStart[s]
+				kEnd := c.transStart[s+1]
+				act := -1
+				var q float64
+				for ; k < kEnd; k++ {
+					mv := c.meta[k]
+					if mv&metaNewAction != 0 {
+						act++
+						if act > policy[s] {
+							break
+						}
+					}
+					if act == policy[s] {
+						q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + hv[c.dst[k]])
 					}
 				}
-				if act == policy[s] {
-					q += float64(c.probs[k]) * (rwd[(mv>>metaRwdShift)&metaRwdMask] + h[c.dst[k]])
+				d := q - hv[s]
+				if d < lo {
+					lo = d
 				}
+				if d > hi {
+					hi = d
+				}
+				nx[s] = hv[s] + tau*d
 			}
-			d := q - h[s]
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-			next[s] = h[s] + tau*d
-		}
-		shift := next[0]
-		for s := range next {
-			next[s] -= shift
-		}
+			red.Set(chunk, lo, hi)
+		})
+		lo, hi := red.Reduce()
+		par.Shift(next, next[0], w)
 		h, next = next, h
 		if lo > resLo {
 			resLo = lo

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// solveAll runs a full-precision solve, policy extraction, and policy
+// evaluation at the given worker count, returning every numeric output.
+func solveAll(t *testing.T, workers int) (*CompiledResult, []int, float64, []float64) {
+	t.Helper()
+	c, err := Compile(Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkers(workers)
+	res, err := c.MeanPayoff(0.35, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("workers=%d: MeanPayoff: %v", workers, err)
+	}
+	policy := c.GreedyPolicy(0.35)
+	errev, err := c.EvalERRev(policy, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("workers=%d: EvalERRev: %v", workers, err)
+	}
+	return res, policy, errev, append([]float64(nil), c.h...)
+}
+
+// TestCompiledParallelDeterminism is the solver-level half of the chunked
+// sweep determinism argument: every output of the compiled solver —
+// brackets, sweep counts, value vector, greedy policy, and policy revenue —
+// is bitwise identical at 1, 2, 4, and 7 workers (7 exercises uneven
+// chunks).
+func TestCompiledParallelDeterminism(t *testing.T) {
+	refRes, refPolicy, refERRev, refH := solveAll(t, 1)
+	for _, w := range []int{2, 4, 7} {
+		res, policy, errev, h := solveAll(t, w)
+		if res.Lo != refRes.Lo || res.Hi != refRes.Hi || res.Gain != refRes.Gain {
+			t.Errorf("workers=%d: bracket (%v, %v, %v) != serial (%v, %v, %v)",
+				w, res.Lo, res.Hi, res.Gain, refRes.Lo, refRes.Hi, refRes.Gain)
+		}
+		if res.Iters != refRes.Iters {
+			t.Errorf("workers=%d: %d sweeps, serial %d", w, res.Iters, refRes.Iters)
+		}
+		if errev != refERRev {
+			t.Errorf("workers=%d: ERRev %v != serial %v", w, errev, refERRev)
+		}
+		for s := range refPolicy {
+			if policy[s] != refPolicy[s] {
+				t.Fatalf("workers=%d: policy diverges at state %d: %d vs %d", w, s, policy[s], refPolicy[s])
+			}
+		}
+		for s := range refH {
+			if math.Float64bits(h[s]) != math.Float64bits(refH[s]) {
+				t.Fatalf("workers=%d: value vector diverges at state %d: %v vs %v", w, s, h[s], refH[s])
+			}
+		}
+	}
+}
+
+// TestCompiledCloneIndependence: clones share the immutable structure but
+// carry independent parameters, probabilities, and value state.
+func TestCompiledCloneIndependence(t *testing.T) {
+	base, err := Compile(Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := base.Clone()
+	if &cl.transStart[0] != &base.transStart[0] || &cl.dst[0] != &base.dst[0] || &cl.meta[0] != &base.meta[0] {
+		t.Error("clone does not share the immutable transition structure")
+	}
+	if &cl.probs[0] == &base.probs[0] {
+		t.Error("clone shares the mutable probability buffer")
+	}
+	if err := cl.SetChainParams(0.2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if base.Params().P != 0.3 || base.Params().Gamma != 0.5 {
+		t.Errorf("clone's SetChainParams leaked into base: %v", base.Params())
+	}
+	// Both still solve, to different gains (different p).
+	rb, err := base.MeanPayoff(0.35, CompiledOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cl.MeanPayoff(0.35, CompiledOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Gain == rc.Gain {
+		t.Errorf("distinct chain parameters produced equal gains %v", rb.Gain)
+	}
+}
+
+// TestCompiledClonesConcurrent solves on many clones of one compilation
+// concurrently with multi-worker sweeps; run under -race this is the
+// shared-structure race check for the sweep orchestration.
+func TestCompiledClonesConcurrent(t *testing.T) {
+	base, err := Compile(Params{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 2, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := base.Clone().MeanPayoff(0.35, CompiledOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pGrid := []float64{0.15, 0.25, 0.3, 0.35}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := base.Clone()
+			cl.SetWorkers(2)
+			if err := cl.SetChainParams(pGrid[i], 0.5); err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := cl.MeanPayoff(0.35, CompiledOptions{Tol: 1e-9})
+			if err != nil {
+				t.Errorf("p=%v: %v", pGrid[i], err)
+				return
+			}
+			if pGrid[i] == 0.3 && (res.Lo != serial.Lo || res.Hi != serial.Hi) {
+				t.Errorf("concurrent clone at p=0.3 got bracket (%v, %v), serial (%v, %v)",
+					res.Lo, res.Hi, serial.Lo, serial.Hi)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

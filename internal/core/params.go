@@ -37,6 +37,19 @@
 // d): +1 to the adversary counter r_A or the honest counter r_H. The β-family
 // of scalar rewards of Section 3.3 is r_β = r_A − β(r_A + r_H); Algorithm 1
 // binary-searches β for the zero of the optimal mean payoff.
+//
+// # Parallel compiled solver
+//
+// The Compiled solver fans every value-iteration sweep out across worker
+// goroutines (SetWorkers), partitioning the state space into contiguous
+// chunks. This is exactly reproducible: a sweep computes next[s] from the
+// previous value vector h alone, so the chunked computation performs the
+// same floating-point operations in the same per-state order as the serial
+// loop, and the per-chunk gain brackets are merged with exact min/max.
+// Results are therefore bitwise identical at every worker count. Compiled
+// instances additionally support Clone — shared immutable transition
+// structure, private probability/value buffers — so one compilation serves
+// a whole pool of concurrent solvers (see selfishmining.Sweep).
 package core
 
 import (

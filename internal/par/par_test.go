@@ -1,0 +1,127 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	cases := []struct{ n, workers, min, want int }{
+		{100, 8, 10, 8},   // plenty of work per worker
+		{100, 8, 25, 4},   // capped at n/min
+		{100, 8, 1000, 1}, // too small to split
+		{0, 8, 10, 1},     // empty range
+		{100, 1, 1, 1},    // serial stays serial
+		{100, 8, 0, 8},    // min clamped to 1
+	}
+	for _, c := range cases {
+		if got := Grain(c.n, c.workers, c.min); got != c.want {
+			t.Errorf("Grain(%d, %d, %d) = %d, want %d", c.n, c.workers, c.min, got, c.want)
+		}
+	}
+}
+
+// TestForCoversExactly checks that every index of [0, n) is visited exactly
+// once, chunks are contiguous, and the chunk count matches NumChunks, for a
+// grid of (n, workers) shapes including the degenerate ones.
+func TestForCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, w := range []int{-1, 0, 1, 2, 3, 8, 1001} {
+			visits := make([]int32, n+1) // +1 so n=0 still allocates
+			var calls int32
+			For(n, w, func(chunk, lo, hi int) {
+				atomic.AddInt32(&calls, 1)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if visits[i] != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, visits[i])
+				}
+			}
+			if want := int32(NumChunks(n, w)); calls != want {
+				t.Errorf("n=%d w=%d: %d chunk calls, want %d", n, w, calls, want)
+			}
+		}
+	}
+}
+
+// TestMinMaxMatchesSerial: the chunked reduction equals a serial running
+// min/max for every chunk layout.
+func TestMinMaxMatchesSerial(t *testing.T) {
+	vals := []float64{3, -1, 4, -1, 5, -9, 2, 6, -5, 3, 5}
+	wantLo, wantHi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < wantLo {
+			wantLo = v
+		}
+		if v > wantHi {
+			wantHi = v
+		}
+	}
+	for _, w := range []int{1, 2, 3, 5, 11} {
+		chunks := NumChunks(len(vals), w)
+		red := NewMinMax(chunks)
+		For(len(vals), w, func(chunk, lo, hi int) {
+			cLo, cHi := vals[lo], vals[lo]
+			for i := lo + 1; i < hi; i++ {
+				if vals[i] < cLo {
+					cLo = vals[i]
+				}
+				if vals[i] > cHi {
+					cHi = vals[i]
+				}
+			}
+			red.Set(chunk, cLo, cHi)
+		})
+		lo, hi := red.Reduce()
+		if lo != wantLo || hi != wantHi {
+			t.Errorf("workers=%d: Reduce() = (%v, %v), want (%v, %v)", w, lo, hi, wantLo, wantHi)
+		}
+	}
+}
+
+func TestShift(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		v := []float64{1, 2, 3, 4, 5}
+		Shift(v, v[0], w)
+		for i, want := range []float64{0, 1, 2, 3, 4} {
+			if v[i] != want {
+				t.Fatalf("workers=%d: v[%d] = %v, want %v", w, i, v[i], want)
+			}
+		}
+	}
+}
+
+// TestForChunkBoundsStable verifies the determinism contract: boundaries are
+// a pure function of (n, workers).
+func TestForChunkBoundsStable(t *testing.T) {
+	record := func() [][2]int {
+		bounds := make([][2]int, NumChunks(1000, 4))
+		For(1000, 4, func(chunk, lo, hi int) { bounds[chunk] = [2]int{lo, hi} })
+		return bounds
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d bounds changed between runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0][0] != 0 || a[len(a)-1][1] != 1000 {
+		t.Errorf("chunks do not span [0, 1000): %v", a)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/mdp"
+	"repro/internal/par"
 )
 
 // EvalPolicyExact computes the exact gain and bias of a fixed positional
@@ -21,7 +22,9 @@ func EvalPolicyExact(m mdp.Model, policy []int) (gain float64, bias []float64, e
 
 // EvalPolicyIterative brackets the gain of a fixed positional policy by
 // relative value iteration restricted to that policy. It scales to large
-// models where the dense solve of EvalPolicyExact is infeasible.
+// models where the dense solve of EvalPolicyExact is infeasible. Sweeps
+// are parallelized like MeanPayoff and equally independent of the worker
+// count.
 func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, error) {
 	opts.defaults()
 	n := m.NumStates()
@@ -38,30 +41,39 @@ func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, erro
 	next := make([]float64, n)
 	tau := opts.Damping
 	ref := m.Initial()
-	var buf []mdp.Transition
+
+	views := workerViews(m, sweepChunks(n, opts.Workers))
+	chunks := len(views)
+	red := par.NewMinMax(chunks)
+	bufs := make([][]mdp.Transition, chunks)
 
 	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1), Policy: policy}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			buf = m.Transitions(s, policy[s], buf[:0])
-			var q float64
-			for _, tr := range buf {
-				q += tr.Prob * (tr.Reward + h[tr.Dst])
+		hv, nx := h, next
+		par.For(n, chunks, func(chunk, from, to int) {
+			mm := views[chunk]
+			buf := bufs[chunk]
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for s := from; s < to; s++ {
+				buf = mm.Transitions(s, policy[s], buf[:0])
+				var q float64
+				for _, tr := range buf {
+					q += tr.Prob * (tr.Reward + hv[tr.Dst])
+				}
+				d := q - hv[s]
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+				nx[s] = hv[s] + tau*d
 			}
-			d := q - h[s]
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-			next[s] = h[s] + tau*d
-		}
-		shift := next[ref]
-		for s := range next {
-			next[s] -= shift
-		}
+			bufs[chunk] = buf
+			red.Set(chunk, lo, hi)
+		})
+		lo, hi := red.Reduce()
+		par.Shift(next, next[ref], chunks)
 		h, next = next, h
 		res.Iters = iter
 		if lo > res.Lo {

@@ -13,6 +13,19 @@
 // gain is constant across states. The selfish-mining MDP of the paper has
 // this property (from any state, d consecutive honest blocks lead back to
 // the initial state).
+//
+// # Parallel sweeps
+//
+// The iterative solvers fan each value-iteration sweep out across
+// Options.Workers goroutines, partitioning the state space into contiguous
+// chunks (one mdp.Cloner view per worker). This is deterministic by
+// construction: a Jacobi-style sweep writes next[s] as a function of the
+// previous vector h only, never of other next entries, so the chunked
+// computation performs exactly the same floating-point operations in the
+// same per-state order as the serial loop; and the gain bracket is reduced
+// with min/max, which are exact, associative, and commutative. Results are
+// therefore bitwise identical at every worker count — the property the
+// determinism tests in package selfishmining pin down end to end.
 package solve
 
 import "errors"
@@ -37,6 +50,14 @@ type Options struct {
 	// InitialValues warm-starts the value vector. Must have length
 	// NumStates if non-nil; it is not modified.
 	InitialValues []float64
+	// Workers is the per-sweep parallelism of the iterative solvers. A
+	// positive value is honored exactly (capped at the state count); 0, the
+	// default, uses runtime.NumCPU() reduced for small models. Parallel
+	// sweeps require the model to implement mdp.Cloner (one independent
+	// view per worker); other models fall back to serial sweeps. The
+	// worker count never changes results — chunked sweeps are bitwise
+	// identical to serial ones — only wall-clock time.
+	Workers int
 }
 
 func (o *Options) defaults() {

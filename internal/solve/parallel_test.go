@@ -1,0 +1,93 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mdp"
+)
+
+// TestMeanPayoffWorkersDeterminism: the generic RVI returns bitwise equal
+// brackets, sweep counts, value vectors, and policies at every worker
+// count, on random unichain models large enough to split into chunks.
+func TestMeanPayoffWorkersDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		m := randomUnichain(r, 60+r.Intn(40), 3)
+		ref, refErr := MeanPayoff(m, Options{Tol: 1e-9, Workers: 1})
+		for _, w := range []int{2, 4, 7} {
+			got, gotErr := MeanPayoff(m, Options{Tol: 1e-9, Workers: w})
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d workers=%d: error mismatch: %v vs %v", trial, w, gotErr, refErr)
+			}
+			if got.Lo != ref.Lo || got.Hi != ref.Hi || got.Iters != ref.Iters {
+				t.Errorf("trial %d workers=%d: (lo=%v, hi=%v, iters=%d) != serial (lo=%v, hi=%v, iters=%d)",
+					trial, w, got.Lo, got.Hi, got.Iters, ref.Lo, ref.Hi, ref.Iters)
+			}
+			for s := range ref.Values {
+				if math.Float64bits(got.Values[s]) != math.Float64bits(ref.Values[s]) {
+					t.Fatalf("trial %d workers=%d: value vector diverges at state %d", trial, w, s)
+				}
+			}
+			for s := range ref.Policy {
+				if got.Policy[s] != ref.Policy[s] {
+					t.Fatalf("trial %d workers=%d: policy diverges at state %d", trial, w, s)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPolicyIterativeWorkersDeterminism mirrors the check for the
+// fixed-policy evaluator.
+func TestEvalPolicyIterativeWorkersDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := randomUnichain(r, 80, 3)
+	sr, err := MeanPayoff(m, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := EvalPolicyIterative(m, sr.Policy, Options{Tol: 1e-9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 5} {
+		got, err := EvalPolicyIterative(m, sr.Policy, Options{Tol: 1e-9, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != ref.Lo || got.Hi != ref.Hi || got.Iters != ref.Iters {
+			t.Errorf("workers=%d: (lo=%v, hi=%v, iters=%d) != serial (lo=%v, hi=%v, iters=%d)",
+				w, got.Lo, got.Hi, got.Iters, ref.Lo, ref.Hi, ref.Iters)
+		}
+	}
+}
+
+// nonCloner hides the Cloner implementation of an Explicit model, checking
+// the serial fallback path for models that cannot be read concurrently.
+type nonCloner struct{ m *mdp.Explicit }
+
+func (n nonCloner) NumStates() int       { return n.m.NumStates() }
+func (n nonCloner) Initial() int         { return n.m.Initial() }
+func (n nonCloner) NumActions(s int) int { return n.m.NumActions(s) }
+func (n nonCloner) Transitions(s, a int, buf []mdp.Transition) []mdp.Transition {
+	return n.m.Transitions(s, a, buf)
+}
+
+func TestMeanPayoffNonClonerFallsBackToSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	e := randomUnichain(r, 50, 2)
+	ref, err := MeanPayoff(e, Options{Tol: 1e-9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeanPayoff(nonCloner{e}, Options{Tol: 1e-9, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != ref.Lo || got.Hi != ref.Hi || got.Iters != ref.Iters {
+		t.Errorf("non-cloner run diverged: (%v, %v, %d) vs (%v, %v, %d)",
+			got.Lo, got.Hi, got.Iters, ref.Lo, ref.Hi, ref.Iters)
+	}
+}

@@ -5,7 +5,45 @@ import (
 	"math"
 
 	"repro/internal/mdp"
+	"repro/internal/par"
 )
+
+// minStatesPerWorker keeps small models on the serial path when the worker
+// count is defaulted: one generic sweep costs roughly a microsecond per
+// state (transition enumeration dominates), so chunks below this size are
+// not worth a goroutine.
+const minStatesPerWorker = 256
+
+// sweepChunks resolves the number of chunks a sweep over n states is split
+// into: an explicit workers > 0 is honored exactly (capped at n), while the
+// default applies the small-model grain heuristic to runtime.NumCPU().
+func sweepChunks(n, workers int) int {
+	if workers > 0 {
+		return par.NumChunks(n, workers)
+	}
+	return par.NumChunks(n, par.Grain(n, par.Workers(0), minStatesPerWorker))
+}
+
+// workerViews returns one model view per chunk. Chunk 0 uses the caller's
+// model; the rest are independent views from mdp.Cloner. Models that do not
+// implement Cloner cannot be read concurrently, so they get a single view —
+// which silently degrades the sweep to serial execution (the results are
+// identical either way).
+func workerViews(m mdp.Model, chunks int) []mdp.Model {
+	if chunks <= 1 {
+		return []mdp.Model{m}
+	}
+	cl, ok := m.(mdp.Cloner)
+	if !ok {
+		return []mdp.Model{m}
+	}
+	views := make([]mdp.Model, chunks)
+	views[0] = m
+	for i := 1; i < chunks; i++ {
+		views[i] = cl.CloneModel()
+	}
+	return views
+}
 
 // MeanPayoff computes the optimal mean payoff of a unichain MDP by relative
 // value iteration. It returns a certified bracket [Lo, Hi] containing the
@@ -21,6 +59,12 @@ import (
 // bounds contract even for periodic transition structures; the observed
 // differences are rescaled by 1/tau so the reported bracket refers to the
 // undamped gain.
+//
+// When Options.Workers allows and the model implements mdp.Cloner, each
+// sweep is fanned out over contiguous state chunks, one model view per
+// worker. Every state's update reads only the previous value vector and the
+// bracket is reduced with exact min/max, so the parallel sweep is bitwise
+// identical to the serial one at any worker count.
 func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	opts.defaults()
 	n := m.NumStates()
@@ -37,38 +81,47 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	next := make([]float64, n)
 	tau := opts.Damping
 	ref := m.Initial()
-	var buf []mdp.Transition
+
+	views := workerViews(m, sweepChunks(n, opts.Workers))
+	chunks := len(views)
+	red := par.NewMinMax(chunks)
+	bufs := make([][]mdp.Transition, chunks)
 
 	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1)}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			best := math.Inf(-1)
-			na := m.NumActions(s)
-			for a := 0; a < na; a++ {
-				buf = m.Transitions(s, a, buf[:0])
-				var q float64
-				for _, tr := range buf {
-					q += tr.Prob * (tr.Reward + h[tr.Dst])
+		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx
+		par.For(n, chunks, func(chunk, from, to int) {
+			mm := views[chunk]
+			buf := bufs[chunk]
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for s := from; s < to; s++ {
+				best := math.Inf(-1)
+				na := mm.NumActions(s)
+				for a := 0; a < na; a++ {
+					buf = mm.Transitions(s, a, buf[:0])
+					var q float64
+					for _, tr := range buf {
+						q += tr.Prob * (tr.Reward + hv[tr.Dst])
+					}
+					if q > best {
+						best = q
+					}
 				}
-				if q > best {
-					best = q
+				d := best - hv[s] // (Th - h)(s)
+				if d < lo {
+					lo = d
 				}
+				if d > hi {
+					hi = d
+				}
+				nx[s] = hv[s] + tau*d
 			}
-			d := best - h[s] // (Th - h)(s)
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-			next[s] = h[s] + tau*d
-		}
+			bufs[chunk] = buf
+			red.Set(chunk, lo, hi)
+		})
+		lo, hi := red.Reduce()
 		// Normalize relative to the reference state to keep values bounded.
-		shift := next[ref]
-		for s := range next {
-			next[s] -= shift
-		}
+		par.Shift(next, next[ref], chunks)
 		h, next = next, h
 		res.Iters = iter
 		// Bracket tightening: brackets from successive iterations all
@@ -86,7 +139,7 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	}
 	res.Gain = (res.Lo + res.Hi) / 2
 	res.Values = h
-	res.Policy = GreedyPolicy(m, h)
+	res.Policy = greedyPolicy(views, h)
 	if !res.Converged {
 		return res, fmt.Errorf("%w: bracket [%v, %v] after %d sweeps", ErrNoConvergence, res.Lo, res.Hi, res.Iters)
 	}
@@ -97,24 +150,34 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 // to the value vector h: in each state it picks the action maximizing the
 // one-step lookahead Q(s, a) = Σ P(s,a,s')(r + h(s')).
 func GreedyPolicy(m mdp.Model, h []float64) []int {
-	n := m.NumStates()
+	return greedyPolicy([]mdp.Model{m}, h)
+}
+
+// greedyPolicy runs the extraction sweep with one chunk per model view.
+// Each state's choice depends only on the frozen value vector, so the
+// policy is identical at any view count.
+func greedyPolicy(views []mdp.Model, h []float64) []int {
+	n := views[0].NumStates()
 	policy := make([]int, n)
-	var buf []mdp.Transition
-	for s := 0; s < n; s++ {
-		best := math.Inf(-1)
-		bestA := 0
-		na := m.NumActions(s)
-		for a := 0; a < na; a++ {
-			buf = m.Transitions(s, a, buf[:0])
-			var q float64
-			for _, tr := range buf {
-				q += tr.Prob * (tr.Reward + h[tr.Dst])
+	par.For(n, len(views), func(chunk, from, to int) {
+		mm := views[chunk]
+		var buf []mdp.Transition
+		for s := from; s < to; s++ {
+			best := math.Inf(-1)
+			bestA := 0
+			na := mm.NumActions(s)
+			for a := 0; a < na; a++ {
+				buf = mm.Transitions(s, a, buf[:0])
+				var q float64
+				for _, tr := range buf {
+					q += tr.Prob * (tr.Reward + h[tr.Dst])
+				}
+				if q > best {
+					best, bestA = q, a
+				}
 			}
-			if q > best {
-				best, bestA = q, a
-			}
+			policy[s] = bestA
 		}
-		policy[s] = bestA
-	}
+	})
 	return policy
 }

@@ -21,6 +21,17 @@
 //	res, err := selfishmining.Analyze(params)
 //	if err != nil { ... }
 //	fmt.Printf("ERRev >= %.4f\n", res.ERRev)
+//
+// # Parallelism
+//
+// The whole pipeline scales across cores by default. Analyze fans every
+// inner value-iteration sweep out over runtime.NumCPU() goroutines
+// (override with WithWorkers), and Sweep additionally distributes the
+// (configuration, p) grid points of a panel over a worker pool
+// (SweepOptions.Workers), compiling each attack structure once and giving
+// every worker its own solver buffers. Parallel execution is exactly
+// reproducible: results are bitwise identical at every worker count, a
+// property enforced by this package's determinism tests.
 package selfishmining
 
 import (
@@ -77,6 +88,7 @@ func (p AttackParams) NumStates() int { return p.core().NumStates() }
 type config struct {
 	epsilon     float64
 	maxIter     int
+	workers     int
 	useCompiled *bool // nil = auto by state count
 	skipEval    bool
 }
@@ -90,6 +102,15 @@ func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps 
 
 // WithSolverMaxIter bounds value-iteration sweeps per solve.
 func WithSolverMaxIter(n int) Option { return func(c *config) { c.maxIter = n } }
+
+// WithWorkers sets the number of goroutines each inner value-iteration
+// sweep is fanned out across. n > 0 is honored exactly; the default uses
+// every core (runtime.NumCPU()), falling back to serial sweeps on models
+// too small to benefit. The analysis result is bitwise identical at every
+// worker count — each sweep reads only the previous value vector, so
+// chunked execution reproduces the serial floating-point computation
+// exactly — only wall-clock time changes.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithCompiled forces the compiled (flattened) solver backend on or off;
 // by default models with at least 50 000 states use it.
@@ -149,6 +170,7 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 		Epsilon:          cfg.epsilon,
 		SolverMaxIter:    cfg.maxIter,
 		SkipStrategyEval: cfg.skipEval,
+		Workers:          cfg.workers,
 	}
 	var res *analysis.Result
 	var err error

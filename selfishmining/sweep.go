@@ -3,11 +3,14 @@ package selfishmining
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/results"
 )
 
@@ -35,14 +38,22 @@ type SweepOptions struct {
 	// Configs lists the attack curves to compute. Defaults to
 	// Figure2Configs.
 	Configs []AttackConfig
-	// MaxForkLen is the fork bound l (default 4, as in the paper).
+	// MaxForkLen is the fork length bound l (default 4, as in the paper).
 	MaxForkLen int
 	// TreeWidth is the single-tree baseline width (default 5, as in the
 	// paper; its depth equals MaxForkLen).
 	TreeWidth int
 	// Epsilon is the per-point analysis precision (default 1e-4).
 	Epsilon float64
-	// Progress, if non-nil, receives one line per completed point.
+	// Workers is the size of the worker pool the (configuration, p) grid
+	// points are distributed over; 0, the default, uses runtime.NumCPU().
+	// Each attack structure is compiled once and shared; every worker
+	// solves on its own clone (private probability and value buffers).
+	// The computed figure is bitwise identical at every worker count.
+	Workers int
+	// Progress, if non-nil, receives one line per completed point. Calls
+	// are serialized, but their order across points follows the parallel
+	// completion order.
 	Progress func(format string, args ...any)
 }
 
@@ -71,13 +82,24 @@ func (o *SweepOptions) defaults() {
 // of the adversary's resource p for the honest baseline, the single-tree
 // baseline, and each requested attack configuration, at fixed γ.
 //
-// Each attack configuration is compiled once and re-solved across the p
-// grid by re-resolving transition probabilities, which is what makes the
-// full grid tractable.
+// Each attack configuration is compiled once; the (configuration, p) grid
+// points are then distributed over a pool of Workers goroutines, each
+// solving on its own clone of the compiled structure (the immutable
+// transition arrays are shared, the probability and value buffers are
+// private). Every point is solved exactly as in a serial sweep and results
+// land in grid order, so the figure is bitwise identical at every worker
+// count.
 func Sweep(opts SweepOptions) (*results.Figure, error) {
 	opts.defaults()
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
 		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
+	}
+	workers := par.Workers(opts.Workers)
+	var progressMu sync.Mutex
+	progress := func(format string, args ...any) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		opts.Progress(format, args...)
 	}
 	fig := &results.Figure{
 		Title:  fmt.Sprintf("Expected relative revenue vs adversary resource (gamma=%g)", opts.Gamma),
@@ -98,64 +120,151 @@ func Sweep(opts SweepOptions) (*results.Figure, error) {
 		return nil, err
 	}
 
+	// The single-tree baseline points are independent exact chain analyses;
+	// spread them over the pool too.
 	tree := make([]float64, len(opts.PGrid))
-	for i, p := range opts.PGrid {
-		v, err := baseline.SingleTreeERRev(baseline.SingleTreeParams{
-			P: p, Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
-		})
+	treeErrs := make([]error, len(opts.PGrid))
+	par.For(len(opts.PGrid), workers, func(_, from, to int) {
+		for i := from; i < to; i++ {
+			tree[i], treeErrs[i] = baseline.SingleTreeERRev(baseline.SingleTreeParams{
+				P: opts.PGrid[i], Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
+			})
+		}
+	})
+	for _, err := range treeErrs {
 		if err != nil {
 			return nil, err
 		}
-		tree[i] = v
 	}
 	if err := fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree); err != nil {
 		return nil, err
 	}
-	opts.Progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
+	progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
 
-	for _, cfg := range opts.Configs {
-		series, err := sweepConfig(cfg, opts)
-		if err != nil {
-			return nil, fmt.Errorf("selfishmining: sweeping d=%d f=%d: %w", cfg.Depth, cfg.Forks, err)
-		}
-		if err := fig.AddSeries(fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks), series); err != nil {
+	series, err := sweepConfigs(opts, workers, progress)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cfg := range opts.Configs {
+		if err := fig.AddSeries(fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks), series[ci]); err != nil {
 			return nil, err
 		}
 	}
 	return fig, nil
 }
 
-func sweepConfig(cfg AttackConfig, opts SweepOptions) ([]float64, error) {
-	params := core.Params{
-		P:      0.1, // placeholder; set per grid point
-		Gamma:  opts.Gamma,
-		Depth:  cfg.Depth,
-		Forks:  cfg.Forks,
-		MaxLen: opts.MaxForkLen,
-	}
-	comp, err := core.Compile(params)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(opts.PGrid))
-	for i, p := range opts.PGrid {
-		if p == 0 {
-			out[i] = 0 // no resource, no revenue; the p=0 MDP is degenerate
-			continue
+// sweepConfigs computes the attack curves of a panel with a worker pool
+// over all (configuration, p) points. The bases' own mutable buffers stay
+// idle while workers solve on clones — one extra solver instance per config
+// (the serial footprint) — because a worker adopting a base would race its
+// parameter mutation against other workers cloning from it.
+func sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
+	// Compile each (d, f, l) structure once, in parallel across configs.
+	bases := make([]*core.Compiled, len(opts.Configs))
+	compileErrs := make([]error, len(opts.Configs))
+	par.For(len(opts.Configs), workers, func(_, from, to int) {
+		for ci := from; ci < to; ci++ {
+			cfg := opts.Configs[ci]
+			bases[ci], compileErrs[ci] = core.Compile(core.Params{
+				P:      0.1, // placeholder; set per grid point
+				Gamma:  opts.Gamma,
+				Depth:  cfg.Depth,
+				Forks:  cfg.Forks,
+				MaxLen: opts.MaxForkLen,
+			})
 		}
-		if err := comp.SetChainParams(p, opts.Gamma); err != nil {
+	})
+	for ci, err := range compileErrs {
+		if err != nil {
+			return nil, fmt.Errorf("selfishmining: compiling d=%d f=%d: %w",
+				opts.Configs[ci].Depth, opts.Configs[ci].Forks, err)
+		}
+	}
+
+	type point struct{ ci, pi int }
+	tasks := make([]point, 0, len(opts.Configs)*len(opts.PGrid))
+	for ci := range opts.Configs {
+		for pi := range opts.PGrid {
+			tasks = append(tasks, point{ci, pi})
+		}
+	}
+	out := make([][]float64, len(opts.Configs))
+	for ci := range out {
+		out[ci] = make([]float64, len(opts.PGrid))
+	}
+	if len(tasks) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(tasks))
+
+	poolSize := workers
+	if poolSize > len(tasks) {
+		poolSize = len(tasks)
+	}
+	// Split the worker budget: the pool takes the outer (point) level; any
+	// leftover cores deepen the per-solve sweep parallelism. Neither split
+	// affects results.
+	innerWorkers := workers / poolSize
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < poolSize; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker solves on a clone of the drawn config's base:
+			// shared immutable structure, private buffers. Only the current
+			// config's clone is retained — tasks are drawn in config-major
+			// order, so a worker re-clones at most once per config while
+			// peak memory stays at one clone per worker even when the panel
+			// includes multi-million-state configurations.
+			cloneOf := -1
+			var comp *core.Compiled
+			for !failed.Load() {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(tasks) {
+					return
+				}
+				tk := tasks[idx]
+				cfg := opts.Configs[tk.ci]
+				p := opts.PGrid[tk.pi]
+				if p == 0 {
+					out[tk.ci][tk.pi] = 0 // no resource, no revenue; the p=0 MDP is degenerate
+					continue
+				}
+				if cloneOf != tk.ci {
+					comp = bases[tk.ci].Clone()
+					comp.SetWorkers(innerWorkers)
+					cloneOf = tk.ci
+				}
+				if err := comp.SetChainParams(p, opts.Gamma); err != nil {
+					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
+					failed.Store(true)
+					return
+				}
+				res, err := analysis.AnalyzeCompiled(comp, analysis.Options{
+					Epsilon:          opts.Epsilon,
+					SkipStrategyEval: true,
+				})
+				if err != nil {
+					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
+					failed.Store(true)
+					return
+				}
+				out[tk.ci][tk.pi] = res.ERRev
+				progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps, %v)",
+					cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps, res.Duration.Round(time.Millisecond))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		res, err := analysis.AnalyzeCompiled(comp, analysis.Options{
-			Epsilon:          opts.Epsilon,
-			SkipStrategyEval: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("p=%g: %w", p, err)
-		}
-		out[i] = res.ERRev
-		opts.Progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps, %v)",
-			cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps, res.Duration.Round(time.Millisecond))
 	}
 	return out, nil
 }
