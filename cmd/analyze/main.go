@@ -8,11 +8,17 @@
 //
 //	analyze -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4] [-workers N]
 //	        [-simulate 200000] [-save strategy.txt]
+//
+// The command runs through selfishmining.Service and therefore always uses
+// the compiled solver backend (the service's structure cache is built on
+// it). Values can differ from the generic backend in the last binary-search
+// step — both are ε-tight bounds; see TestAnalyzeBackendsAgree.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/selfishmining"
@@ -43,6 +49,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *eps <= 0 || math.IsNaN(*eps) {
+		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
+	}
+	if *simSteps < 0 {
+		return fmt.Errorf("-simulate %d: need >= 0 steps", *simSteps)
+	}
 	params := selfishmining.AttackParams{
 		Adversary: *p, Switching: *gamma, Depth: *d, Forks: *f, MaxForkLen: *l,
 	}
@@ -55,7 +70,8 @@ func run(args []string) error {
 	if *skipEval {
 		opts = append(opts, selfishmining.WithoutStrategyEval())
 	}
-	res, err := selfishmining.Analyze(params, opts...)
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{Workers: *workers})
+	res, err := svc.Analyze(params, opts...)
 	if err != nil {
 		return err
 	}

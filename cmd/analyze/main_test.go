@@ -31,3 +31,16 @@ func TestRunRejectsInvalid(t *testing.T) {
 		t.Fatal("invalid d accepted")
 	}
 }
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-eps", "0"},
+		{"-eps", "-1e-4"},
+		{"-workers", "-1"},
+		{"-simulate", "-5"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
+		}
+	}
+}

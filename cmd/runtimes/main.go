@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -44,6 +45,18 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *eps <= 0 || math.IsNaN(*eps) {
+		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
+	}
+	if *p < 0 || *p > 1 || math.IsNaN(*p) {
+		return fmt.Errorf("-p %v: need an adversary resource in [0, 1]", *p)
+	}
+	if *gamma < 0 || *gamma > 1 || math.IsNaN(*gamma) {
+		return fmt.Errorf("-gamma %v: need a switching probability in [0, 1]", *gamma)
 	}
 	table := &results.Table{
 		Title:   fmt.Sprintf("Analysis runtimes (p=%g, gamma=%g, eps=%g)", *p, *gamma, *eps),

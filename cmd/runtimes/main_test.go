@@ -32,3 +32,16 @@ func TestRunMarkdownMode(t *testing.T) {
 		t.Errorf("markdown header missing:\n%s", out.String())
 	}
 }
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-eps", "0"},
+		{"-workers", "-1"},
+		{"-p", "2"},
+		{"-gamma", "-0.5"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
+		}
+	}
+}

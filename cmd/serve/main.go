@@ -1,0 +1,472 @@
+// Command serve exposes the selfish-mining analysis pipeline as an
+// HTTP/JSON service backed by selfishmining.Service: repeated queries are
+// answered from an LRU result cache, concurrent identical requests are
+// coalesced into one solve, attack structures are compiled once and shared
+// across chain parameters, and sweep grid points warm-start from the
+// nearest solved p. Results are bitwise identical to cold offline analysis
+// regardless of cache state.
+//
+// Endpoints:
+//
+//	POST /v1/analyze        one attack configuration -> certified ERRev
+//	POST /v1/analyze/batch  many configurations, deduplicated
+//	POST /v1/sweep          a Figure-2 panel (curves over a p-grid)
+//	GET  /v1/stats          cache and coalescing counters
+//	GET  /healthz           liveness
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers N] [-max-concurrent N] [-result-cache N]
+//	      [-structure-cache N] [-warm-cache N] [-max-states N]
+//	      [-max-batch N] [-shutdown-timeout 10s]
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/analyze -d \
+//	  '{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/results"
+	"repro/selfishmining"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// serverConfig is the validated flag set of one serve process.
+type serverConfig struct {
+	addr            string
+	workers         int
+	maxConcurrent   int
+	resultCache     int
+	structureCache  int
+	warmCache       int
+	maxStates       int
+	maxBatch        int
+	shutdownTimeout time.Duration
+}
+
+// parseFlags parses and validates; any invalid flag or combination is an
+// error (and a non-zero exit), never a silently adjusted value.
+func parseFlags(args []string) (*serverConfig, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cfg := &serverConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "goroutines per value-iteration sweep (0 = all cores); results are identical at any setting")
+	fs.IntVar(&cfg.maxConcurrent, "max-concurrent", runtime.NumCPU(), "max solves in flight (0 = unlimited); queued requests wait")
+	fs.IntVar(&cfg.resultCache, "result-cache", selfishmining.DefaultResultCacheSize, "solved-analysis LRU entries (negative disables)")
+	fs.IntVar(&cfg.structureCache, "structure-cache", selfishmining.DefaultStructureCacheSize, "compiled-structure LRU entries (negative disables)")
+	fs.IntVar(&cfg.warmCache, "warm-cache", selfishmining.DefaultWarmCacheSize, "warm-start neighborhood LRU entries (negative disables warm starts)")
+	fs.IntVar(&cfg.maxStates, "max-states", 16<<20, "reject requests whose MDP exceeds this many states")
+	fs.IntVar(&cfg.maxBatch, "max-batch", 1024, "max requests per batch call")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.addr == "" {
+		return nil, fmt.Errorf("-addr: need a listen address")
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", cfg.workers)
+	}
+	if cfg.maxConcurrent < 0 {
+		return nil, fmt.Errorf("-max-concurrent %d: need >= 0 (0 = unlimited)", cfg.maxConcurrent)
+	}
+	if cfg.maxStates < 1 {
+		return nil, fmt.Errorf("-max-states %d: need >= 1", cfg.maxStates)
+	}
+	if cfg.maxBatch < 1 {
+		return nil, fmt.Errorf("-max-batch %d: need >= 1", cfg.maxBatch)
+	}
+	if cfg.shutdownTimeout <= 0 {
+		return nil, fmt.Errorf("-shutdown-timeout %v: need > 0", cfg.shutdownTimeout)
+	}
+	return cfg, nil
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{
+		ResultCacheSize:    cfg.resultCache,
+		StructureCacheSize: cfg.structureCache,
+		WarmCacheSize:      cfg.warmCache,
+		Workers:            cfg.workers,
+		MaxConcurrent:      cfg.maxConcurrent,
+	})
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           newServer(svc, cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (max-concurrent=%d, result-cache=%d)\n",
+		cfg.addr, cfg.maxConcurrent, cfg.resultCache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "serve: %v, draining for up to %v\n", s, cfg.shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// server routes HTTP requests onto a selfishmining.Service.
+type server struct {
+	svc *selfishmining.Service
+	cfg *serverConfig
+	mux *http.ServeMux
+}
+
+func newServer(svc *selfishmining.Service, cfg *serverConfig) http.Handler {
+	s := &server{svc: svc, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// analyzeRequest is the wire form of one analysis query.
+type analyzeRequest struct {
+	P     float64 `json:"p"`
+	Gamma float64 `json:"gamma"`
+	Depth int     `json:"d"`
+	Forks int     `json:"f"`
+	Len   int     `json:"l"`
+	// Epsilon is the analysis precision (default 1e-4).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// SkipEval skips the independent exact evaluation of the strategy.
+	SkipEval bool `json:"skip_eval,omitempty"`
+	// BoundOnly certifies the revenue bracket without extracting a
+	// strategy — the cheapest mode, and the one warm starts accelerate.
+	BoundOnly bool `json:"bound_only,omitempty"`
+	// IncludeStrategy inlines the full strategy (one action index per MDP
+	// state) in the response; off by default since it is O(states).
+	IncludeStrategy bool `json:"include_strategy,omitempty"`
+}
+
+func (r *analyzeRequest) params() selfishmining.AttackParams {
+	return selfishmining.AttackParams{
+		Adversary: r.P, Switching: r.Gamma,
+		Depth: r.Depth, Forks: r.Forks, MaxForkLen: r.Len,
+	}
+}
+
+func (r *analyzeRequest) options() []selfishmining.Option {
+	opts := []selfishmining.Option{}
+	if r.Epsilon > 0 {
+		opts = append(opts, selfishmining.WithEpsilon(r.Epsilon))
+	}
+	if r.SkipEval {
+		opts = append(opts, selfishmining.WithoutStrategyEval())
+	}
+	if r.BoundOnly {
+		opts = append(opts, selfishmining.WithBoundOnly())
+	}
+	return opts
+}
+
+// analyzeResponse is the wire form of one analysis result. StrategyERRev is
+// a pointer because the skipped marker is NaN, which JSON cannot carry.
+// Cached/Coalesced/DurationMs are per-request serving metadata; batch items
+// omit them (the batch carries one aggregate duration_ms instead).
+type analyzeResponse struct {
+	Request       analyzeRequest `json:"request"`
+	NumStates     int            `json:"num_states"`
+	ERRev         float64        `json:"errev"`
+	ERRevUpper    float64        `json:"errev_upper"`
+	ChainQuality  float64        `json:"chain_quality"`
+	StrategyERRev *float64       `json:"strategy_errev,omitempty"`
+	Iterations    int            `json:"iterations"`
+	Sweeps        int            `json:"sweeps"`
+	Cached        bool           `json:"cached,omitempty"`
+	Coalesced     bool           `json:"coalesced,omitempty"`
+	DurationMs    float64        `json:"duration_ms,omitempty"`
+	Strategy      []int          `json:"strategy,omitempty"`
+}
+
+// buildResponse assembles the wire form shared by the analyze and batch
+// handlers.
+func buildResponse(req analyzeRequest, res *selfishmining.Analysis) *analyzeResponse {
+	resp := &analyzeResponse{
+		Request:      req,
+		NumStates:    res.Params.NumStates(),
+		ERRev:        res.ERRev,
+		ERRevUpper:   res.ERRevUpper,
+		ChainQuality: res.ChainQuality(),
+		Iterations:   res.Iterations,
+		Sweeps:       res.Sweeps,
+	}
+	if !math.IsNaN(res.StrategyERRev) {
+		v := res.StrategyERRev
+		resp.StrategyERRev = &v
+	}
+	if req.IncludeStrategy {
+		resp.Strategy = res.Strategy
+	}
+	return resp
+}
+
+// checkParams validates ranges and the state-space guard, returning an
+// HTTP-ready error message.
+func (s *server) checkParams(p selfishmining.AttackParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if n := p.NumStates(); n > s.cfg.maxStates {
+		return fmt.Errorf("model has %d states, server limit is %d (-max-states)", n, s.cfg.maxStates)
+	}
+	return nil
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	p := req.params()
+	if err := s.checkParams(p); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res, info, err := s.svc.AnalyzeDetailed(p, req.options()...)
+	if err != nil {
+		// The request was well-formed; a failure here is the solver's
+		// (matching the batch endpoint's classification).
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	resp := buildResponse(req, res)
+	resp.Cached = info.Cached
+	resp.Coalesced = info.Coalesced
+	resp.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, resp)
+}
+
+type batchRequest struct {
+	Requests []analyzeRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Results []*analyzeResponse `json:"results"`
+	// DurationMs is the wall-clock of the whole (deduplicated, pooled)
+	// batch; items carry no individual timing.
+	DurationMs float64 `json:"duration_ms"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, fmt.Errorf("empty batch"), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) > s.cfg.maxBatch {
+		httpError(w, fmt.Errorf("batch of %d exceeds limit %d (-max-batch)", len(req.Requests), s.cfg.maxBatch), http.StatusBadRequest)
+		return
+	}
+	// Validate everything up front so a bad entry cannot waste the batch's
+	// solves, then let the service deduplicate and fan out.
+	params := make([]selfishmining.AttackParams, len(req.Requests))
+	for i, ar := range req.Requests {
+		params[i] = ar.params()
+		if err := s.checkParams(params[i]); err != nil {
+			httpError(w, fmt.Errorf("request %d: %w", i, err), http.StatusBadRequest)
+			return
+		}
+		if ar.Epsilon != req.Requests[0].Epsilon || ar.SkipEval != req.Requests[0].SkipEval ||
+			ar.BoundOnly != req.Requests[0].BoundOnly {
+			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only)", i), http.StatusBadRequest)
+			return
+		}
+	}
+	start := time.Now()
+	analyses, err := s.svc.AnalyzeBatch(params, req.Requests[0].options()...)
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	resp := batchResponse{
+		Results:    make([]*analyzeResponse, len(analyses)),
+		DurationMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i, res := range analyses {
+		resp.Results[i] = buildResponse(req.Requests[i], res)
+	}
+	writeJSON(w, resp)
+}
+
+// sweepRequest is the wire form of one Figure-2 panel request.
+type sweepRequest struct {
+	Gamma   float64 `json:"gamma"`
+	PMin    float64 `json:"pmin,omitempty"`
+	PMax    float64 `json:"pmax,omitempty"`  // default 0.3
+	PStep   float64 `json:"pstep,omitempty"` // default 0.01
+	Configs []struct {
+		Depth int `json:"d"`
+		Forks int `json:"f"`
+	} `json:"configs,omitempty"`
+	Len       int     `json:"l,omitempty"`
+	TreeWidth int     `json:"tree_width,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+}
+
+type sweepResponse struct {
+	Title      string       `json:"title"`
+	X          []float64    `json:"x"`
+	Series     []wireSeries `json:"series"`
+	DurationMs float64      `json:"duration_ms"`
+}
+
+type wireSeries struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pmax := req.PMax
+	if pmax == 0 {
+		pmax = 0.3
+	}
+	pstep := req.PStep
+	if pstep == 0 {
+		pstep = 0.01
+	}
+	if pstep <= 0 || math.IsNaN(pstep) || req.PMin < 0 || pmax > 1 || req.PMin > pmax || math.IsNaN(req.PMin) || math.IsNaN(pmax) {
+		httpError(w, fmt.Errorf("bad p-grid: pmin=%v pmax=%v pstep=%v", req.PMin, pmax, pstep), http.StatusBadRequest)
+		return
+	}
+	// A tiny step would make the grid astronomically long; bound the point
+	// count before materializing anything.
+	const maxSweepPoints = 10000
+	if points := (pmax - req.PMin) / pstep; points > maxSweepPoints {
+		httpError(w, fmt.Errorf("p-grid has ~%.0f points, server limit is %d", points+1, maxSweepPoints), http.StatusBadRequest)
+		return
+	}
+	opts := selfishmining.SweepOptions{
+		Gamma:      req.Gamma,
+		PGrid:      results.Grid(req.PMin, pmax, pstep),
+		MaxForkLen: req.Len,
+		TreeWidth:  req.TreeWidth,
+		Epsilon:    req.Epsilon,
+	}
+	maxLen := req.Len
+	if maxLen <= 0 {
+		maxLen = selfishmining.DefaultSweepMaxForkLen
+	}
+	for _, c := range req.Configs {
+		p := selfishmining.AttackParams{
+			Adversary: 0.1, Switching: req.Gamma,
+			Depth: c.Depth, Forks: c.Forks, MaxForkLen: maxLen,
+		}
+		if err := s.checkParams(p); err != nil {
+			httpError(w, fmt.Errorf("config d=%d f=%d: %w", c.Depth, c.Forks, err), http.StatusBadRequest)
+			return
+		}
+		opts.Configs = append(opts.Configs, selfishmining.AttackConfig{Depth: c.Depth, Forks: c.Forks})
+	}
+	if len(req.Configs) == 0 {
+		// The library default is the paper's full list including the 9.4M
+		// state d=4 configuration; a server default should stay bounded.
+		opts.Configs = []selfishmining.AttackConfig{
+			{Depth: 1, Forks: 1}, {Depth: 2, Forks: 1}, {Depth: 2, Forks: 2},
+		}
+	}
+	start := time.Now()
+	fig, err := s.svc.Sweep(opts)
+	if err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	resp := sweepResponse{
+		Title:      fig.Title,
+		X:          fig.X,
+		DurationMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, series := range fig.Series {
+		resp.Series = append(resp.Series, wireSeries{Name: series.Name, Values: series.Values})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.svc.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// maxBodyBytes bounds request bodies before any decoding: a full-sized
+// batch is well under a megabyte, so 4 MiB leaves ample slack while
+// keeping an unauthenticated client from ballooning the decoder.
+const maxBodyBytes = 4 << 20
+
+// decodeJSON parses the body strictly (unknown fields are errors, catching
+// typos like "gama"), writing a 400 and returning false on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, fmt.Errorf("bad request body: %w", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing more to do than log.
+		fmt.Fprintf(os.Stderr, "serve: encoding response: %v\n", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", encErr)
+	}
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/selfishmining"
+)
+
+func testServer(t *testing.T, flags ...string) (*httptest.Server, *selfishmining.Service) {
+	t.Helper()
+	cfg, err := parseFlags(flags)
+	if err != nil {
+		t.Fatalf("parseFlags(%v): %v", flags, err)
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{
+		ResultCacheSize:    cfg.resultCache,
+		StructureCacheSize: cfg.structureCache,
+		WarmCacheSize:      cfg.warmCache,
+		Workers:            cfg.workers,
+		MaxConcurrent:      cfg.maxConcurrent,
+	})
+	ts := httptest.NewServer(newServer(svc, cfg))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts, svc := testServer(t)
+	body := `{"p":0.3,"gamma":0.5,"d":2,"f":1,"l":3,"epsilon":1e-3}`
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		ERRev         float64  `json:"errev"`
+		ChainQuality  float64  `json:"chain_quality"`
+		StrategyERRev *float64 `json:"strategy_errev"`
+		Cached        bool     `json:"cached"`
+		NumStates     int      `json:"num_states"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	want, err := svc.Analyze(selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 1, MaxForkLen: 3,
+	}, selfishmining.WithEpsilon(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(out.ERRev) != math.Float64bits(want.ERRev) {
+		t.Errorf("served ERRev %v != direct %v", out.ERRev, want.ERRev)
+	}
+	if out.StrategyERRev == nil {
+		t.Error("strategy_errev missing from full analysis")
+	}
+	if out.Cached {
+		t.Error("first request reported cached")
+	}
+	if math.Abs(out.ChainQuality-(1-out.ERRev)) > 1e-12 {
+		t.Errorf("chain_quality %v inconsistent with errev %v", out.ChainQuality, out.ERRev)
+	}
+
+	// The repeat must hit the cache.
+	resp, data = postJSON(t, ts.URL+"/v1/analyze", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, data)
+	}
+	var again struct {
+		ERRev  float64 `json:"errev"`
+		Cached bool    `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeated request not served from cache")
+	}
+	if math.Float64bits(again.ERRev) != math.Float64bits(out.ERRev) {
+		t.Errorf("cached ERRev %v != first %v", again.ERRev, out.ERRev)
+	}
+}
+
+func TestAnalyzeEndpointBoundOnly(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		`{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":3,"epsilon":1e-3,"bound_only":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if strings.Contains(string(data), "strategy_errev") {
+		t.Errorf("bound-only response carries strategy_errev: %s", data)
+	}
+}
+
+func TestAnalyzeEndpointStrategy(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		`{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":2,"epsilon":1e-2,"include_strategy":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		NumStates int   `json:"num_states"`
+		Strategy  []int `json:"strategy"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Strategy) != out.NumStates {
+		t.Errorf("strategy has %d entries for %d states", len(out.Strategy), out.NumStates)
+	}
+}
+
+func TestAnalyzeEndpointRejects(t *testing.T) {
+	ts, _ := testServer(t, "-max-states", "1000")
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"p":`},
+		{"unknown field", `{"p":0.3,"gama":0.5,"d":1,"f":1,"l":2}`},
+		{"invalid params", `{"p":1.5,"gamma":0.5,"d":1,"f":1,"l":2}`},
+		{"too large", `{"p":0.3,"gamma":0.5,"d":3,"f":2,"l":4}`},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/analyze", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", tc.name, resp.StatusCode, data)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpointDeduplicates(t *testing.T) {
+	ts, svc := testServer(t)
+	req := `{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":3,"epsilon":1e-3}`
+	body := fmt.Sprintf(`{"requests":[%s,%s,%s]}`, req, req, req)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Results []struct {
+			ERRev float64 `json:"errev"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	for i := 1; i < 3; i++ {
+		if math.Float64bits(out.Results[i].ERRev) != math.Float64bits(out.Results[0].ERRev) {
+			t.Errorf("result %d ERRev %v != result 0 %v", i, out.Results[i].ERRev, out.Results[0].ERRev)
+		}
+	}
+	if st := svc.Stats(); st.Solves != 1 {
+		t.Errorf("Solves = %d for a batch of 3 identical requests, want 1", st.Solves)
+	}
+}
+
+func TestBatchEndpointRejects(t *testing.T) {
+	ts, _ := testServer(t, "-max-batch", "2")
+	req := `{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":2}`
+	for name, body := range map[string]string{
+		"empty":         `{"requests":[]}`,
+		"over limit":    fmt.Sprintf(`{"requests":[%s,%s,%s]}`, req, req, req),
+		"invalid entry": `{"requests":[{"p":2,"gamma":0.5,"d":1,"f":1,"l":2}]}`,
+		"mixed options": fmt.Sprintf(`{"requests":[%s,{"p":0.2,"gamma":0.5,"d":1,"f":1,"l":2,"bound_only":true}]}`, req),
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/analyze/batch", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, data)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep",
+		`{"gamma":0.5,"pmin":0.1,"pmax":0.3,"pstep":0.1,"configs":[{"d":1,"f":1}],"l":3,"tree_width":3,"epsilon":1e-3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.X) != 3 {
+		t.Errorf("x-grid has %d points, want 3", len(out.X))
+	}
+	if len(out.Series) != 3 { // honest, single-tree, ours(1,1)
+		t.Fatalf("got %d series, want 3: %s", len(out.Series), data)
+	}
+	for _, series := range out.Series {
+		if len(series.Values) != len(out.X) {
+			t.Errorf("series %q has %d values for %d x", series.Name, len(series.Values), len(out.X))
+		}
+	}
+	if !strings.HasPrefix(out.Series[2].Name, "ours(") {
+		t.Errorf("unexpected series order: %v, %v, %v", out.Series[0].Name, out.Series[1].Name, out.Series[2].Name)
+	}
+}
+
+func TestSweepEndpointRejects(t *testing.T) {
+	ts, _ := testServer(t, "-max-states", "1000")
+	for name, body := range map[string]string{
+		"bad gamma":     `{"gamma":1.5}`,
+		"bad grid":      `{"gamma":0.5,"pmin":0.4,"pmax":0.2}`,
+		"negative step": `{"gamma":0.5,"pstep":-0.1}`,
+		"tiny step":     `{"gamma":0.5,"pstep":1e-300}`,
+		"large config":  `{"gamma":0.5,"configs":[{"d":3,"f":2}]}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, data)
+		}
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	postJSON(t, ts.URL+"/v1/analyze", `{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":2,"epsilon":1e-2}`)
+	postJSON(t, ts.URL+"/v1/analyze", `{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":2,"epsilon":1e-2}`)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st selfishmining.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	resp.Body.Close()
+	if st.Solves != 1 || st.Results.Hits != 1 {
+		t.Errorf("stats after repeat: solves %d (want 1), hits %d (want 1)", st.Solves, st.Results.Hits)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestParseFlagsRejectsBadCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", ""},
+		{"-workers", "-1"},
+		{"-max-concurrent", "-2"},
+		{"-max-states", "0"},
+		{"-max-batch", "0"},
+		{"-shutdown-timeout", "0s"},
+		{"-no-such-flag"},
+		{"stray-positional"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
+		}
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.maxBatch != 1024 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}

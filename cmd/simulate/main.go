@@ -41,8 +41,17 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *eps <= 0 || math.IsNaN(*eps) {
+		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if *steps <= 0 {
+		return fmt.Errorf("-steps %d: need > 0 simulation steps", *steps)
+	}
 	params := selfishmining.AttackParams{
 		Adversary: *p, Switching: *gamma, Depth: *d, Forks: *f, MaxForkLen: *l,
+	}
+	if err := params.Validate(); err != nil {
+		return err
 	}
 	res, err := selfishmining.Analyze(params, selfishmining.WithEpsilon(*eps))
 	if err != nil {

@@ -17,3 +17,16 @@ func TestRunRejectsInvalid(t *testing.T) {
 		t.Fatal("invalid gamma accepted")
 	}
 }
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-steps", "0"},
+		{"-steps", "-10"},
+		{"-eps", "0"},
+		{"-p", "2"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
+		}
+	}
+}

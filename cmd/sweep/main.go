@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -49,6 +50,24 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pstep <= 0 || math.IsNaN(*pstep) {
+		return fmt.Errorf("-pstep %v: need a positive grid step", *pstep)
+	}
+	if *pmin < 0 || *pmax > 1 || *pmin > *pmax || math.IsNaN(*pmin) || math.IsNaN(*pmax) {
+		return fmt.Errorf("-pmin %v -pmax %v: need 0 <= pmin <= pmax <= 1", *pmin, *pmax)
+	}
+	if *eps <= 0 || math.IsNaN(*eps) {
+		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if *l < 1 {
+		return fmt.Errorf("-l %d: need a fork length bound >= 1", *l)
+	}
+	if *width < 1 {
+		return fmt.Errorf("-width %d: need a baseline tree width >= 1", *width)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
 	}
 	cfgs, err := parseConfigs(*configs)
 	if err != nil {

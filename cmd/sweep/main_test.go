@@ -61,3 +61,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("bad configs accepted")
 	}
 }
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pstep", "0"},
+		{"-pstep", "-0.1"},
+		{"-pmin", "0.5", "-pmax", "0.2"},
+		{"-pmin", "-0.1"},
+		{"-pmax", "1.5"},
+		{"-eps", "0"},
+		{"-l", "0"},
+		{"-width", "0"},
+		{"-workers", "-2"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
+		}
+	}
+}

@@ -31,6 +31,22 @@ type Options struct {
 	// strategy (which materializes the induced chain); useful for large
 	// models where only the bound is needed.
 	SkipStrategyEval bool
+	// SkipStrategy skips the final full-precision solve and strategy
+	// extraction entirely, returning only the certified ERRev bracket
+	// (Result.Strategy is nil, Result.StrategyERRev is NaN, and
+	// SkipStrategyEval is implied). This is the bound-only mode used by
+	// sweeps, where every retained output is a pure function of the
+	// binary-search sign decisions and therefore bitwise independent of
+	// warm starts.
+	SkipStrategy bool
+	// InitialValues warm-starts the first inner solve from this value
+	// vector (length NumStates; typically the converged values of a nearby
+	// (p, γ, β) point, via core.Compiled.Values). Sign-only solves certify
+	// the true gain sign from any starting vector, so the binary-search
+	// trajectory — and with it ERRev, BetaLow, BetaUp and Iterations — is
+	// bitwise identical with or without a warm start; only Sweeps (and, in
+	// full mode, low-order noise in the extracted strategy) can change.
+	InitialValues []float64
 	// Workers is the per-sweep parallelism of the inner value-iteration
 	// solves (see solve.Options.Workers): a positive value is honored
 	// exactly, 0 uses all cores with a small-model cutoff. Results are
@@ -86,7 +102,7 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 
 	m.SetMode(core.RewardBeta)
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
-	var warm []float64
+	warm := opts.InitialValues
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
 		beta := (res.BetaLow + res.BetaUp) / 2
 		m.SetBeta(beta)
@@ -105,13 +121,25 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 			return res, fmt.Errorf("analysis: solving MP*_beta at beta=%v: %w", beta, err)
 		}
 		res.Iterations++
-		if sr.Hi < 0 || (!sr.SignKnown() && sr.Gain < 0) {
+		if sr.Hi < 0 {
 			res.BetaUp = beta
 		} else {
+			// Either the sign is certified positive, or the solve bottomed
+			// out at the numerically-zero width floor without a certified
+			// sign — which can only happen with MP*_β vanishingly close to
+			// zero, i.e. beta within ~ε·10⁻⁶ of β*. Treating that case as
+			// beta <= β* is a fixed rule: unlike the bracket midpoint's
+			// sign (noise at the 1e-17 scale), it cannot differ between
+			// solver trajectories, so the search decisions — and the final
+			// ERRev — are bitwise identical under any warm start.
 			res.BetaLow = beta
 		}
 	}
 	res.ERRev = res.BetaLow
+	if opts.SkipStrategy {
+		res.Duration = time.Since(start)
+		return res, nil
+	}
 
 	// Final solve at β_low for the ε-optimal strategy (Theorem 3.1, part 2).
 	m.SetBeta(res.BetaLow)

@@ -17,6 +17,13 @@ import (
 // A positive Options.Workers is installed on c (SetWorkers) so that every
 // inner solve, the policy extraction, and the strategy evaluation share the
 // same sweep parallelism.
+//
+// Options.InitialValues seeds the first solve (via c.SetValues): sign-only
+// solves certify the true gain sign from any start, so the binary-search
+// trajectory and the returned ERRev bracket are bitwise identical with or
+// without the seed; only the sweep count changes. Options.SkipStrategy
+// returns right after the search with the bound alone — the mode sweeps
+// use, where the whole result is warm-start independent.
 func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
@@ -32,6 +39,12 @@ func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
 	warm := false
+	if opts.InitialValues != nil {
+		if err := c.SetValues(opts.InitialValues); err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		warm = true
+	}
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
 		beta := (res.BetaLow + res.BetaUp) / 2
 		sr, err := c.MeanPayoff(beta, core.CompiledOptions{
@@ -48,13 +61,22 @@ func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 		}
 		warm = true
 		res.Iterations++
-		if sr.Hi < 0 || (!sr.SignKnown() && sr.Gain < 0) {
+		if sr.Hi < 0 {
 			res.BetaUp = beta
 		} else {
+			// Certified positive, or a numerically-zero floor-out (MP*_β
+			// within noise of zero): both map to beta <= β* by fixed rule,
+			// never by the bracket midpoint's noise-level sign, keeping
+			// every search decision bitwise identical under any warm start.
+			// See the matching branch in Analyze.
 			res.BetaLow = beta
 		}
 	}
 	res.ERRev = res.BetaLow
+	if opts.SkipStrategy {
+		res.Duration = time.Since(start)
+		return res, nil
+	}
 
 	sr, err := c.MeanPayoff(res.BetaLow, core.CompiledOptions{
 		Tol:        zeta,

@@ -1,0 +1,351 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUHitMissAccounting(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Len != 1 || st.Cap != 2 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 0 evictions, len 1, cap 2", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	// Touch a so b becomes least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if evicted := c.Add("c", 3); !evicted {
+		t.Error("Add on a full cache did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if evicted := c.Add("a", 10); evicted {
+		t.Error("updating an existing key must not evict")
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("a = %d after update, want 10", v)
+	}
+	// The update refreshed a's recency, so b is now the LRU entry.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted after a was refreshed")
+	}
+}
+
+func TestLRUGetOrAdd(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if v, loaded := c.GetOrAdd("a", 1); loaded || v != 1 {
+		t.Errorf("GetOrAdd on empty = %v, %v; want 1, false", v, loaded)
+	}
+	// The existing entry must win over the proposed value.
+	if v, loaded := c.GetOrAdd("a", 99); !loaded || v != 1 {
+		t.Errorf("GetOrAdd on present = %v, %v; want 1, true", v, loaded)
+	}
+	c.GetOrAdd("b", 2)
+	c.GetOrAdd("c", 3) // evicts a (LRU after the b insert? a was touched last by GetOrAdd)
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2 (capacity respected)", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 3 misses, 1 eviction", st)
+	}
+}
+
+// TestLRUGetOrAddConcurrent: racing GetOrAdd calls for one key agree on a
+// single winner — the lost-update shape that separate Get+Add suffers.
+func TestLRUGetOrAddConcurrent(t *testing.T) {
+	c := NewLRU[string, *int](4)
+	var wg sync.WaitGroup
+	winners := make([]*int, 16)
+	for i := range winners {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := new(int)
+			*v = i
+			winners[i], _ = c.GetOrAdd("k", v)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(winners); i++ {
+		if winners[i] != winners[0] {
+			t.Fatalf("caller %d saw a different winner", i)
+		}
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU[string, int](4)
+	c.Add("a", 1)
+	if !c.Remove("a") {
+		t.Error("Remove(a) = false, want true")
+	}
+	if c.Remove("a") {
+		t.Error("second Remove(a) = true, want false")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after remove, want 0", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("Remove counted as eviction: %+v", st)
+	}
+}
+
+func TestLRUZeroCapacityDisabled(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Len != 0 {
+		t.Errorf("stats = %+v, want 1 miss, len 0", st)
+	}
+}
+
+func TestLRUSingleEntryChurn(t *testing.T) {
+	c := NewLRU[int, int](1)
+	for i := 0; i < 10; i++ {
+		c.Add(i, i)
+	}
+	if v, ok := c.Get(9); !ok || v != 9 {
+		t.Fatalf("Get(9) = %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Evictions != 9 || st.Len != 1 {
+		t.Errorf("stats = %+v, want 9 evictions, len 1", st)
+	}
+}
+
+// TestLRUConcurrent hammers one cache from many goroutines; run under
+// -race this checks the locking discipline, and the final invariant checks
+// the list/map stay consistent.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 40
+				c.Add(k, k)
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Errorf("len = %d exceeds capacity 16", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestSingleflightSequentialRunsEachCall(t *testing.T) {
+	var g Group[string, int]
+	var runs int
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (int, error) {
+			runs++
+			return runs, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d err=%v shared=%v", i, v, err, shared)
+		}
+	}
+	if runs != 3 || g.Coalesced() != 0 {
+		t.Errorf("runs=%d coalesced=%d, want 3 and 0", runs, g.Coalesced())
+	}
+}
+
+// TestSingleflightCoalesces blocks a leader until N duplicates are queued,
+// then verifies exactly one execution served all callers. Run under -race
+// in CI, this is the coalescing-correctness test the service layer relies
+// on.
+func TestSingleflightCoalesces(t *testing.T) {
+	const dups = 8
+	var g Group[string, int]
+	var runs atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]int, dups+1)
+	shareds := make([]bool, dups+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() (int, error) {
+			close(leaderIn)
+			<-release
+			runs.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("leader err: %v", err)
+		}
+		results[0], shareds[0] = v, shared
+	}()
+	<-leaderIn // leader is inside fn; duplicates must now coalesce
+	for i := 1; i <= dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (int, error) {
+				runs.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("dup %d err: %v", i, err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Wait until all duplicates are registered, then release the leader.
+	for g.Coalesced() < dups {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	sharedCount := 0
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != dups {
+		t.Errorf("%d callers shared, want %d", sharedCount, dups)
+	}
+	if g.Coalesced() != dups {
+		t.Errorf("Coalesced() = %d, want %d", g.Coalesced(), dups)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight() = %d after completion, want 0", g.InFlight())
+	}
+}
+
+func TestSingleflightErrorShared(t *testing.T) {
+	var g Group[string, int]
+	wantErr := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+	// The key must be free again for the next call.
+	v, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Errorf("after error: v=%d err=%v", v, err)
+	}
+}
+
+func TestSingleflightDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	var runs atomic.Int64
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, err, _ := g.Do(k, func() (int, error) {
+				runs.Add(1)
+				return k * k, nil
+			})
+			if err != nil || v != k*k {
+				t.Errorf("key %d: v=%d err=%v", k, v, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if runs.Load() != 4 {
+		t.Errorf("runs = %d, want 4 (distinct keys must not coalesce)", runs.Load())
+	}
+}
+
+func TestSingleflightLeaderPanic(t *testing.T) {
+	var g Group[string, int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		g.Do("k", func() (int, error) { panic("boom") })
+	}()
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight() = %d after panic, want 0", g.InFlight())
+	}
+	// Key usable again.
+	if v, err, _ := g.Do("k", func() (int, error) { return 1, nil }); err != nil || v != 1 {
+		t.Errorf("after panic: v=%d err=%v", v, err)
+	}
+}
+
+func BenchmarkLRUGetHit(b *testing.B) {
+	c := NewLRU[string, int](1024)
+	for i := 0; i < 1024; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("k7"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSingleflightUncontended(b *testing.B) {
+	var g Group[int, int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err, _ := g.Do(0, func() (int, error) { return 1, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrLeaderPanicked is delivered to coalesced waiters when the leader's fn
+// panicked instead of returning; the panic itself propagates on the leader.
+var ErrLeaderPanicked = errors.New("cache: singleflight leader panicked")
+
+// call tracks one in-flight execution and the callers waiting on it.
+type call[V any] struct {
+	done    chan struct{}
+	value   V
+	err     error
+	waiters int // callers beyond the leader, i.e. coalesced duplicates
+}
+
+// Group coalesces concurrent calls with the same key into a single
+// execution: the first caller (the leader) runs fn, every concurrent
+// duplicate blocks until the leader finishes and receives the same value
+// and error. Calls arriving after completion execute fn again — Group
+// deduplicates in-flight work only; pair it with an LRU for result reuse.
+//
+// The zero value is ready to use. Group is safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu        sync.Mutex
+	calls     map[K]*call[V]
+	coalesced uint64
+}
+
+// Do executes fn under key, coalescing concurrent duplicates. It returns
+// fn's value and error, and whether this call shared a leader's execution
+// instead of running fn itself.
+//
+// fn runs on the leader's goroutine with no locks held, so it may itself
+// use the Group (with a different key) or block at length. If fn panics,
+// the panic propagates on the leader and waiters receive ErrLeaderPanicked.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (value V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.value, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	normalReturn := false
+	defer func() {
+		if !normalReturn {
+			c.err = ErrLeaderPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.value, c.err = fn()
+	normalReturn = true
+	return c.value, c.err, false
+}
+
+// Coalesced returns the total number of calls that were answered by another
+// caller's execution since the Group was created.
+func (g *Group[K, V]) Coalesced() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}
+
+// InFlight returns the number of keys currently executing.
+func (g *Group[K, V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -45,7 +45,11 @@ type Options struct {
 	// internally) and guarantees aperiodicity. Default 0.95.
 	Damping float64
 	// SignOnly stops as soon as the gain bracket excludes 0, returning a
-	// possibly wide bracket whose sign is nevertheless certain.
+	// possibly wide bracket whose sign is nevertheless certain. Unlike a
+	// plain solve it does NOT stop at Tol with the sign still open — it
+	// keeps sweeping until the sign is certified (or the bracket shrinks a
+	// further factor 1e-6, the numerically-zero floor), so the decision it
+	// feeds back is the true sign regardless of InitialValues.
 	SignOnly bool
 	// InitialValues warm-starts the value vector. Must have length
 	// NumStates if non-nil; it is not modified.

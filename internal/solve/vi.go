@@ -14,6 +14,18 @@ import (
 // not worth a goroutine.
 const minStatesPerWorker = 256
 
+// signOnlyFloorFrac scales Tol down to the bracket width at which a
+// sign-only solve stops without a certified sign, concluding the gain is
+// numerically zero. See the matching constant in internal/core: stopping at
+// Tol with the sign open would make binary-search decisions depend on the
+// solve's starting vector, breaking warm-start reproducibility.
+const signOnlyFloorFrac = 1e-6
+
+// signOnlyStallSweeps stops a sign-only solve whose sub-Tol bracket width
+// has been pinned by floating-point noise for this many consecutive sweeps
+// (see the matching constant in internal/core).
+const signOnlyStallSweeps = 512
+
 // sweepChunks resolves the number of chunks a sweep over n states is split
 // into: an explicit workers > 0 is honored exactly (capped at n), while the
 // default applies the small-model grain heuristic to runtime.NumCPU().
@@ -88,6 +100,7 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	bufs := make([][]mdp.Transition, chunks)
 
 	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	lastWidth, stall := math.Inf(1), 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx
 		par.For(n, chunks, func(chunk, from, to int) {
@@ -132,8 +145,29 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 		if hi < res.Hi {
 			res.Hi = hi
 		}
-		if res.Hi-res.Lo < opts.Tol || (opts.SignOnly && (res.Lo > 0 || res.Hi < 0)) {
-			res.Converged = true
+		// Sign-only solves iterate until the bracket excludes zero: the
+		// bracket contains g* for ANY starting vector, so the certified
+		// sign is the true sign, making binary-search decisions identical
+		// under any warm start. The width floor and the sub-Tol stall
+		// counter guard termination when the gain is numerically zero.
+		// Plain solves stop at the Tol width.
+		width := res.Hi - res.Lo
+		if opts.SignOnly {
+			if width < opts.Tol {
+				if width < lastWidth {
+					stall = 0
+				} else {
+					stall++
+				}
+			}
+			res.Converged = res.Lo > 0 || res.Hi < 0 ||
+				width < opts.Tol*signOnlyFloorFrac ||
+				stall >= signOnlyStallSweeps
+		} else {
+			res.Converged = width < opts.Tol
+		}
+		lastWidth = width
+		if res.Converged {
 			break
 		}
 	}

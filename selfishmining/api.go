@@ -32,9 +32,29 @@
 // every worker its own solver buffers. Parallel execution is exactly
 // reproducible: results are bitwise identical at every worker count, a
 // property enforced by this package's determinism tests.
+//
+// # Serving
+//
+// Service wraps the pipeline in a serving layer for repeated and
+// concurrent traffic: an LRU result cache keyed by the canonicalized
+// parameters and options, a compiled-structure cache shared by all (p, γ)
+// points of an attack shape, singleflight coalescing of concurrent
+// identical requests, a concurrency limit, and warm-started value
+// iteration that seeds each bound-only solve from the nearest solved p.
+// Cached, coalesced and warm-started answers are bitwise identical to
+// cold serial solves. Sweep and the analyze/sweep CLIs run through a
+// Service, so those paths share the same machinery; cmd/serve exposes it
+// over HTTP/JSON:
+//
+//	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+//	res, err := svc.Analyze(params)           // solved once...
+//	res2, err := svc.Analyze(params)          // ...then served from cache
+//	batch, err := svc.AnalyzeBatch(manyParams) // deduplicated fan-out
+//	fmt.Printf("%+v\n", svc.Stats())
 package selfishmining
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -91,6 +111,7 @@ type config struct {
 	workers     int
 	useCompiled *bool // nil = auto by state count
 	skipEval    bool
+	boundOnly   bool
 }
 
 // Option customizes Analyze.
@@ -119,6 +140,15 @@ func WithCompiled(on bool) Option { return func(c *config) { c.useCompiled = &on
 // WithoutStrategyEval skips the independent exact evaluation of the final
 // strategy, saving time on very large models.
 func WithoutStrategyEval() Option { return func(c *config) { c.skipEval = true } }
+
+// WithBoundOnly restricts the analysis to the certified ERRev bracket: the
+// final full-precision solve and strategy extraction are skipped entirely,
+// so the result has no Strategy (Simulate, Profile and WriteStrategy return
+// errors) and StrategyERRev is the skipped marker. Every retained output is
+// a pure function of the binary search's exact sign decisions, which is
+// what lets sweeps and the Service warm-start bound-only solves from
+// cached value vectors without changing a single bit of the result.
+func WithBoundOnly() Option { return func(c *config) { c.boundOnly = true } }
 
 // compiledThreshold is the state count above which Analyze defaults to the
 // compiled backend.
@@ -158,6 +188,11 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// A NaN epsilon makes every bracket comparison false, silently ending
+	// the binary search at ERRev = 0; reject it like any other bad input.
+	if math.IsNaN(cfg.epsilon) || math.IsInf(cfg.epsilon, 0) {
+		return nil, fmt.Errorf("selfishmining: epsilon = %v is not a finite precision", cfg.epsilon)
+	}
 	cp := p.core()
 	if err := cp.Validate(); err != nil {
 		return nil, err
@@ -170,6 +205,7 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 		Epsilon:          cfg.epsilon,
 		SolverMaxIter:    cfg.maxIter,
 		SkipStrategyEval: cfg.skipEval,
+		SkipStrategy:     cfg.boundOnly,
 		Workers:          cfg.workers,
 	}
 	var res *analysis.Result
@@ -192,11 +228,14 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
 	}
-	model, err := core.NewModel(cp)
-	if err != nil {
-		return nil, err
-	}
-	return &Analysis{
+	return newAnalysis(p, cp, res, !cfg.boundOnly)
+}
+
+// newAnalysis assembles the public result from an internal one. withModel
+// attaches the simulation substrate (skipped for bound-only analyses, which
+// carry no strategy to replay).
+func newAnalysis(p AttackParams, cp core.Params, res *analysis.Result, withModel bool) (*Analysis, error) {
+	a := &Analysis{
 		Params:        p,
 		ERRev:         res.ERRev,
 		ERRevUpper:    res.BetaUp,
@@ -204,29 +243,62 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 		Strategy:      res.Strategy,
 		Iterations:    res.Iterations,
 		Sweeps:        res.Sweeps,
-		model:         model,
-	}, nil
+	}
+	if withModel {
+		model, err := core.NewModel(cp)
+		if err != nil {
+			return nil, err
+		}
+		a.model = model
+	}
+	return a, nil
+}
+
+// clone returns a shallow copy with an independent simulation substrate, so
+// concurrent callers handed the same cached analysis can Simulate and
+// Profile without sharing mutable scratch. The Strategy slice is shared and
+// must be treated as read-only.
+func (a *Analysis) clone() *Analysis {
+	cp := *a
+	if cp.model != nil {
+		cp.model = cp.model.Clone()
+	}
+	return &cp
 }
 
 // ChainQuality returns 1 − ERRev, the paper's chain-quality measure under
 // the computed attack.
 func (a *Analysis) ChainQuality() float64 { return 1 - a.ERRev }
 
+// ErrBoundOnly is returned by strategy-dependent methods of an Analysis
+// computed with WithBoundOnly (or a bound-only service request), which
+// certifies the revenue bracket without extracting a strategy.
+var ErrBoundOnly = errors.New("selfishmining: bound-only analysis has no strategy")
+
 // Simulate replays the computed strategy on the physical chain substrate
 // for the given number of MDP steps, returning empirical statistics. The
 // run self-checks that chain ownership matches the MDP ledger.
 func (a *Analysis) Simulate(steps int, seed int64) (*simulate.Stats, error) {
+	if a.model == nil || a.Strategy == nil {
+		return nil, ErrBoundOnly
+	}
 	return simulate.Run(a.model, a.Strategy, steps, seed)
 }
 
 // Profile summarizes the structure of the computed strategy (how often it
 // withholds, races, or overtakes).
 func (a *Analysis) Profile() (*strategy.Profile, error) {
+	if a.model == nil || a.Strategy == nil {
+		return nil, ErrBoundOnly
+	}
 	return strategy.Profiled(a.model, a.Strategy)
 }
 
 // WriteStrategy serializes the strategy with a parameter header.
 func (a *Analysis) WriteStrategy(w io.Writer) error {
+	if a.Strategy == nil {
+		return ErrBoundOnly
+	}
 	return strategy.Write(w, a.Params.core(), a.Strategy)
 }
 

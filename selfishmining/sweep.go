@@ -19,6 +19,12 @@ type AttackConfig struct {
 	Depth, Forks int
 }
 
+// DefaultSweepMaxForkLen is the fork length bound SweepOptions defaults to
+// (the paper's l = 4). Exported so callers that must size-check a sweep
+// before running it (cmd/serve's -max-states guard) resolve the same
+// default the sweep will use.
+const DefaultSweepMaxForkLen = 4
+
 // Figure2Configs are the five attack configurations evaluated in the paper.
 var Figure2Configs = []AttackConfig{
 	{Depth: 1, Forks: 1},
@@ -65,7 +71,7 @@ func (o *SweepOptions) defaults() {
 		o.Configs = Figure2Configs
 	}
 	if o.MaxForkLen <= 0 {
-		o.MaxForkLen = 4
+		o.MaxForkLen = DefaultSweepMaxForkLen
 	}
 	if o.TreeWidth <= 0 {
 		o.TreeWidth = 5
@@ -82,19 +88,35 @@ func (o *SweepOptions) defaults() {
 // of the adversary's resource p for the honest baseline, the single-tree
 // baseline, and each requested attack configuration, at fixed γ.
 //
-// Each attack configuration is compiled once; the (configuration, p) grid
-// points are then distributed over a pool of Workers goroutines, each
-// solving on its own clone of the compiled structure (the immutable
-// transition arrays are shared, the probability and value buffers are
-// private). Every point is solved exactly as in a serial sweep and results
-// land in grid order, so the figure is bitwise identical at every worker
-// count.
+// Sweep runs through an ephemeral Service, so every call benefits from the
+// serving layer's structure sharing (each attack structure is compiled
+// once) and warm starts (each grid point seeds value iteration from the
+// nearest solved p). Long-lived callers that sweep repeatedly should hold
+// their own Service and call its Sweep method, which additionally reuses
+// results and structures across calls. The computed figure is bitwise
+// identical at every worker count and cache state.
 func Sweep(opts SweepOptions) (*results.Figure, error) {
+	return NewService(ServiceConfig{}).Sweep(opts)
+}
+
+// Sweep computes one Figure-2 panel through the service's caches: attack
+// structures come from the structure cache, every grid point is answered
+// from the result cache when possible (and coalesced with identical
+// in-flight points otherwise), and fresh points warm-start from the
+// nearest solved p. See the package-level Sweep for the panel's contents.
+//
+// The figure is bitwise identical at every worker count and cache state:
+// grid points are bound-only analyses, whose certified bracket depends
+// only on exact sign decisions (see the Service determinism notes).
+func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 	opts.defaults()
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
 		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
 	}
 	workers := par.Workers(opts.Workers)
+	if s.cfg.MaxConcurrent > 0 && workers > s.cfg.MaxConcurrent {
+		workers = s.cfg.MaxConcurrent
+	}
 	var progressMu sync.Mutex
 	progress := func(format string, args ...any) {
 		progressMu.Lock()
@@ -141,7 +163,7 @@ func Sweep(opts SweepOptions) (*results.Figure, error) {
 	}
 	progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
 
-	series, err := sweepConfigs(opts, workers, progress)
+	series, err := s.sweepConfigs(opts, workers, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -154,27 +176,22 @@ func Sweep(opts SweepOptions) (*results.Figure, error) {
 }
 
 // sweepConfigs computes the attack curves of a panel with a worker pool
-// over all (configuration, p) points. The bases' own mutable buffers stay
-// idle while workers solve on clones — one extra solver instance per config
-// (the serial footprint) — because a worker adopting a base would race its
+// over all (configuration, p) points. Structures come from the service's
+// structure cache; the bases' own mutable buffers stay idle while workers
+// solve on clones, because a worker adopting a base would race its
 // parameter mutation against other workers cloning from it.
-func sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
-	// Compile each (d, f, l) structure once, in parallel across configs.
+func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
+	// Resolve each (d, f, l) structure once, in parallel across configs
+	// (cache hits return immediately; misses compile).
 	bases := make([]*core.Compiled, len(opts.Configs))
-	compileErrs := make([]error, len(opts.Configs))
+	structErrs := make([]error, len(opts.Configs))
 	par.For(len(opts.Configs), workers, func(_, from, to int) {
 		for ci := from; ci < to; ci++ {
 			cfg := opts.Configs[ci]
-			bases[ci], compileErrs[ci] = core.Compile(core.Params{
-				P:      0.1, // placeholder; set per grid point
-				Gamma:  opts.Gamma,
-				Depth:  cfg.Depth,
-				Forks:  cfg.Forks,
-				MaxLen: opts.MaxForkLen,
-			})
+			bases[ci], structErrs[ci] = s.structure(structKey{cfg.Depth, cfg.Forks, opts.MaxForkLen})
 		}
 	})
-	for ci, err := range compileErrs {
+	for ci, err := range structErrs {
 		if err != nil {
 			return nil, fmt.Errorf("selfishmining: compiling d=%d f=%d: %w",
 				opts.Configs[ci].Depth, opts.Configs[ci].Forks, err)
@@ -240,23 +257,15 @@ func sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any))
 					comp.SetWorkers(innerWorkers)
 					cloneOf = tk.ci
 				}
-				if err := comp.SetChainParams(p, opts.Gamma); err != nil {
-					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
-					failed.Store(true)
-					return
-				}
-				res, err := analysis.AnalyzeCompiled(comp, analysis.Options{
-					Epsilon:          opts.Epsilon,
-					SkipStrategyEval: true,
-				})
+				res, err := s.sweepPoint(comp, cfg, p, opts)
 				if err != nil {
 					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
 					failed.Store(true)
 					return
 				}
 				out[tk.ci][tk.pi] = res.ERRev
-				progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps, %v)",
-					cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps, res.Duration.Round(time.Millisecond))
+				progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps)",
+					cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps)
 			}
 		}()
 	}
@@ -267,4 +276,51 @@ func sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any))
 		}
 	}
 	return out, nil
+}
+
+// sweepPoint answers one grid point: from the result cache when available,
+// coalesced with an identical in-flight point otherwise, and solved on the
+// calling worker's clone as the singleflight leader — seeded from the
+// nearest solved p — when the point is genuinely new.
+func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, opts SweepOptions) (*Analysis, error) {
+	s.sweepPoints.Add(1)
+	params := AttackParams{
+		Adversary: p, Switching: opts.Gamma,
+		Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: opts.MaxForkLen,
+	}
+	pointCfg := config{epsilon: opts.Epsilon, boundOnly: true, skipEval: true}
+	key := s.key(params, &pointCfg)
+	if a, ok := s.results.Get(key); ok {
+		return a, nil
+	}
+	a, err, _ := s.flight.Do(key, func() (*Analysis, error) {
+		// The global solve limit covers sweep points too: a single sweep's
+		// pool is already capped, but concurrent sweeps and analyzes share
+		// this semaphore.
+		s.acquire()
+		defer s.release()
+		start := time.Now()
+		if err := comp.SetChainParams(p, opts.Gamma); err != nil {
+			return nil, err
+		}
+		sk := structKey{cfg.Depth, cfg.Forks, opts.MaxForkLen}
+		aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true}
+		if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
+			aOpts.InitialValues = seed
+		}
+		s.solves.Add(1)
+		res, err := analysis.AnalyzeCompiled(comp, aOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.Duration = time.Since(start)
+		s.warmPut(sk, opts.Gamma, p, comp)
+		a, err := newAnalysis(params, params.core(), res, false)
+		if err != nil {
+			return nil, err
+		}
+		s.results.Add(key, a)
+		return a, nil
+	})
+	return a, err
 }
