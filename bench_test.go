@@ -138,6 +138,34 @@ func benchFigure2PanelWorkers(b *testing.B, workers int) {
 func BenchmarkFigure2_Panel_Workers1(b *testing.B) { benchFigure2PanelWorkers(b, 1) }
 func BenchmarkFigure2_Panel_Workers4(b *testing.B) { benchFigure2PanelWorkers(b, 4) }
 
+// benchFamily runs a bound-only analysis of one model family at a fixed
+// grid point (p=0.3, γ=0.5), so bench.json tracks the kernel's cost per
+// family across the protocol-agnostic refactor.
+func benchFamily(b *testing.B, model string, d, f, l int) {
+	b.Helper()
+	params := selfishmining.AttackParams{
+		Model:     model,
+		Adversary: 0.3, Switching: 0.5, Depth: d, Forks: f, MaxForkLen: l,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := selfishmining.Analyze(params,
+			selfishmining.WithEpsilon(1e-4),
+			selfishmining.WithBoundOnly(),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ERRev < 0 || res.ERRev > 1 {
+			b.Fatalf("model %s: ERRev %v out of range", model, res.ERRev)
+		}
+	}
+}
+
+func BenchmarkFamily_Fork_d2f2(b *testing.B)     { benchFamily(b, "fork", 2, 2, 4) }
+func BenchmarkFamily_SingleTree_f5(b *testing.B) { benchFamily(b, "singletree", 1, 5, 4) }
+func BenchmarkFamily_Nakamoto_l20(b *testing.B)  { benchFamily(b, "nakamoto", 1, 1, 20) }
+
 // BenchmarkMicro_TransitionEnumeration measures raw transition generation
 // over the full d=2, f=2 state space (the generic solver's inner loop).
 func BenchmarkMicro_TransitionEnumeration(b *testing.B) {

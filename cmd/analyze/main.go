@@ -6,8 +6,15 @@
 //
 // Usage:
 //
-//	analyze -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4] [-workers N]
-//	        [-simulate 200000] [-save strategy.txt]
+//	analyze [-model fork] -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4]
+//	        [-workers N] [-simulate 200000] [-save strategy.txt]
+//	analyze -list-models
+//
+// The -model flag selects the attack-model family (default: the paper's
+// fork model); -list-models describes every registered family and how it
+// reads the -d/-f/-l shape flags. Strategy profiling, simulation and
+// -save are fork-only (the physical chain substrate replays fork
+// strategies).
 //
 // The command runs through selfishmining.Service and therefore always uses
 // the compiled solver backend (the service's structure cache is built on
@@ -16,13 +23,35 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/selfishmining"
 )
+
+// modelFlagHelp names the registered families in the -model usage string.
+func modelFlagHelp() string {
+	names := make([]string, 0, 4)
+	for _, m := range selfishmining.Models() {
+		names = append(names, m.Name)
+	}
+	return fmt.Sprintf("attack-model family: %s (see -list-models)", strings.Join(names, ", "))
+}
+
+// printModels writes the family catalog (the CLI twin of /v1/models).
+func printModels(w *os.File) {
+	for _, m := range selfishmining.Models() {
+		fmt.Fprintf(w, "%s: %s\n", m.Name, m.Description)
+		fmt.Fprintf(w, "  -d  %s\n", m.Depth)
+		fmt.Fprintf(w, "  -f  %s\n", m.Forks)
+		fmt.Fprintf(w, "  -l  %s\n", m.MaxForkLen)
+		fmt.Fprintf(w, "  default shape: -d %d -f %d -l %d\n", m.DefaultDepth, m.DefaultForks, m.DefaultMaxForkLen)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -34,20 +63,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	var (
-		p        = fs.Float64("p", 0.3, "adversary resource fraction in [0,1]")
-		gamma    = fs.Float64("gamma", 0.5, "switching probability in [0,1]")
-		d        = fs.Int("d", 2, "attack depth")
-		f        = fs.Int("f", 2, "forks per depth")
-		l        = fs.Int("l", 4, "maximal fork length")
-		eps      = fs.Float64("eps", 1e-4, "analysis precision epsilon")
-		workers  = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores); results are identical at any setting")
-		simSteps = fs.Int("simulate", 0, "if > 0, Monte-Carlo steps to cross-validate the strategy")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		save     = fs.String("save", "", "write the computed strategy to this file")
-		skipEval = fs.Bool("skip-eval", false, "skip exact strategy evaluation (large models)")
+		model      = fs.String("model", selfishmining.DefaultModel, modelFlagHelp())
+		listModels = fs.Bool("list-models", false, "describe the registered attack-model families and exit")
+		p          = fs.Float64("p", 0.3, "adversary resource fraction in [0,1]")
+		gamma      = fs.Float64("gamma", 0.5, "switching probability in [0,1]")
+		d          = fs.Int("d", 2, "attack depth")
+		f          = fs.Int("f", 2, "forks per depth")
+		l          = fs.Int("l", 4, "maximal fork length")
+		eps        = fs.Float64("eps", 1e-4, "analysis precision epsilon")
+		workers    = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores); results are identical at any setting")
+		simSteps   = fs.Int("simulate", 0, "if > 0, Monte-Carlo steps to cross-validate the strategy (fork model only)")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		save       = fs.String("save", "", "write the computed strategy to this file (fork model only)")
+		skipEval   = fs.Bool("skip-eval", false, "skip exact strategy evaluation (large models)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listModels {
+		printModels(os.Stdout)
+		return nil
 	}
 	if *eps <= 0 || math.IsNaN(*eps) {
 		return fmt.Errorf("-eps %v: need a positive precision", *eps)
@@ -59,10 +94,18 @@ func run(args []string) error {
 		return fmt.Errorf("-simulate %d: need >= 0 steps", *simSteps)
 	}
 	params := selfishmining.AttackParams{
+		Model:     *model,
 		Adversary: *p, Switching: *gamma, Depth: *d, Forks: *f, MaxForkLen: *l,
 	}
 	if err := params.Validate(); err != nil {
 		return err
+	}
+	isFork := selfishmining.IsDefaultModel(*model)
+	if !isFork && *simSteps > 0 {
+		return fmt.Errorf("-simulate: the physical simulation substrate only replays the fork family (got -model %s)", *model)
+	}
+	if !isFork && *save != "" {
+		return fmt.Errorf("-save: strategy files are fork-only (got -model %s)", *model)
 	}
 	fmt.Printf("analyzing %v (%d states, eps=%g)\n", params, params.NumStates(), *eps)
 
@@ -86,17 +129,21 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	tree, err := selfishmining.SingleTreeRevenue(*p, *gamma, *l, 5)
-	if err != nil {
-		return err
+	if isFork {
+		tree, err := selfishmining.SingleTreeRevenue(*p, *gamma, *l, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baselines:          honest %.6f, single-tree(f=5) %.6f\n", honest, tree)
+	} else {
+		fmt.Printf("baselines:          honest %.6f\n", honest)
 	}
-	fmt.Printf("baselines:          honest %.6f, single-tree(f=5) %.6f\n", honest, tree)
 
-	prof, err := res.Profile()
-	if err != nil {
+	if prof, err := res.Profile(); err == nil {
+		fmt.Print(prof.Describe())
+	} else if !errors.Is(err, selfishmining.ErrNoSubstrate) {
 		return err
 	}
-	fmt.Print(prof.Describe())
 
 	if *simSteps > 0 {
 		st, err := res.Simulate(*simSteps, *seed)

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSmallConfig(t *testing.T) {
 	err := run([]string{
@@ -29,6 +32,43 @@ func TestRunRejectsInvalid(t *testing.T) {
 	}
 	if err := run([]string{"-d", "0"}); err == nil {
 		t.Fatal("invalid d accepted")
+	}
+}
+
+func TestRunNonForkModel(t *testing.T) {
+	err := run([]string{
+		"-model", "nakamoto", "-p", "0.4", "-gamma", "0", "-d", "1", "-f", "1", "-l", "10",
+		"-eps", "1e-3",
+	})
+	if err != nil {
+		t.Fatalf("run(-model nakamoto): %v", err)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	err := run([]string{"-model", "bogus"})
+	if err == nil {
+		t.Fatal("unknown -model accepted")
+	}
+	for _, want := range []string{"bogus", "fork", "nakamoto", "singletree"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q (must list valid families)", err, want)
+		}
+	}
+}
+
+func TestRunRejectsForkOnlyFlagsForOtherModels(t *testing.T) {
+	if err := run([]string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-simulate", "100"}); err == nil {
+		t.Error("-simulate accepted for a non-fork model")
+	}
+	if err := run([]string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-save", t.TempDir() + "/s.txt"}); err == nil {
+		t.Error("-save accepted for a non-fork model")
+	}
+}
+
+func TestRunListModels(t *testing.T) {
+	if err := run([]string{"-list-models"}); err != nil {
+		t.Fatalf("run(-list-models): %v", err)
 	}
 }
 

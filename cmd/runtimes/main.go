@@ -9,9 +9,13 @@
 //
 // Usage:
 //
-//	runtimes [-p 0.3] [-gamma 0.5] [-eps 1e-4] [-workers N] [-full] [-markdown]
+//	runtimes [-model fork] [-p 0.3] [-gamma 0.5] [-eps 1e-4] [-workers N]
+//	         [-full] [-markdown]
 //
-// Without -full the 4x2 configuration (9.4M states) is skipped.
+// Without -full the 4x2 configuration (9.4M states) is skipped. With a
+// non-fork -model (see analyze -list-models) the table times the family's
+// default shape instead of the Figure-2 configuration list, and the
+// single-tree baseline row (the fork table's comparator) is omitted.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("runtimes", flag.ContinueOnError)
 	var (
+		model    = fs.String("model", selfishmining.DefaultModel, "attack-model family (see analyze -list-models)")
 		p        = fs.Float64("p", 0.3, "adversary resource fraction")
 		gamma    = fs.Float64("gamma", 0.5, "switching probability (Table 1 uses 0.5)")
 		eps      = fs.Float64("eps", 1e-4, "analysis precision")
@@ -62,15 +67,32 @@ func run(args []string, stdout io.Writer) error {
 		Title:   fmt.Sprintf("Analysis runtimes (p=%g, gamma=%g, eps=%g)", *p, *gamma, *eps),
 		Columns: []string{"attack", "parameters", "states", "ERRev", "time"},
 	}
-	configs := selfishmining.Figure2Configs
-	for _, cfg := range configs {
-		if cfg.Depth == 4 && !*full {
+	isFork := selfishmining.IsDefaultModel(*model)
+	type shape struct{ depth, forks, maxLen int }
+	var shapes []shape
+	if isFork {
+		for _, cfg := range selfishmining.Figure2Configs {
+			shapes = append(shapes, shape{cfg.Depth, cfg.Forks, 4})
+		}
+	} else if m, ok := selfishmining.ModelInfoFor(*model); ok {
+		shapes = append(shapes, shape{m.DefaultDepth, m.DefaultForks, m.DefaultMaxForkLen})
+	} else {
+		// Produce the registry's unknown-family error (with the list of
+		// valid names) via validation.
+		bad := selfishmining.AttackParams{Model: *model, Adversary: *p, Switching: *gamma, Depth: 1, Forks: 1, MaxForkLen: 1}
+		if err := bad.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, cfg := range shapes {
+		if cfg.depth == 4 && !*full {
 			fmt.Fprintf(os.Stderr, "skipping d=4 f=2 (9.4M states); pass -full to include\n")
 			continue
 		}
 		params := selfishmining.AttackParams{
+			Model:     *model,
 			Adversary: *p, Switching: *gamma,
-			Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: 4,
+			Depth: cfg.depth, Forks: cfg.forks, MaxForkLen: cfg.maxLen,
 		}
 		start := time.Now()
 		res, err := selfishmining.Analyze(params,
@@ -82,10 +104,14 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("analyzing %v: %w", params, err)
 		}
 		elapsed := time.Since(start)
-		fmt.Fprintf(os.Stderr, "d=%d f=%d: ERRev=%.5f in %v\n", cfg.Depth, cfg.Forks, res.ERRev, elapsed.Round(time.Millisecond))
+		attack := "ours"
+		if !isFork {
+			attack = *model
+		}
+		fmt.Fprintf(os.Stderr, "d=%d f=%d: ERRev=%.5f in %v\n", cfg.depth, cfg.forks, res.ERRev, elapsed.Round(time.Millisecond))
 		if err := table.AddRow(
-			"ours",
-			fmt.Sprintf("d=%d f=%d", cfg.Depth, cfg.Forks),
+			attack,
+			fmt.Sprintf("d=%d f=%d", cfg.depth, cfg.forks),
 			fmt.Sprintf("%d", params.NumStates()),
 			fmt.Sprintf("%.5f", res.ERRev),
 			elapsed.Round(time.Millisecond).String(),
@@ -93,21 +119,23 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	// Single-tree baseline (exact chain evaluation), f=5 as in Table 1.
-	start := time.Now()
-	tree, err := selfishmining.SingleTreeRevenue(*p, *gamma, 4, 5)
-	if err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
-	if err := table.AddRow(
-		"single-tree",
-		"f=5",
-		"-",
-		fmt.Sprintf("%.5f", tree),
-		elapsed.Round(time.Microsecond).String(),
-	); err != nil {
-		return err
+	if isFork {
+		// Single-tree baseline (exact chain evaluation), f=5 as in Table 1.
+		start := time.Now()
+		tree, err := selfishmining.SingleTreeRevenue(*p, *gamma, 4, 5)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if err := table.AddRow(
+			"single-tree",
+			"f=5",
+			"-",
+			fmt.Sprintf("%.5f", tree),
+			elapsed.Round(time.Microsecond).String(),
+		); err != nil {
+			return err
+		}
 	}
 	if *markdown {
 		return table.WriteMarkdown(stdout)

@@ -33,6 +33,32 @@ func TestRunMarkdownMode(t *testing.T) {
 	}
 }
 
+func TestRunNonForkModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "singletree", "-eps", "1e-2"}, &out); err != nil {
+		t.Fatalf("run(-model singletree): %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "singletree") {
+		t.Errorf("output missing the family row:\n%s", got)
+	}
+	if strings.Contains(got, "single-tree,") || strings.Contains(got, "ours") {
+		t.Errorf("non-fork table carries fork-only rows:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	err := run([]string{"-model", "bogus"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown -model accepted")
+	}
+	for _, want := range []string{"bogus", "fork", "nakamoto", "singletree"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q (must list valid families)", err, want)
+		}
+	}
+}
+
 func TestRunRejectsBadFlagCombos(t *testing.T) {
 	for _, args := range [][]string{
 		{"-eps", "0"},

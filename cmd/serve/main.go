@@ -11,8 +11,13 @@
 //	POST /v1/analyze        one attack configuration -> certified ERRev
 //	POST /v1/analyze/batch  many configurations, deduplicated
 //	POST /v1/sweep          a Figure-2 panel (curves over a p-grid)
+//	GET  /v1/models         registered attack-model families
 //	GET  /v1/stats          cache and coalescing counters
 //	GET  /healthz           liveness
+//
+// Analyze, batch and sweep requests accept a "model" field selecting the
+// attack-model family (default "fork", the paper's model); GET /v1/models
+// lists every family with its parameter semantics and default shape.
 //
 // Usage:
 //
@@ -24,6 +29,8 @@
 //
 //	curl -s localhost:8080/v1/analyze -d \
 //	  '{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4}'
+//	curl -s localhost:8080/v1/analyze -d \
+//	  '{"model":"nakamoto","p":0.4,"gamma":0,"d":1,"f":1,"l":20,"bound_only":true}'
 package main
 
 import (
@@ -151,6 +158,7 @@ func newServer(svc *selfishmining.Service, cfg *serverConfig) http.Handler {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -160,6 +168,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // analyzeRequest is the wire form of one analysis query.
 type analyzeRequest struct {
+	// Model selects the attack-model family ("" = "fork"); GET /v1/models
+	// lists the valid names.
+	Model string  `json:"model,omitempty"`
 	P     float64 `json:"p"`
 	Gamma float64 `json:"gamma"`
 	Depth int     `json:"d"`
@@ -179,6 +190,7 @@ type analyzeRequest struct {
 
 func (r *analyzeRequest) params() selfishmining.AttackParams {
 	return selfishmining.AttackParams{
+		Model:     r.Model,
 		Adversary: r.P, Switching: r.Gamma,
 		Depth: r.Depth, Forks: r.Forks, MaxForkLen: r.Len,
 	}
@@ -222,7 +234,7 @@ type analyzeResponse struct {
 func buildResponse(req analyzeRequest, res *selfishmining.Analysis) *analyzeResponse {
 	resp := &analyzeResponse{
 		Request:      req,
-		NumStates:    res.Params.NumStates(),
+		NumStates:    res.NumStates,
 		ERRev:        res.ERRev,
 		ERRevUpper:   res.ERRevUpper,
 		ChainQuality: res.ChainQuality(),
@@ -333,6 +345,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // sweepRequest is the wire form of one Figure-2 panel request.
 type sweepRequest struct {
+	// Model selects the attack-model family of the panel's attack curves
+	// ("" = "fork"); GET /v1/models lists the valid names.
+	Model   string  `json:"model,omitempty"`
 	Gamma   float64 `json:"gamma"`
 	PMin    float64 `json:"pmin,omitempty"`
 	PMax    float64 `json:"pmax,omitempty"`  // default 0.3
@@ -382,7 +397,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("p-grid has ~%.0f points, server limit is %d", points+1, maxSweepPoints), http.StatusBadRequest)
 		return
 	}
+	info, ok := selfishmining.ModelInfoFor(req.Model)
+	if !ok {
+		// Produce the registry's unknown-family error (listing the valid
+		// names) through validation.
+		bad := selfishmining.AttackParams{Model: req.Model, Depth: 1, Forks: 1, MaxForkLen: 1}
+		httpError(w, bad.Validate(), http.StatusBadRequest)
+		return
+	}
 	opts := selfishmining.SweepOptions{
+		Model:      req.Model,
 		Gamma:      req.Gamma,
 		PGrid:      results.Grid(req.PMin, pmax, pstep),
 		MaxForkLen: req.Len,
@@ -392,9 +416,29 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	maxLen := req.Len
 	if maxLen <= 0 {
 		maxLen = selfishmining.DefaultSweepMaxForkLen
+		if info.Name != selfishmining.DefaultModel {
+			maxLen = info.DefaultMaxForkLen
+		}
 	}
-	for _, c := range req.Configs {
+	configs := req.Configs
+	if len(configs) == 0 {
+		if info.Name == selfishmining.DefaultModel {
+			// The library default is the paper's full list including the
+			// 9.4M state d=4 configuration; a server default stays bounded.
+			configs = []struct {
+				Depth int `json:"d"`
+				Forks int `json:"f"`
+			}{{1, 1}, {2, 1}, {2, 2}}
+		} else {
+			configs = []struct {
+				Depth int `json:"d"`
+				Forks int `json:"f"`
+			}{{info.DefaultDepth, info.DefaultForks}}
+		}
+	}
+	for _, c := range configs {
 		p := selfishmining.AttackParams{
+			Model:     req.Model,
 			Adversary: 0.1, Switching: req.Gamma,
 			Depth: c.Depth, Forks: c.Forks, MaxForkLen: maxLen,
 		}
@@ -403,13 +447,6 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Configs = append(opts.Configs, selfishmining.AttackConfig{Depth: c.Depth, Forks: c.Forks})
-	}
-	if len(req.Configs) == 0 {
-		// The library default is the paper's full list including the 9.4M
-		// state d=4 configuration; a server default should stay bounded.
-		opts.Configs = []selfishmining.AttackConfig{
-			{Depth: 1, Forks: 1}, {Depth: 2, Forks: 1}, {Depth: 2, Forks: 2},
-		}
 	}
 	start := time.Now()
 	fig, err := s.svc.Sweep(opts)
@@ -426,6 +463,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		resp.Series = append(resp.Series, wireSeries{Name: series.Name, Values: series.Values})
 	}
 	writeJSON(w, resp)
+}
+
+// handleModels is the family discovery endpoint: every registered
+// attack-model family with its parameter semantics and default shape.
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"default": selfishmining.DefaultModel,
+		"models":  selfishmining.Models(),
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -301,3 +301,147 @@ func TestParseFlagsDefaults(t *testing.T) {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
 }
+
+func TestModelsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Default string                    `json:"default"`
+		Models  []selfishmining.ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Default != "fork" {
+		t.Errorf("default model %q, want fork", out.Default)
+	}
+	seen := map[string]bool{}
+	for _, m := range out.Models {
+		seen[m.Name] = true
+		if m.Description == "" {
+			t.Errorf("family %q served without a description", m.Name)
+		}
+	}
+	for _, want := range []string{"fork", "singletree", "nakamoto"} {
+		if !seen[want] {
+			t.Errorf("family %q missing from /v1/models", want)
+		}
+	}
+}
+
+func TestAnalyzeEndpointModelField(t *testing.T) {
+	ts, svc := testServer(t)
+	body := `{"model":"nakamoto","p":0.4,"gamma":0,"d":1,"f":1,"l":10,"epsilon":1e-3,"bound_only":true}`
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		ERRev     float64 `json:"errev"`
+		NumStates int     `json:"num_states"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	want, err := svc.Analyze(selfishmining.AttackParams{
+		Model:     "nakamoto",
+		Adversary: 0.4, Switching: 0, Depth: 1, Forks: 1, MaxForkLen: 10,
+	}, selfishmining.WithEpsilon(1e-3), selfishmining.WithBoundOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(out.ERRev) != math.Float64bits(want.ERRev) {
+		t.Errorf("served nakamoto ERRev %v != direct %v", out.ERRev, want.ERRev)
+	}
+	if out.NumStates != 11*11*3 {
+		t.Errorf("num_states %d, want %d", out.NumStates, 11*11*3)
+	}
+}
+
+func TestAnalyzeEndpointRejectsUnknownModel(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", `{"model":"bogus","p":0.3,"gamma":0.5,"d":2,"f":1,"l":3}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	for _, want := range []string{"bogus", "fork", "nakamoto", "singletree"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("error body %s missing %q (must list valid families)", data, want)
+		}
+	}
+}
+
+func TestSweepEndpointModelField(t *testing.T) {
+	ts, _ := testServer(t)
+	body := `{"model":"nakamoto","gamma":0,"pmin":0.2,"pmax":0.4,"pstep":0.2,"epsilon":1e-2}`
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if len(out.Series) != 2 {
+		t.Fatalf("got %d series, want honest + nakamoto default shape: %s", len(out.Series), data)
+	}
+	if !strings.HasPrefix(out.Series[1].Name, "nakamoto(") {
+		t.Errorf("attack series %q not named after the family", out.Series[1].Name)
+	}
+}
+
+func TestSweepEndpointRejectsUnknownModel(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", `{"model":"bogus","gamma":0.5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	for _, want := range []string{"bogus", "fork", "nakamoto", "singletree"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("error body %s missing %q (must list valid families)", data, want)
+		}
+	}
+}
+
+func TestBatchEndpointMixedModels(t *testing.T) {
+	ts, _ := testServer(t)
+	body := `{"requests":[
+		{"model":"nakamoto","p":0.3,"gamma":0.5,"d":1,"f":1,"l":8,"epsilon":1e-2,"bound_only":true},
+		{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":3,"epsilon":1e-2,"bound_only":true}
+	]}`
+	resp, data := postJSON(t, ts.URL+"/v1/analyze/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Results []struct {
+			Request struct {
+				Model string `json:"model"`
+			} `json:"request"`
+			ERRev float64 `json:"errev"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(out.Results))
+	}
+	if out.Results[0].Request.Model != "nakamoto" || out.Results[1].Request.Model != "" {
+		t.Errorf("request echo lost the model field: %s", data)
+	}
+	if out.Results[0].ERRev == out.Results[1].ERRev {
+		t.Errorf("mixed-model batch returned identical ERRev %v — family ignored?", out.Results[0].ERRev)
+	}
+}

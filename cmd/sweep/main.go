@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	sweep -gamma 0.5 [-pmax 0.3] [-pstep 0.01] [-configs 1x1,2x1,2x2,3x2]
-//	      [-l 4] [-width 5] [-eps 1e-4] [-workers N] [-o figure2c.csv]
-//	      [-markdown]
+//	sweep -gamma 0.5 [-model fork] [-pmax 0.3] [-pstep 0.01]
+//	      [-configs 1x1,2x1,2x2,3x2] [-l 4] [-width 5] [-eps 1e-4]
+//	      [-workers N] [-o figure2c.csv] [-markdown]
 //
 // The paper's full configuration list includes 4x2 (9.4M states); include
 // it explicitly via -configs when you have the time budget.
+//
+// -model sweeps a different attack-model family (see analyze -list-models);
+// with a non-fork family the -configs and -l defaults become the family's
+// default shape, and the single-tree baseline series (which accompanies
+// the fork figure) is omitted.
 package main
 
 import (
@@ -35,13 +40,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
+		model    = fs.String("model", selfishmining.DefaultModel, "attack-model family (see analyze -list-models)")
 		gamma    = fs.Float64("gamma", 0.5, "switching probability in [0,1]")
 		pmin     = fs.Float64("pmin", 0, "smallest adversary resource")
 		pmax     = fs.Float64("pmax", 0.3, "largest adversary resource")
 		pstep    = fs.Float64("pstep", 0.01, "resource grid step")
-		configs  = fs.String("configs", "1x1,2x1,2x2,3x2", "comma-separated dxf attack configurations")
-		l        = fs.Int("l", 4, "maximal fork length")
-		width    = fs.Int("width", 5, "single-tree baseline width")
+		configs  = fs.String("configs", "", "comma-separated dxf attack configurations (default 1x1,2x1,2x2,3x2 for the fork model, the family's default shape otherwise)")
+		l        = fs.Int("l", 0, "maximal fork length (default 4 for the fork model, the family default otherwise)")
+		width    = fs.Int("width", 5, "single-tree baseline width (fork model only)")
 		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
 		workers  = fs.Int("workers", 0, "worker pool size over grid points (0 = all cores); results are identical at any setting")
 		out      = fs.String("o", "", "write CSV to this file (default stdout)")
@@ -60,7 +66,13 @@ func run(args []string, stdout io.Writer) error {
 	if *eps <= 0 || math.IsNaN(*eps) {
 		return fmt.Errorf("-eps %v: need a positive precision", *eps)
 	}
-	if *l < 1 {
+	lSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "l" {
+			lSet = true
+		}
+	})
+	if lSet && *l < 1 {
 		return fmt.Errorf("-l %d: need a fork length bound >= 1", *l)
 	}
 	if *width < 1 {
@@ -69,9 +81,24 @@ func run(args []string, stdout io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
 	}
-	cfgs, err := parseConfigs(*configs)
-	if err != nil {
-		return err
+	isFork := selfishmining.IsDefaultModel(*model)
+	// The library default config list includes 4x2 (9.4M states); the CLI
+	// default stays bounded. Non-fork families default to their own shape.
+	cfgSpec := *configs
+	if cfgSpec == "" && isFork {
+		cfgSpec = "1x1,2x1,2x2,3x2"
+	}
+	var cfgs []selfishmining.AttackConfig
+	if cfgSpec != "" {
+		var err error
+		cfgs, err = parseConfigs(cfgSpec)
+		if err != nil {
+			return err
+		}
+	}
+	maxLen := *l
+	if !lSet && isFork {
+		maxLen = selfishmining.DefaultSweepMaxForkLen
 	}
 	progress := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -80,10 +107,11 @@ func run(args []string, stdout io.Writer) error {
 		progress = nil
 	}
 	fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+		Model:      *model,
 		Gamma:      *gamma,
 		PGrid:      results.Grid(*pmin, *pmax, *pstep),
 		Configs:    cfgs,
-		MaxForkLen: *l,
+		MaxForkLen: maxLen,
 		TreeWidth:  *width,
 		Epsilon:    *eps,
 		Workers:    *workers,

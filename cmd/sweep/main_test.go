@@ -62,6 +62,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunNonForkModel(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-model", "nakamoto", "-gamma", "0", "-pmin", "0.2", "-pmax", "0.4", "-pstep", "0.2",
+		"-eps", "1e-2", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run(-model nakamoto): %v", err)
+	}
+	header := strings.SplitN(strings.TrimSpace(out.String()), "\n", 2)[0]
+	if !strings.Contains(header, "nakamoto(") {
+		t.Errorf("header %q missing the family-named series", header)
+	}
+	if strings.Contains(header, "single-tree") {
+		t.Errorf("header %q carries the fork-only single-tree baseline", header)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	err := run([]string{"-model", "bogus", "-q"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown -model accepted")
+	}
+	for _, want := range []string{"bogus", "fork", "nakamoto", "singletree"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q (must list valid families)", err, want)
+		}
+	}
+}
+
 func TestRunRejectsBadFlagCombos(t *testing.T) {
 	for _, args := range [][]string{
 		{"-pstep", "0"},

@@ -5,10 +5,13 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/kernel"
 )
 
-// AnalyzeCompiled runs Algorithm 1 against a compiled model. Semantics match
+// AnalyzeCompiled runs Algorithm 1 against a compiled model of any
+// registered attack-model family: the procedure is protocol-agnostic — a
+// binary search on β over a kernel whose transition probabilities are
+// parametric in the chain parameters. For the fork family semantics match
 // Analyze; the compiled backend resolves probabilities once per (p, γ) and
 // keeps value vectors warm across the binary search, making it suitable for
 // the large configurations (d=3 and d=4) of the paper's evaluation.
@@ -24,15 +27,16 @@ import (
 // without the seed; only the sweep count changes. Options.SkipStrategy
 // returns right after the search with the bound alone — the mode sweeps
 // use, where the whole result is warm-start independent.
-func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
+func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
 	if opts.Workers > 0 {
 		c.SetWorkers(opts.Workers)
 	}
-	params := c.Params()
 
-	zeta := opts.Epsilon * params.BlockRate() / 4
+	// Gain resolution calibrated from the family's permanent-block-rate
+	// lower bound, exactly as in Analyze.
+	zeta := opts.Epsilon * c.BlockRate() / 4
 	if zeta <= 0 {
 		zeta = opts.Epsilon * 1e-3
 	}
@@ -47,7 +51,7 @@ func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 	}
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
 		beta := (res.BetaLow + res.BetaUp) / 2
-		sr, err := c.MeanPayoff(beta, core.CompiledOptions{
+		sr, err := c.MeanPayoff(beta, kernel.Options{
 			Tol:        zeta,
 			MaxIter:    opts.SolverMaxIter,
 			SignOnly:   true,
@@ -78,7 +82,7 @@ func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	sr, err := c.MeanPayoff(res.BetaLow, core.CompiledOptions{
+	sr, err := c.MeanPayoff(res.BetaLow, kernel.Options{
 		Tol:        zeta,
 		MaxIter:    opts.SolverMaxIter,
 		KeepValues: warm,
@@ -92,7 +96,7 @@ func AnalyzeCompiled(c *core.Compiled, opts Options) (*Result, error) {
 	res.Strategy = c.GreedyPolicy(res.BetaLow)
 
 	if !opts.SkipStrategyEval {
-		errev, err := c.EvalERRev(res.Strategy, core.CompiledOptions{Tol: zeta, MaxIter: opts.SolverMaxIter})
+		errev, err := c.EvalERRev(res.Strategy, kernel.Options{Tol: zeta, MaxIter: opts.SolverMaxIter})
 		if err != nil {
 			return res, fmt.Errorf("analysis: evaluating final strategy: %w", err)
 		}

@@ -1,0 +1,26 @@
+package core
+
+import "repro/internal/kernel"
+
+// Compiled is the protocol-agnostic flat-CSR solver of package kernel; the
+// fork model compiles onto it via Compile. The alias keeps the historical
+// name for callers that predate the kernel split.
+type Compiled = kernel.Compiled
+
+// CompiledOptions tunes the compiled solver (kernel.Options).
+type CompiledOptions = kernel.Options
+
+// CompiledResult reports a compiled solve (kernel.Result).
+type CompiledResult = kernel.Result
+
+// Compile builds the flattened kernel structure for the fork model at the
+// given parameters. Only Depth, Forks and MaxLen matter at compile time; P
+// and Gamma seed the initial probability resolution and can be changed
+// with SetChainParams.
+func Compile(params Params) (*Compiled, error) {
+	m, err := NewModel(params)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.Compile(m, params.P, params.Gamma)
+}

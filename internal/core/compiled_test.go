@@ -71,27 +71,19 @@ func TestCompiledTransitionCountsMatch(t *testing.T) {
 	}
 }
 
-// TestCompiledProbsStochastic: per action, resolved probabilities sum to 1.
+// TestCompiledProbsStochastic: per action, resolved probabilities sum to 1,
+// both at compile-time parameters and after a re-resolution.
 func TestCompiledProbsStochastic(t *testing.T) {
 	p := Params{P: 0.25, Gamma: 0.4, Depth: 2, Forks: 1, MaxLen: 3}
 	c := mustCompile(t, p)
-	n := c.NumStates()
-	for s := 0; s < n; s++ {
-		var sum float64
-		first := true
-		for k := c.transStart[s]; k < c.transStart[s+1]; k++ {
-			if c.meta[k]&metaNewAction != 0 && !first {
-				if math.Abs(sum-1) > 1e-6 {
-					t.Fatalf("state %d: action probabilities sum to %v", s, sum)
-				}
-				sum = 0
-			}
-			first = false
-			sum += float64(c.probs[k])
-		}
-		if math.Abs(sum-1) > 1e-6 {
-			t.Fatalf("state %d: last action probabilities sum to %v", s, sum)
-		}
+	if err := c.CheckStochastic(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetChainParams(0.4, 0.9); err != nil {
+		t.Fatalf("SetChainParams: %v", err)
+	}
+	if err := c.CheckStochastic(1e-6); err != nil {
+		t.Fatal(err)
 	}
 }
 

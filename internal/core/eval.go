@@ -32,7 +32,7 @@ func ERRevOfPolicy(m *Model, policy []int) (float64, error) {
 		}
 		buf = m.RawTransitions(s, a, buf[:0])
 		for _, r := range buf {
-			pr := r.Prob(p, gamma)
+			pr := RawProb(r, p, gamma)
 			entries = append(entries, linalg.Entry{Row: s, Col: r.Dst, Val: pr})
 			numVec[s] += pr * float64(r.RA)
 			denVec[s] += pr * (float64(r.RA) + float64(r.RH))

@@ -3,15 +3,17 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/mdp"
 )
 
 // TransKind classifies a transition's probability law, so that the same
 // compiled structure can be reused for every (p, γ): the probability of a
-// transition is a function of its kind (and σ) only.
-type TransKind uint8
+// transition is a function of its kind (and σ) only. Kinds are indices
+// into the fork family's probability-law table (see Laws).
+type TransKind = uint8
 
-// Transition kinds.
+// Transition kinds of the fork model.
 const (
 	// KindAdvMine: the adversary wins the mining race on one of σ targets;
 	// probability p/(1−p+p·σ).
@@ -28,31 +30,26 @@ const (
 )
 
 // Raw is a transition with its probability law and block-finalization
-// counts, before a concrete (p, γ, β) is applied.
-type Raw struct {
-	Dst   int
-	Kind  TransKind
-	Sigma uint8 // adversary target count, meaningful for mining kinds
-	RA    uint8 // adversary blocks made permanent by this transition
-	RH    uint8 // honest blocks made permanent by this transition
+// counts, before a concrete (p, γ, β) is applied. It is the kernel's
+// transition type; Kind holds the TransKind law index.
+type Raw = kernel.Raw
+
+// forkLaws is the fork family's probability-law table, indexed by
+// TransKind. The closures mirror the closed forms in the kind comments;
+// the compiled kernel evaluates them once per (kind, σ) on every
+// SetChainParams.
+var forkLaws = []kernel.ProbLaw{
+	KindAdvMine:  func(p, _ float64, sigma int) float64 { return p / (1 - p + p*float64(sigma)) },
+	KindHonMine:  func(p, _ float64, sigma int) float64 { return (1 - p) / (1 - p + p*float64(sigma)) },
+	KindSure:     func(_, _ float64, _ int) float64 { return 1 },
+	KindRaceWin:  func(_, gamma float64, _ int) float64 { return gamma },
+	KindRaceLose: func(_, gamma float64, _ int) float64 { return 1 - gamma },
 }
 
-// Prob resolves the transition probability for concrete parameters.
-func (r Raw) Prob(p, gamma float64) float64 {
-	switch r.Kind {
-	case KindAdvMine:
-		return p / (1 - p + p*float64(r.Sigma))
-	case KindHonMine:
-		return (1 - p) / (1 - p + p*float64(r.Sigma))
-	case KindSure:
-		return 1
-	case KindRaceWin:
-		return gamma
-	case KindRaceLose:
-		return 1 - gamma
-	default:
-		return 0
-	}
+// RawProb resolves the transition probability of a fork-model transition
+// for concrete chain parameters.
+func RawProb(r Raw, p, gamma float64) float64 {
+	return forkLaws[r.Kind](p, gamma, int(r.Sigma))
 }
 
 // RewardMode selects which scalar reward the mdp.Model view exposes.
@@ -90,6 +87,7 @@ type Model struct {
 var _ mdp.Model = (*Model)(nil)
 var _ mdp.ActionLabeler = (*Model)(nil)
 var _ mdp.Cloner = (*Model)(nil)
+var _ kernel.Source = (*Model)(nil)
 
 // NewModel constructs the MDP for validated parameters.
 func NewModel(p Params) (*Model, error) {
@@ -399,8 +397,20 @@ func (m *Model) Transitions(sIdx, a int, buf []mdp.Transition) []mdp.Transition 
 	raw := m.RawTransitions(sIdx, a, m.rawBuf[:0])
 	m.rawBuf = raw[:0]
 	for _, r := range raw {
-		pr := r.Prob(m.params.P, m.params.Gamma)
+		pr := RawProb(r, m.params.P, m.params.Gamma)
 		buf = append(buf, mdp.Transition{Dst: r.Dst, Prob: pr, Reward: m.rewardOf(r.RA, r.RH)})
 	}
 	return buf
+}
+
+// Laws implements kernel.Source: the fork family's probability-law table,
+// indexed by TransKind.
+func (m *Model) Laws() []kernel.ProbLaw { return forkLaws }
+
+// BlockRate implements kernel.Source: δ = (1−p)/(1−p+p·d·f), a lower bound
+// on the per-step rate of permanent blocks (see Params.BlockRate).
+func (m *Model) BlockRate(p, gamma float64) float64 {
+	pr := m.params
+	pr.P, pr.Gamma = p, gamma
+	return pr.BlockRate()
 }

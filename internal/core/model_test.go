@@ -51,7 +51,7 @@ func TestMiningTransitionsInitial(t *testing.T) {
 	s := m.Codec().NewState()
 	var sawAdv, sawHon bool
 	for _, r := range raw {
-		pr := r.Prob(p.P, p.Gamma)
+		pr := RawProb(r, p.P, p.Gamma)
 		m.Codec().Decode(r.Dst, s)
 		switch r.Kind {
 		case KindAdvMine:
@@ -97,7 +97,7 @@ func TestSigmaCountsFreshForkPerDepth(t *testing.T) {
 	}
 	var total float64
 	for _, r := range raw {
-		total += r.Prob(p.P, p.Gamma)
+		total += RawProb(r, p.P, p.Gamma)
 	}
 	if math.Abs(total-1) > 1e-12 {
 		t.Errorf("probabilities sum to %v", total)
@@ -155,7 +155,7 @@ func TestPendingHonestRace(t *testing.T) {
 		switch r.Kind {
 		case KindRaceWin:
 			sawWin = true
-			if pr := r.Prob(p.P, p.Gamma); math.Abs(pr-0.25) > 1e-12 {
+			if pr := RawProb(r, p.P, p.Gamma); math.Abs(pr-0.25) > 1e-12 {
 				t.Errorf("win probability %v, want 0.25", pr)
 			}
 			// d=1: the revealed block is immediately permanent.
@@ -167,7 +167,7 @@ func TestPendingHonestRace(t *testing.T) {
 			}
 		case KindRaceLose:
 			sawLose = true
-			if pr := r.Prob(p.P, p.Gamma); math.Abs(pr-0.75) > 1e-12 {
+			if pr := RawProb(r, p.P, p.Gamma); math.Abs(pr-0.75) > 1e-12 {
 				t.Errorf("lose probability %v, want 0.75", pr)
 			}
 			if r.RA != 0 || r.RH != 1 {

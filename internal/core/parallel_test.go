@@ -24,7 +24,7 @@ func solveAll(t *testing.T, workers int) (*CompiledResult, []int, float64, []flo
 	if err != nil {
 		t.Fatalf("workers=%d: EvalERRev: %v", workers, err)
 	}
-	return res, policy, errev, append([]float64(nil), c.h...)
+	return res, policy, errev, c.Values()
 }
 
 // TestCompiledParallelDeterminism is the solver-level half of the chunked
@@ -67,17 +67,13 @@ func TestCompiledCloneIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := base.Clone()
-	if &cl.transStart[0] != &base.transStart[0] || &cl.dst[0] != &base.dst[0] || &cl.meta[0] != &base.meta[0] {
-		t.Error("clone does not share the immutable transition structure")
-	}
-	if &cl.probs[0] == &base.probs[0] {
-		t.Error("clone shares the mutable probability buffer")
-	}
+	// Structure sharing itself is pinned down by the kernel package's own
+	// clone tests; here the fork-level check is behavioral independence.
 	if err := cl.SetChainParams(0.2, 0.1); err != nil {
 		t.Fatal(err)
 	}
-	if base.Params().P != 0.3 || base.Params().Gamma != 0.5 {
-		t.Errorf("clone's SetChainParams leaked into base: %v", base.Params())
+	if base.P() != 0.3 || base.Gamma() != 0.5 {
+		t.Errorf("clone's SetChainParams leaked into base: p=%v gamma=%v", base.P(), base.Gamma())
 	}
 	// Both still solve, to different gains (different p).
 	rb, err := base.MeanPayoff(0.35, CompiledOptions{})

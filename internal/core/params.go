@@ -38,18 +38,17 @@
 // of scalar rewards of Section 3.3 is r_β = r_A − β(r_A + r_H); Algorithm 1
 // binary-searches β for the zero of the optimal mean payoff.
 //
-// # Parallel compiled solver
+// # Compilation onto the protocol-agnostic kernel
 //
-// The Compiled solver fans every value-iteration sweep out across worker
-// goroutines (SetWorkers), partitioning the state space into contiguous
-// chunks. This is exactly reproducible: a sweep computes next[s] from the
-// previous value vector h alone, so the chunked computation performs the
-// same floating-point operations in the same per-state order as the serial
-// loop, and the per-chunk gain brackets are merged with exact min/max.
-// Results are therefore bitwise identical at every worker count. Compiled
-// instances additionally support Clone — shared immutable transition
-// structure, private probability/value buffers — so one compilation serves
-// a whole pool of concurrent solvers (see selfishmining.Sweep).
+// Model implements kernel.Source: its transition kinds are indices into a
+// probability-law table (Laws), so Compile flattens the state machine onto
+// the shared flat-CSR mean-payoff kernel of package kernel — the same
+// kernel every other registered attack-model family (package families)
+// solves on. The kernel fans every value-iteration sweep out across worker
+// goroutines with bitwise-identical results at any worker count, and its
+// Clone support lets one compilation serve a whole pool of concurrent
+// solvers (see selfishmining.Sweep); the determinism argument lives with
+// the kernel and package par.
 package core
 
 import (

@@ -1,0 +1,42 @@
+package families
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// forkFamily adapts the paper's (d, f, l) fork model (package core) to the
+// registry. It is the default family and the only one with a physical
+// simulation substrate (selfishmining's Simulate/Profile).
+type forkFamily struct{}
+
+func init() { Register(forkFamily{}) }
+
+func (forkFamily) Name() string { return "fork" }
+
+func (forkFamily) Description() string {
+	return "the paper's fork model: private forks on each of the last d main-chain blocks, f forks per block, length bound l"
+}
+
+func (forkFamily) ShapeDoc() ShapeDoc {
+	return ShapeDoc{
+		Depth:  "attack depth d >= 1: forks grow on each of the last d main-chain blocks",
+		Forks:  "forking number f >= 1: private forks maintained per forked block",
+		MaxLen: "fork length bound l >= 1 keeping the MDP finite",
+	}
+}
+
+func (forkFamily) DefaultShape() (int, int, int) { return 2, 2, 4 }
+
+func (forkFamily) Validate(p core.Params) error { return p.Validate() }
+
+func (forkFamily) NumStates(p core.Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.NumStates(), nil
+}
+
+func (forkFamily) Source(p core.Params) (kernel.Source, error) {
+	return core.NewModel(p)
+}

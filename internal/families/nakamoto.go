@@ -1,0 +1,222 @@
+package families
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// nakamotoFamily is the classic d=1 selfish-mining decision process on a
+// Nakamoto-style longest-chain protocol, in the standard (a, h, fork)
+// state space of Sapirshtein et al.: a private adversary chain of length
+// a, a public honest chain of length h since the fork point, and a fork
+// label recording whether the last block was the adversary's (irrelevant),
+// the honest miners' (relevant: a match is possible), or whether a match
+// is active (the network is split). Actions are adopt, override, wait and
+// match; chain lengths are truncated at the bound l, which forces a
+// decision at the boundary (the standard finite truncation, a lower bound
+// on the unbounded optimum).
+//
+// The family is a cheap smoke test for the protocol-agnostic pipeline: its
+// optimum is the honest revenue p below the classic profitability
+// threshold and is lower-bounded by the published SM1 closed form above it
+// (see the families tests).
+//
+// Shape mapping: Depth and Forks must be 1; MaxLen is the truncation bound
+// on both chain lengths.
+type nakamotoFamily struct{}
+
+func init() { Register(nakamotoFamily{}) }
+
+// nakamotoMaxLen keeps per-transition reward counts (up to l) within the
+// kernel's 6-bit field.
+const nakamotoMaxLen = 62
+
+func (nakamotoFamily) Name() string { return "nakamoto" }
+
+func (nakamotoFamily) Description() string {
+	return "classic d=1 Nakamoto selfish mining (adopt/override/wait/match over private vs public chain lengths), a smoke-test family"
+}
+
+func (nakamotoFamily) ShapeDoc() ShapeDoc {
+	return ShapeDoc{
+		Depth:  "must be 1 (single private chain)",
+		Forks:  "must be 1 (single private chain)",
+		MaxLen: fmt.Sprintf("truncation bound on the private and public chain lengths, 1..%d", nakamotoMaxLen),
+	}
+}
+
+func (nakamotoFamily) DefaultShape() (int, int, int) { return 1, 1, 20 }
+
+func (nakamotoFamily) Validate(p core.Params) error {
+	if p.P < 0 || p.P > 1 || math.IsNaN(p.P) {
+		return fmt.Errorf("families: nakamoto adversary resource P = %v outside [0, 1]", p.P)
+	}
+	if p.Gamma < 0 || p.Gamma > 1 || math.IsNaN(p.Gamma) {
+		return fmt.Errorf("families: nakamoto switching probability Gamma = %v outside [0, 1]", p.Gamma)
+	}
+	if p.Depth != 1 || p.Forks != 1 {
+		return fmt.Errorf("families: nakamoto needs d = f = 1 (got d=%d f=%d); the family has a single private chain", p.Depth, p.Forks)
+	}
+	if p.MaxLen < 1 || p.MaxLen > nakamotoMaxLen {
+		return fmt.Errorf("families: nakamoto chain bound l = %d, need 1..%d", p.MaxLen, nakamotoMaxLen)
+	}
+	return nil
+}
+
+func (f nakamotoFamily) NumStates(p core.Params) (int, error) {
+	if err := f.Validate(p); err != nil {
+		return 0, err
+	}
+	n := p.MaxLen + 1
+	return n * n * 3, nil
+}
+
+func (f nakamotoFamily) Source(p core.Params) (kernel.Source, error) {
+	if err := f.Validate(p); err != nil {
+		return nil, err
+	}
+	return &nakamotoSource{l: p.MaxLen}, nil
+}
+
+// Fork labels.
+const (
+	nkIrrelevant = iota // last block was the adversary's
+	nkRelevant          // last block was honest; a match is possible
+	nkActive            // a match is published; the honest network is split
+)
+
+// Probability laws: the next block is the adversary's w.p. p; an honest
+// block lands on the adversary's published branch w.p. γ(1−p) while a
+// match is active, on the honest branch otherwise.
+const (
+	nkAdv uint8 = iota
+	nkHon
+	nkHonOnAdv
+	nkHonOnHon
+)
+
+var nakamotoLaws = []kernel.ProbLaw{
+	nkAdv:      func(p, _ float64, _ int) float64 { return p },
+	nkHon:      func(p, _ float64, _ int) float64 { return 1 - p },
+	nkHonOnAdv: func(p, gamma float64, _ int) float64 { return gamma * (1 - p) },
+	nkHonOnHon: func(p, gamma float64, _ int) float64 { return (1 - gamma) * (1 - p) },
+}
+
+// Action identifiers (resolved per state in this fixed order).
+const (
+	nkAdopt = iota
+	nkOverride
+	nkWait // includes the active-fork wait, which races with γ
+	nkMatch
+)
+
+// nakamotoSource enumerates the dense (a, h, fork) state space. Dense
+// states that are unreachable under consistent play (e.g. an active fork
+// with a < h) still carry well-formed dynamics (their match/active
+// semantics simply degrade to wait), keeping the MDP total and
+// communicating.
+type nakamotoSource struct {
+	l int
+}
+
+func (n *nakamotoSource) NumStates() int { return (n.l + 1) * (n.l + 1) * 3 }
+
+func (n *nakamotoSource) decode(idx int) (a, h, fk int) {
+	fk = idx % 3
+	idx /= 3
+	h = idx % (n.l + 1)
+	a = idx / (n.l + 1)
+	return
+}
+
+func (n *nakamotoSource) encode(a, h, fk int) int {
+	return (a*(n.l+1)+h)*3 + fk
+}
+
+// actions lists the legal action identifiers of a state in fixed order.
+func (n *nakamotoSource) actions(a, h, fk int) []int {
+	acts := make([]int, 0, 4)
+	if h >= 1 {
+		acts = append(acts, nkAdopt)
+	}
+	if a > h {
+		acts = append(acts, nkOverride)
+	}
+	active := fk == nkActive && a >= h && h >= 1
+	if active {
+		if a < n.l {
+			acts = append(acts, nkWait)
+		}
+	} else if a < n.l && h < n.l {
+		acts = append(acts, nkWait)
+	}
+	if fk == nkRelevant && a >= h && h >= 1 && a < n.l {
+		acts = append(acts, nkMatch)
+	}
+	return acts
+}
+
+func (n *nakamotoSource) NumActions(s int) int {
+	return len(n.actions(n.decode(s)))
+}
+
+func (n *nakamotoSource) Laws() []kernel.ProbLaw { return nakamotoLaws }
+
+func (n *nakamotoSource) RawTransitions(s, act int, buf []kernel.Raw) []kernel.Raw {
+	a, h, fk := n.decode(s)
+	acts := n.actions(a, h, fk)
+	if act < 0 || act >= len(acts) {
+		panic(fmt.Sprintf("families: nakamoto action %d out of range in state (%d,%d,%d)", act, a, h, fk))
+	}
+	switch acts[act] {
+	case nkAdopt:
+		// Accept the public chain: its h blocks settle for the honest
+		// miners; the race restarts at the new tip.
+		return append(buf,
+			kernel.Raw{Dst: n.encode(1, 0, nkIrrelevant), Kind: nkAdv, RH: uint8(h)},
+			kernel.Raw{Dst: n.encode(0, 1, nkRelevant), Kind: nkHon, RH: uint8(h)},
+		)
+	case nkOverride:
+		// Publish h+1 private blocks, orphaning the public chain: they
+		// settle for the adversary; a−h−1 private blocks remain withheld.
+		return append(buf,
+			kernel.Raw{Dst: n.encode(a-h, 0, nkIrrelevant), Kind: nkAdv, RA: uint8(h + 1)},
+			kernel.Raw{Dst: n.encode(a-h-1, 1, nkRelevant), Kind: nkHon, RA: uint8(h + 1)},
+		)
+	case nkWait:
+		if fk == nkActive && a >= h && h >= 1 {
+			// The network is split on a published h-block match: an honest
+			// block lands on the adversary's branch w.p. γ(1−p), settling
+			// the h matched blocks for the adversary.
+			return append(buf,
+				kernel.Raw{Dst: n.encode(a+1, h, nkActive), Kind: nkAdv},
+				kernel.Raw{Dst: n.encode(a-h, 1, nkRelevant), Kind: nkHonOnAdv, RA: uint8(h)},
+				kernel.Raw{Dst: n.encode(a, h+1, nkRelevant), Kind: nkHonOnHon},
+			)
+		}
+		return append(buf,
+			kernel.Raw{Dst: n.encode(a+1, h, nkIrrelevant), Kind: nkAdv},
+			kernel.Raw{Dst: n.encode(a, h+1, nkRelevant), Kind: nkHon},
+		)
+	case nkMatch:
+		// Publish h blocks tying the public chain; the next block resolves
+		// the race exactly as an active wait.
+		return append(buf,
+			kernel.Raw{Dst: n.encode(a+1, h, nkActive), Kind: nkAdv},
+			kernel.Raw{Dst: n.encode(a-h, 1, nkRelevant), Kind: nkHonOnAdv, RA: uint8(h)},
+			kernel.Raw{Dst: n.encode(a, h+1, nkRelevant), Kind: nkHonOnHon},
+		)
+	}
+	panic("families: unreachable nakamoto action")
+}
+
+// BlockRate is a conservative lower bound on the per-step settlement rate:
+// honest blocks arrive at rate 1−p and at most l+1 steps separate
+// consecutive settlement events (a wait run is bounded by the truncation).
+// An underestimate only costs solver sweeps, never a wrong sign.
+func (n *nakamotoSource) BlockRate(p, _ float64) float64 {
+	return (1 - p) / float64(n.l+1)
+}

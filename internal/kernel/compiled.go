@@ -1,4 +1,4 @@
-package core
+package kernel
 
 import (
 	"fmt"
@@ -9,15 +9,15 @@ import (
 
 // metaTrans packs per-transition metadata into a uint32:
 //
-//	bits 0..2   TransKind
+//	bits 0..2   law index
 //	bit  3      first transition of a new action
-//	bits 4..11  sigma (adversary target count)
+//	bits 4..11  sigma (law annotation)
 //	bits 12..17 rh
 //	bits 18..23 ra
 //
 // Bits 12..23 double as an index into a 4096-entry reward lookup table.
 const (
-	metaKindMask   = 0x7
+	metaLawMask    = 0x7
 	metaNewAction  = 1 << 3
 	metaSigmaShift = 4
 	metaRwdShift   = 12
@@ -27,11 +27,12 @@ const (
 	rwdTableSize   = 1 << 12
 )
 
-// Compiled is a flattened, solver-friendly representation of the attack
-// MDP transition structure for fixed (d, f, l). The structure is shared by
-// every (p, γ, β): probabilities are resolved by SetChainParams and the
-// scalar β-reward by a lookup table per sweep. It implements fast
-// mean-payoff value iteration and fixed-policy evaluation for large models.
+// Compiled is a flattened, solver-friendly representation of an attack MDP
+// transition structure for one fixed shape. The structure is shared by
+// every (p, γ, β): probabilities are resolved by SetChainParams through the
+// family's probability-law table and the scalar β-reward by a lookup table
+// per sweep. It implements fast mean-payoff value iteration and
+// fixed-policy evaluation for large models.
 //
 // A Compiled instance is not safe for concurrent use, but Clone produces
 // independent instances that share the immutable transition structure, so
@@ -44,11 +45,15 @@ const (
 // with exact min/max — so chunked execution reproduces the serial sweep
 // exactly. See the package par documentation for the full argument.
 type Compiled struct {
-	params Params // P and Gamma are the values last passed to SetChainParams
+	p, gamma float64 // values last passed to SetChainParams
+
+	laws     []ProbLaw                      // family law table; shared by clones
+	rate     func(p, gamma float64) float64 // family block-rate bound; shared
+	maxSigma int                            // largest σ annotation observed at compile time
 
 	transStart []int64   // per-state transition range, len n+1; shared by clones
 	dst        []int32   // transition destinations; shared by clones
-	meta       []uint32  // packed kind/flag/sigma/ra/rh; shared by clones
+	meta       []uint32  // packed law/flag/sigma/ra/rh; shared by clones
 	probs      []float32 // resolved probabilities for current (p, γ); per-instance
 
 	h, next []float64 // value-iteration buffers; per-instance
@@ -80,14 +85,18 @@ func (c *Compiled) sweepWorkers() int {
 
 // Clone returns an independent solver over the same compiled transition
 // structure. The immutable arrays (transition ranges, destinations,
-// metadata) are shared with the receiver; the mutable per-solve state
-// (resolved probabilities, value vectors, parameters, worker count) is
-// copied. Distinct clones are safe for concurrent use, which is how the
+// metadata, law table) are shared with the receiver; the mutable per-solve
+// state (resolved probabilities, value vectors, parameters, worker count)
+// is copied. Distinct clones are safe for concurrent use, which is how the
 // sweep orchestration in package selfishmining gives each worker its own
-// solver while compiling every (d, f, l) structure once.
+// solver while compiling every attack shape once.
 func (c *Compiled) Clone() *Compiled {
 	nc := &Compiled{
-		params:     c.params,
+		p:          c.p,
+		gamma:      c.gamma,
+		laws:       c.laws,
+		rate:       c.rate,
+		maxSigma:   c.maxSigma,
 		transStart: c.transStart,
 		dst:        c.dst,
 		meta:       c.meta,
@@ -99,17 +108,25 @@ func (c *Compiled) Clone() *Compiled {
 	return nc
 }
 
-// Compile builds the flattened transition structure. Only Depth, Forks and
-// MaxLen of params matter at compile time; P and Gamma seed the initial
-// probability resolution and can be changed with SetChainParams.
-func Compile(params Params) (*Compiled, error) {
-	m, err := NewModel(params)
-	if err != nil {
-		return nil, err
+// Compile builds the flattened transition structure from a family source
+// and resolves probabilities at the initial chain parameters (p, γ).
+//
+// The returned Compiled retains src's BlockRate method (and therefore the
+// source value) for its lifetime; sources holding large exploration state
+// should free everything that bound does not need once Compile returns
+// (see families.Compile).
+func Compile(src Source, p, gamma float64) (*Compiled, error) {
+	laws := src.Laws()
+	if len(laws) == 0 || len(laws) > MaxLaws {
+		return nil, fmt.Errorf("kernel: law table has %d entries, need 1..%d", len(laws), MaxLaws)
 	}
-	n := m.NumStates()
+	n := src.NumStates()
+	if n <= 0 {
+		return nil, fmt.Errorf("kernel: source has %d states", n)
+	}
 	c := &Compiled{
-		params:     params,
+		laws:       laws,
+		rate:       src.BlockRate,
 		transStart: make([]int64, n+1),
 	}
 	// First pass: count transitions.
@@ -117,9 +134,15 @@ func Compile(params Params) (*Compiled, error) {
 	var total int64
 	for s := 0; s < n; s++ {
 		c.transStart[s] = total
-		na := m.NumActions(s)
+		na := src.NumActions(s)
+		if na <= 0 {
+			return nil, fmt.Errorf("kernel: state %d has %d actions, need >= 1", s, na)
+		}
 		for a := 0; a < na; a++ {
-			buf = m.RawTransitions(s, a, buf[:0])
+			buf = src.RawTransitions(s, a, buf[:0])
+			if len(buf) == 0 {
+				return nil, fmt.Errorf("kernel: state %d action %d has no successors", s, a)
+			}
 			total += int64(len(buf))
 		}
 	}
@@ -130,10 +153,22 @@ func Compile(params Params) (*Compiled, error) {
 	// Second pass: fill.
 	var k int64
 	for s := 0; s < n; s++ {
-		na := m.NumActions(s)
+		na := src.NumActions(s)
 		for a := 0; a < na; a++ {
-			buf = m.RawTransitions(s, a, buf[:0])
+			buf = src.RawTransitions(s, a, buf[:0])
 			for i, r := range buf {
+				if int(r.Kind) >= len(laws) {
+					return nil, fmt.Errorf("kernel: state %d action %d: law index %d outside table of %d", s, a, r.Kind, len(laws))
+				}
+				if r.RA > MaxReward || r.RH > MaxReward {
+					return nil, fmt.Errorf("kernel: state %d action %d: reward counts (%d, %d) exceed %d", s, a, r.RA, r.RH, MaxReward)
+				}
+				if r.Dst < 0 || r.Dst >= n {
+					return nil, fmt.Errorf("kernel: state %d action %d: destination %d out of range", s, a, r.Dst)
+				}
+				if int(r.Sigma) > c.maxSigma {
+					c.maxSigma = int(r.Sigma)
+				}
 				mv := uint32(r.Kind) |
 					uint32(r.Sigma)<<metaSigmaShift |
 					uint32(r.RH)<<metaRHShift |
@@ -149,13 +184,22 @@ func Compile(params Params) (*Compiled, error) {
 	}
 	c.h = make([]float64, n)
 	c.next = make([]float64, n)
-	c.resolveProbs()
+	if err := c.SetChainParams(p, gamma); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
-// Params returns the current parameters (including the last chain
-// parameters set).
-func (c *Compiled) Params() Params { return c.params }
+// P returns the adversary resource fraction last set.
+func (c *Compiled) P() float64 { return c.p }
+
+// Gamma returns the switching probability last set.
+func (c *Compiled) Gamma() float64 { return c.gamma }
+
+// BlockRate evaluates the family's permanent-block-rate lower bound at the
+// current chain parameters; it calibrates the gain tolerance an ε-accurate
+// binary search on β needs (see analysis.AnalyzeCompiled).
+func (c *Compiled) BlockRate() float64 { return c.rate(c.p, c.gamma) }
 
 // Values returns a copy of the current value vector — after a solve, the
 // converged relative values. Feed it to SetValues on a Compiled over the
@@ -172,7 +216,7 @@ func (c *Compiled) Values() []float64 {
 // so sign-only solves still decide the true sign (see MeanPayoff).
 func (c *Compiled) SetValues(v []float64) error {
 	if len(v) != len(c.h) {
-		return fmt.Errorf("core: warm-start vector has %d entries, model has %d states", len(v), len(c.h))
+		return fmt.Errorf("kernel: warm-start vector has %d entries, model has %d states", len(v), len(c.h))
 	}
 	copy(c.h, v)
 	return nil
@@ -185,44 +229,74 @@ func (c *Compiled) NumStates() int { return len(c.transStart) - 1 }
 func (c *Compiled) NumTransitions() int64 { return c.transStart[c.NumStates()] }
 
 // SetChainParams re-resolves transition probabilities for new (p, γ)
-// without recompiling the structure, and clears the warm-start state.
+// through the family's law table without recompiling the structure, and
+// clears the warm-start state.
 func (c *Compiled) SetChainParams(p, gamma float64) error {
-	np := c.params
-	np.P, np.Gamma = p, gamma
-	if err := np.Validate(); err != nil {
-		return err
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return fmt.Errorf("kernel: adversary resource p = %v outside [0, 1]", p)
 	}
-	c.params = np
+	if gamma < 0 || gamma > 1 || math.IsNaN(gamma) {
+		return fmt.Errorf("kernel: switching probability gamma = %v outside [0, 1]", gamma)
+	}
+	c.p, c.gamma = p, gamma
 	c.resolveProbs()
 	return nil
 }
 
+// resolveProbs evaluates the law table for the current chain parameters.
+// Laws are pure in (p, γ, σ), so each (law, σ) pair is evaluated exactly
+// once into a lookup table and the per-transition loop is pure reads.
 func (c *Compiled) resolveProbs() {
-	p, gamma := c.params.P, c.params.Gamma
-	maxSigma := c.params.MaxSigma()
-	padv := make([]float64, maxSigma+1)
-	phon := make([]float64, maxSigma+1)
-	for s := 1; s <= maxSigma; s++ {
-		den := 1 - p + p*float64(s)
-		padv[s] = p / den
-		phon[s] = (1 - p) / den
+	p, gamma := c.p, c.gamma
+	vals := make([][]float64, len(c.laws))
+	for li, law := range c.laws {
+		lv := make([]float64, c.maxSigma+1)
+		for s := 0; s <= c.maxSigma; s++ {
+			lv[s] = law(p, gamma, s)
+		}
+		vals[li] = lv
 	}
 	for k := range c.meta {
 		mv := c.meta[k]
 		sigma := (mv >> metaSigmaShift) & 0xFF
-		switch TransKind(mv & metaKindMask) {
-		case KindAdvMine:
-			c.probs[k] = float32(padv[sigma])
-		case KindHonMine:
-			c.probs[k] = float32(phon[sigma])
-		case KindSure:
-			c.probs[k] = 1
-		case KindRaceWin:
-			c.probs[k] = float32(gamma)
-		case KindRaceLose:
-			c.probs[k] = float32(1 - gamma)
+		c.probs[k] = float32(vals[mv&metaLawMask][sigma])
+	}
+}
+
+// CheckStochastic verifies that every action's resolved probabilities are
+// non-negative, finite, and sum to 1 within tol at the current chain
+// parameters — the structural well-formedness check model families run in
+// their tests.
+func (c *Compiled) CheckStochastic(tol float64) error {
+	n := c.NumStates()
+	for s := 0; s < n; s++ {
+		var sum float64
+		first := true
+		check := func() error {
+			if math.Abs(sum-1) > tol {
+				return fmt.Errorf("kernel: state %d: action probabilities sum to %v, want 1", s, sum)
+			}
+			return nil
+		}
+		for k := c.transStart[s]; k < c.transStart[s+1]; k++ {
+			if c.meta[k]&metaNewAction != 0 && !first {
+				if err := check(); err != nil {
+					return err
+				}
+				sum = 0
+			}
+			first = false
+			pr := float64(c.probs[k])
+			if pr < 0 || math.IsNaN(pr) || math.IsInf(pr, 0) {
+				return fmt.Errorf("kernel: state %d: transition probability %v", s, pr)
+			}
+			sum += pr
+		}
+		if err := check(); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // rewardTable fills tab with the β-view rewards indexed by the packed
@@ -235,8 +309,8 @@ func rewardTable(tab *[rwdTableSize]float64, beta float64) {
 	}
 }
 
-// CompiledResult reports a compiled solve, mirroring solve.Result.
-type CompiledResult struct {
+// Result reports a compiled solve, mirroring solve.Result.
+type Result struct {
 	Gain      float64
 	Lo, Hi    float64
 	Iters     int
@@ -244,10 +318,10 @@ type CompiledResult struct {
 }
 
 // SignKnown reports whether the bracket determines the sign of the gain.
-func (r *CompiledResult) SignKnown() bool { return r.Lo > 0 || r.Hi < 0 }
+func (r *Result) SignKnown() bool { return r.Lo > 0 || r.Hi < 0 }
 
-// CompiledOptions tunes the compiled solver.
-type CompiledOptions struct {
+// Options tunes the compiled solver.
+type Options struct {
 	Tol      float64 // gain bracket width target; default 1e-7
 	MaxIter  int     // sweep budget; default 500000
 	Damping  float64 // aperiodicity mix; default 0.95
@@ -286,7 +360,7 @@ const signOnlyFloorFrac = 1e-6
 // midpoint rule this scheme replaced.
 const signOnlyStallSweeps = 512
 
-func (o *CompiledOptions) defaults() {
+func (o *Options) defaults() {
 	if o.Tol <= 0 {
 		o.Tol = 1e-7
 	}
@@ -299,14 +373,14 @@ func (o *CompiledOptions) defaults() {
 }
 
 // MeanPayoff runs relative value iteration for reward r_β over the compiled
-// structure. Semantics match solve.MeanPayoff on the equivalent Model.
+// structure. Semantics match solve.MeanPayoff on the equivalent model.
 //
 // Each sweep is parallelized across SetWorkers goroutines; the result is
 // bitwise identical at any worker count (see the Compiled type comment).
 // In SignOnly mode the solve runs until the bracket excludes zero (or
 // shrinks below Tol·signOnlyFloorFrac), so the certified sign is the true
 // sign of the gain — independent of any KeepValues warm start.
-func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResult, error) {
+func (c *Compiled) MeanPayoff(beta float64, opts Options) (*Result, error) {
 	opts.defaults()
 	n := c.NumStates()
 	if !opts.KeepValues {
@@ -317,7 +391,7 @@ func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResu
 	var rwd [rwdTableSize]float64
 	rewardTable(&rwd, beta)
 	tau := opts.Damping
-	res := &CompiledResult{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1)}
 	h, next := c.h, c.next
 	w := c.sweepWorkers()
 	red := par.NewMinMax(par.NumChunks(n, w))
@@ -387,7 +461,7 @@ func (c *Compiled) MeanPayoff(beta float64, opts CompiledOptions) (*CompiledResu
 	c.h, c.next = h, next
 	res.Gain = (res.Lo + res.Hi) / 2
 	if !res.Converged {
-		return res, fmt.Errorf("core: compiled solve: bracket [%v, %v] after %d sweeps without convergence", res.Lo, res.Hi, res.Iters)
+		return res, fmt.Errorf("kernel: compiled solve: bracket [%v, %v] after %d sweeps without convergence", res.Lo, res.Hi, res.Iters)
 	}
 	return res, nil
 }
@@ -436,17 +510,17 @@ func (c *Compiled) greedyRange(policy []int, h []float64, rwd *[rwdTableSize]flo
 
 // EvalERRev brackets the expected relative revenue of a fixed policy by two
 // iterative fixed-policy gain evaluations: gain(r_A) / gain(r_A + r_H).
-func (c *Compiled) EvalERRev(policy []int, opts CompiledOptions) (float64, error) {
+func (c *Compiled) EvalERRev(policy []int, opts Options) (float64, error) {
 	gainA, err := c.evalPolicyGain(policy, true, opts)
 	if err != nil {
-		return 0, fmt.Errorf("core: evaluating adversary gain: %w", err)
+		return 0, fmt.Errorf("kernel: evaluating adversary gain: %w", err)
 	}
 	gainTotal, err := c.evalPolicyGain(policy, false, opts)
 	if err != nil {
-		return 0, fmt.Errorf("core: evaluating total gain: %w", err)
+		return 0, fmt.Errorf("kernel: evaluating total gain: %w", err)
 	}
 	if gainTotal <= 0 {
-		return 0, fmt.Errorf("core: total block rate %v is not positive", gainTotal)
+		return 0, fmt.Errorf("kernel: total block rate %v is not positive", gainTotal)
 	}
 	return gainA / gainTotal, nil
 }
@@ -454,11 +528,11 @@ func (c *Compiled) EvalERRev(policy []int, opts CompiledOptions) (float64, error
 // evalPolicyGain runs fixed-policy relative value iteration with reward
 // r_A (advOnly) or r_A + r_H. Sweeps are parallelized like MeanPayoff and
 // equally independent of the worker count.
-func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts CompiledOptions) (float64, error) {
+func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts Options) (float64, error) {
 	opts.defaults()
 	n := c.NumStates()
 	if len(policy) != n {
-		return 0, fmt.Errorf("core: policy covers %d states, model has %d", len(policy), n)
+		return 0, fmt.Errorf("kernel: policy covers %d states, model has %d", len(policy), n)
 	}
 	var rwd [rwdTableSize]float64
 	for idx := 0; idx < rwdTableSize; idx++ {
@@ -522,5 +596,5 @@ func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts CompiledOptio
 			return (resLo + resHi) / 2, nil
 		}
 	}
-	return (resLo + resHi) / 2, fmt.Errorf("core: policy evaluation did not converge: bracket [%v, %v]", resLo, resHi)
+	return (resLo + resHi) / 2, fmt.Errorf("kernel: policy evaluation did not converge: bracket [%v, %v]", resLo, resHi)
 }

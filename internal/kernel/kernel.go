@@ -1,0 +1,83 @@
+// Package kernel is the protocol-agnostic compiled mean-payoff engine of
+// the reproduction: a flat-CSR representation of a finite attack MDP whose
+// transition probabilities are parametric in the chain parameters (p, γ),
+// with fast relative value iteration, greedy policy extraction and
+// fixed-policy evaluation on top.
+//
+// The kernel knows nothing about any concrete protocol. A model family
+// describes itself through the Source interface: it enumerates raw
+// transitions whose probability is an index into a family-supplied table of
+// probability laws — functions of (p, γ) and a per-transition σ annotation.
+// The paper's fork model (package core), the single-tree Eyal–Sirer
+// baseline and the classic Nakamoto selfish-mining state space (package
+// families) all compile onto this one kernel, so Algorithm 1's binary
+// search, the serving layer's structure cache and the sweep orchestration
+// are shared across families.
+//
+// Compiling a Source is done once per attack shape; re-pointing the
+// compiled structure at new chain parameters (SetChainParams) only
+// re-evaluates the law table. Probability laws are deterministic pure
+// functions, so compiled results inherit the repository-wide bitwise
+// reproducibility guarantees (see the Compiled type).
+package kernel
+
+// ProbLaw resolves a transition probability from the chain parameters
+// (p, γ) and the transition's σ annotation (for mining-race laws, the
+// number of concurrent proof targets; 0 when unused). Laws must be pure:
+// the same arguments always yield the same float64.
+type ProbLaw func(p, gamma float64, sigma int) float64
+
+// Raw is a transition with its probability law and block-finalization
+// counts, before concrete chain parameters are applied.
+type Raw struct {
+	// Dst is the destination state index.
+	Dst int
+	// Kind indexes the Source's law table (at most MaxLaws entries): the
+	// transition's probability at chain parameters (p, γ) is
+	// Laws()[Kind](p, γ, Sigma).
+	Kind uint8
+	// Sigma is the σ annotation passed to the law (0 when unused).
+	Sigma uint8
+	// RA and RH are the adversary/honest blocks made permanent by this
+	// transition; each must fit MaxReward.
+	RA uint8
+	// RH is the honest counterpart of RA.
+	RH uint8
+}
+
+// Source is a model family's description of one attack MDP instance: the
+// state space, the per-state actions, the raw transition structure, and
+// the probability-law table the raw transitions index into. Sources are
+// consumed once by Compile; they may keep internal scratch and need not be
+// safe for concurrent use.
+type Source interface {
+	// NumStates returns the number of states; states are 0..NumStates()-1
+	// and state 0 by convention contains the initial state's solve (the
+	// kernel's mean-payoff is constant across states for unichain models,
+	// so the choice does not matter to the certified gain).
+	NumStates() int
+	// NumActions returns the number of actions available in state s (≥ 1).
+	NumActions(s int) int
+	// RawTransitions appends the successors of (s, a) to buf and returns
+	// the extended slice.
+	RawTransitions(s, a int, buf []Raw) []Raw
+	// Laws returns the probability-law table the Raw.Law indices refer to.
+	Laws() []ProbLaw
+	// BlockRate lower-bounds the long-run rate of permanent blocks per MDP
+	// step at chain parameters (p, γ). It calibrates the solver precision
+	// that makes a binary search on β reliable at a given ε (it bounds
+	// |dMP*_β/dβ| from below); a conservative underestimate costs sweeps,
+	// never correctness, because sign-only solves certify exact signs.
+	BlockRate(p, gamma float64) float64
+}
+
+// Structural limits of the packed transition metadata.
+const (
+	// MaxLaws is the largest law table a Source may use (3 packed bits).
+	MaxLaws = 1 << 3
+	// MaxSigma is the largest σ annotation (8 packed bits).
+	MaxSigma = 1<<8 - 1
+	// MaxReward is the largest per-transition RA or RH count (6 packed
+	// bits each, jointly indexing the 4096-entry reward lookup table).
+	MaxReward = 1<<6 - 1
+)

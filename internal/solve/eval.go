@@ -42,12 +42,13 @@ func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, erro
 	tau := opts.Damping
 	ref := m.Initial()
 
-	views := workerViews(m, sweepChunks(n, opts.Workers))
+	views, fellBack := workerViews(m, sweepChunks(n, opts.Workers))
 	chunks := len(views)
 	red := par.NewMinMax(chunks)
 	bufs := make([][]mdp.Transition, chunks)
 
 	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1), Policy: policy}
+	res.SerialFallback = fellBack && opts.Workers > 1
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		hv, nx := h, next
 		par.For(n, chunks, func(chunk, from, to int) {

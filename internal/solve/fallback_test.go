@@ -1,0 +1,86 @@
+package solve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mdp"
+)
+
+// bigChain builds a deterministic n-state reward cycle, large enough that
+// an explicit multi-worker request genuinely wants more than one chunk.
+func bigChain(n int) *mdp.Explicit {
+	choices := make([][]mdp.Choice, n)
+	for s := 0; s < n; s++ {
+		reward := 0.0
+		if s == 0 {
+			reward = 1
+		}
+		choices[s] = []mdp.Choice{{Succ: []mdp.Transition{{Dst: (s + 1) % n, Prob: 1, Reward: reward}}}}
+	}
+	return &mdp.Explicit{Init: 0, Choices: choices}
+}
+
+// TestSerialFallbackSurfaced: an explicit Workers > 1 on a model without
+// mdp.Cloner must still solve correctly AND report the downgrade; the same
+// request on a Cloner model, and any implicit (Workers <= 1) request, must
+// not set the flag.
+func TestSerialFallbackSurfaced(t *testing.T) {
+	const n = 64
+	cloner := bigChain(n)
+	plain := nonCloner{m: bigChain(n)}
+
+	parallel, err := MeanPayoff(cloner, Options{Tol: 1e-9, Workers: 4})
+	if err != nil {
+		t.Fatalf("cloner solve: %v", err)
+	}
+	if parallel.SerialFallback {
+		t.Error("SerialFallback set although the model implements mdp.Cloner")
+	}
+
+	fallback, err := MeanPayoff(plain, Options{Tol: 1e-9, Workers: 4})
+	if err != nil {
+		t.Fatalf("non-cloner solve: %v", err)
+	}
+	if !fallback.SerialFallback {
+		t.Error("Workers=4 on a non-Cloner model did not report SerialFallback")
+	}
+	if math.Abs(fallback.Gain-parallel.Gain) > 1e-12 {
+		t.Errorf("fallback gain %v differs from parallel gain %v", fallback.Gain, parallel.Gain)
+	}
+
+	serial, err := MeanPayoff(nonCloner{m: bigChain(n)}, Options{Tol: 1e-9, Workers: 1})
+	if err != nil {
+		t.Fatalf("serial solve: %v", err)
+	}
+	if serial.SerialFallback {
+		t.Error("explicit Workers=1 is not a fallback")
+	}
+
+	auto, err := MeanPayoff(nonCloner{m: bigChain(n)}, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("default-workers solve: %v", err)
+	}
+	if auto.SerialFallback {
+		t.Error("defaulted Workers=0 must not report a fallback")
+	}
+}
+
+// TestSerialFallbackPolicyEval: EvalPolicyIterative surfaces the same
+// downgrade.
+func TestSerialFallbackPolicyEval(t *testing.T) {
+	const n = 64
+	policy := make([]int, n)
+	res, err := EvalPolicyIterative(nonCloner{m: bigChain(n)}, policy, Options{Tol: 1e-9, Workers: 4})
+	if err != nil {
+		t.Fatalf("EvalPolicyIterative: %v", err)
+	}
+	if !res.SerialFallback {
+		t.Error("policy evaluation did not report SerialFallback")
+	}
+	if got, err := EvalPolicyIterative(bigChain(n), policy, Options{Tol: 1e-9, Workers: 4}); err != nil {
+		t.Fatal(err)
+	} else if got.SerialFallback {
+		t.Error("SerialFallback set for a Cloner model")
+	}
+}

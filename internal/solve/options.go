@@ -58,9 +58,11 @@ type Options struct {
 	// positive value is honored exactly (capped at the state count); 0, the
 	// default, uses runtime.NumCPU() reduced for small models. Parallel
 	// sweeps require the model to implement mdp.Cloner (one independent
-	// view per worker); other models fall back to serial sweeps. The
-	// worker count never changes results — chunked sweeps are bitwise
-	// identical to serial ones — only wall-clock time.
+	// view per worker); other models fall back to serial sweeps, which
+	// Result.SerialFallback surfaces when the fallback overrode an
+	// explicit Workers > 1 request. The worker count never changes
+	// results — chunked sweeps are bitwise identical to serial ones — only
+	// wall-clock time.
 	Workers int
 }
 
@@ -92,6 +94,13 @@ type Result struct {
 	// Converged reports whether the bracket reached Tol (or, in SignOnly
 	// mode, excluded zero) before MaxIter.
 	Converged bool
+	// SerialFallback reports that an explicit Options.Workers > 1 request
+	// was downgraded to serial sweeps because the model does not implement
+	// mdp.Cloner (concurrent chunk workers need independent views). The
+	// numeric results are identical either way — only wall-clock time
+	// differs — so the downgrade is surfaced here instead of failing the
+	// solve.
+	SerialFallback bool
 }
 
 // SignKnown reports whether the bracket determines the sign of the gain.

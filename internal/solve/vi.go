@@ -37,24 +37,26 @@ func sweepChunks(n, workers int) int {
 }
 
 // workerViews returns one model view per chunk. Chunk 0 uses the caller's
-// model; the rest are independent views from mdp.Cloner. Models that do not
-// implement Cloner cannot be read concurrently, so they get a single view —
-// which silently degrades the sweep to serial execution (the results are
-// identical either way).
-func workerViews(m mdp.Model, chunks int) []mdp.Model {
+// model; the rest are independent views from mdp.Cloner. Models that do
+// not implement Cloner cannot be read concurrently, so they get a single
+// view, degrading the sweep to serial execution (the results are identical
+// either way); fellBack reports that degradation so MeanPayoff can surface
+// it on Result.SerialFallback instead of leaving an explicit multi-worker
+// request silently unhonored.
+func workerViews(m mdp.Model, chunks int) (views []mdp.Model, fellBack bool) {
 	if chunks <= 1 {
-		return []mdp.Model{m}
+		return []mdp.Model{m}, false
 	}
 	cl, ok := m.(mdp.Cloner)
 	if !ok {
-		return []mdp.Model{m}
+		return []mdp.Model{m}, true
 	}
-	views := make([]mdp.Model, chunks)
+	views = make([]mdp.Model, chunks)
 	views[0] = m
 	for i := 1; i < chunks; i++ {
 		views[i] = cl.CloneModel()
 	}
-	return views
+	return views, false
 }
 
 // MeanPayoff computes the optimal mean payoff of a unichain MDP by relative
@@ -94,12 +96,15 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	tau := opts.Damping
 	ref := m.Initial()
 
-	views := workerViews(m, sweepChunks(n, opts.Workers))
+	views, fellBack := workerViews(m, sweepChunks(n, opts.Workers))
 	chunks := len(views)
 	red := par.NewMinMax(chunks)
 	bufs := make([][]mdp.Transition, chunks)
 
 	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	// Only an explicit parallelism request counts as a fallback worth
+	// reporting; the Workers=0 default may legitimately resolve to serial.
+	res.SerialFallback = fellBack && opts.Workers > 1
 	lastWidth, stall := math.Inf(1), 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx

@@ -22,6 +22,20 @@
 //	if err != nil { ... }
 //	fmt.Printf("ERRev >= %.4f\n", res.ERRev)
 //
+// # Model families
+//
+// Algorithm 1 is model-agnostic — a binary search on β over any MDP whose
+// transition probabilities are parametric in the chain parameters — and
+// the pipeline is generic over pluggable attack-model families compiled
+// onto one protocol-agnostic kernel. AttackParams.Model selects the
+// family: "fork" (the paper's model, the default), "singletree" (the
+// Eyal–Sirer baseline as a decision-free MDP, cross-validated against the
+// exact stationary chain analysis), and "nakamoto" (the classic d=1
+// selfish-mining state space). Models lists the registered families with
+// their parameter semantics; unknown names fail with the valid list. Only
+// the fork family carries the physical simulation substrate — Simulate,
+// Profile and strategy files return ErrNoSubstrate elsewhere.
+//
 // # Parallelism
 //
 // The whole pipeline scales across cores by default. Analyze fans every
@@ -62,13 +76,19 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/families"
 	"repro/internal/simulate"
 	"repro/internal/strategy"
 )
 
-// AttackParams configures the selfish-mining attack MDP (Section 3.2 of
-// the paper).
+// AttackParams configures the selfish-mining attack MDP of one model
+// family. The shape fields (Depth, Forks, MaxForkLen) are interpreted by
+// the selected family — for the default fork family they are the paper's
+// (d, f, l) of Section 3.2; see Models for every family's reading.
 type AttackParams struct {
+	// Model selects the attack-model family ("" means DefaultModel, the
+	// paper's fork model). See Models for the registered families.
+	Model string
 	// Adversary is the fraction p ∈ [0, 1] of the total mining resource
 	// held by the adversarial coalition.
 	Adversary float64
@@ -76,12 +96,13 @@ type AttackParams struct {
 	// adversary's chain when a revealed fork ties the public chain in a
 	// broadcast race.
 	Switching float64
-	// Depth is the attack depth d ≥ 1: private forks are grown on each of
-	// the last d main-chain blocks.
+	// Depth is the attack depth d ≥ 1: for the fork family, private forks
+	// are grown on each of the last d main-chain blocks.
 	Depth int
-	// Forks is the forking number f ≥ 1: private forks per forked block.
+	// Forks is the forking number f ≥ 1: for the fork family, private
+	// forks per forked block; for singletree, the tree width bound.
 	Forks int
-	// MaxForkLen is the fork length bound l ≥ 1 that keeps the MDP finite.
+	// MaxForkLen is the length bound l ≥ 1 that keeps the MDP finite.
 	MaxForkLen int
 }
 
@@ -95,14 +116,46 @@ func (p AttackParams) core() core.Params {
 	}
 }
 
-// Validate checks parameter ranges and model size.
-func (p AttackParams) Validate() error { return p.core().Validate() }
+// family resolves the model family, normalizing the empty name to the
+// default.
+func (p AttackParams) family() (families.Family, error) {
+	return families.Get(p.Model)
+}
+
+// isFork reports whether the parameters select the default fork family
+// (the only family with a physical simulation substrate).
+func (p AttackParams) isFork() bool { return IsDefaultModel(p.Model) }
+
+// Validate checks the family name, parameter ranges and model size.
+func (p AttackParams) Validate() error {
+	fam, err := p.family()
+	if err != nil {
+		return err
+	}
+	return fam.Validate(p.core())
+}
 
 // String renders the parameters compactly.
-func (p AttackParams) String() string { return p.core().String() }
+func (p AttackParams) String() string {
+	if p.isFork() {
+		return p.core().String()
+	}
+	return fmt.Sprintf("model=%s %s", p.Model, p.core())
+}
 
-// NumStates returns the size of the induced MDP state space.
-func (p AttackParams) NumStates() int { return p.core().NumStates() }
+// NumStates returns the size of the induced MDP state space (0 if the
+// family or parameters are invalid; use Validate for the error).
+func (p AttackParams) NumStates() int {
+	fam, err := p.family()
+	if err != nil {
+		return 0
+	}
+	n, err := fam.NumStates(p.core())
+	if err != nil {
+		return 0
+	}
+	return n
+}
 
 // config collects analysis options.
 type config struct {
@@ -178,11 +231,19 @@ type Analysis struct {
 	// Iterations and Sweeps report binary-search steps and total
 	// value-iteration sweeps.
 	Iterations, Sweeps int
+	// NumStates is the size of the solved MDP state space, recorded at
+	// solve time — for families with explored state spaces this avoids
+	// re-deriving it from Params (which would rebuild the exploration).
+	NumStates int
 
 	model *core.Model
 }
 
-// Analyze runs the paper's Algorithm 1 on the given configuration.
+// Analyze runs the paper's Algorithm 1 on the given configuration of any
+// registered model family (AttackParams.Model). Non-fork families always
+// use the compiled kernel backend; WithCompiled(false) is only meaningful
+// for the fork family, whose on-the-fly state machine doubles as a generic
+// mdp.Model.
 func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 	cfg := config{epsilon: 1e-4}
 	for _, o := range opts {
@@ -193,11 +254,18 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 	if math.IsNaN(cfg.epsilon) || math.IsInf(cfg.epsilon, 0) {
 		return nil, fmt.Errorf("selfishmining: epsilon = %v is not a finite precision", cfg.epsilon)
 	}
-	cp := p.core()
-	if err := cp.Validate(); err != nil {
+	fam, err := p.family()
+	if err != nil {
 		return nil, err
 	}
-	useCompiled := cp.NumStates() >= compiledThreshold
+	cp := p.core()
+	if err := fam.Validate(cp); err != nil {
+		return nil, err
+	}
+	if !p.isFork() && cfg.useCompiled != nil && !*cfg.useCompiled {
+		return nil, fmt.Errorf("selfishmining: model family %q has no generic (non-compiled) backend; only %q does", fam.Name(), families.DefaultName)
+	}
+	useCompiled := !p.isFork() || cp.NumStates() >= compiledThreshold
 	if cfg.useCompiled != nil {
 		useCompiled = *cfg.useCompiled
 	}
@@ -209,32 +277,37 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 		Workers:          cfg.workers,
 	}
 	var res *analysis.Result
-	var err error
+	var numStates int
 	if useCompiled {
-		var comp *core.Compiled
-		comp, err = core.Compile(cp)
+		comp, err := families.Compile(fam.Name(), cp)
 		if err != nil {
 			return nil, err
 		}
+		numStates = comp.NumStates()
 		res, err = analysis.AnalyzeCompiled(comp, aOpts)
+		if err != nil {
+			return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
+		}
 	} else {
-		var m *core.Model
-		m, err = core.NewModel(cp)
+		m, err := core.NewModel(cp)
 		if err != nil {
 			return nil, err
 		}
+		numStates = m.NumStates()
 		res, err = analysis.Analyze(m, aOpts)
+		if err != nil {
+			return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
+		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
-	}
-	return newAnalysis(p, cp, res, !cfg.boundOnly)
+	return newAnalysis(p, cp, res, !cfg.boundOnly && p.isFork(), numStates)
 }
 
 // newAnalysis assembles the public result from an internal one. withModel
-// attaches the simulation substrate (skipped for bound-only analyses, which
-// carry no strategy to replay).
-func newAnalysis(p AttackParams, cp core.Params, res *analysis.Result, withModel bool) (*Analysis, error) {
+// attaches the simulation substrate (skipped for bound-only analyses,
+// which carry no strategy to replay, and for non-fork families, which
+// have none); numStates is the solved state count, recorded to spare
+// result consumers a re-derivation.
+func newAnalysis(p AttackParams, cp core.Params, res *analysis.Result, withModel bool, numStates int) (*Analysis, error) {
 	a := &Analysis{
 		Params:        p,
 		ERRev:         res.ERRev,
@@ -243,6 +316,7 @@ func newAnalysis(p AttackParams, cp core.Params, res *analysis.Result, withModel
 		Strategy:      res.Strategy,
 		Iterations:    res.Iterations,
 		Sweeps:        res.Sweeps,
+		NumStates:     numStates,
 	}
 	if withModel {
 		model, err := core.NewModel(cp)
@@ -275,29 +349,47 @@ func (a *Analysis) ChainQuality() float64 { return 1 - a.ERRev }
 // certifies the revenue bracket without extracting a strategy.
 var ErrBoundOnly = errors.New("selfishmining: bound-only analysis has no strategy")
 
+// ErrNoSubstrate is returned by the physical-simulation methods (Simulate,
+// Profile, WriteStrategy) of analyses over non-fork model families: the
+// longest-chain block-tree substrate replays fork-model strategies only.
+var ErrNoSubstrate = errors.New("selfishmining: simulation substrate is only available for the fork family")
+
 // Simulate replays the computed strategy on the physical chain substrate
 // for the given number of MDP steps, returning empirical statistics. The
-// run self-checks that chain ownership matches the MDP ledger.
+// run self-checks that chain ownership matches the MDP ledger. Only the
+// fork family carries a substrate (ErrNoSubstrate otherwise).
 func (a *Analysis) Simulate(steps int, seed int64) (*simulate.Stats, error) {
-	if a.model == nil || a.Strategy == nil {
+	if a.Strategy == nil {
 		return nil, ErrBoundOnly
+	}
+	if a.model == nil {
+		return nil, ErrNoSubstrate
 	}
 	return simulate.Run(a.model, a.Strategy, steps, seed)
 }
 
 // Profile summarizes the structure of the computed strategy (how often it
-// withholds, races, or overtakes).
+// withholds, races, or overtakes). Fork family only (ErrNoSubstrate
+// otherwise).
 func (a *Analysis) Profile() (*strategy.Profile, error) {
-	if a.model == nil || a.Strategy == nil {
+	if a.Strategy == nil {
 		return nil, ErrBoundOnly
+	}
+	if a.model == nil {
+		return nil, ErrNoSubstrate
 	}
 	return strategy.Profiled(a.model, a.Strategy)
 }
 
-// WriteStrategy serializes the strategy with a parameter header.
+// WriteStrategy serializes the strategy with a parameter header. The
+// header format is fork-specific, so non-fork analyses return
+// ErrNoSubstrate.
 func (a *Analysis) WriteStrategy(w io.Writer) error {
 	if a.Strategy == nil {
 		return ErrBoundOnly
+	}
+	if !a.Params.isFork() {
+		return ErrNoSubstrate
 	}
 	return strategy.Write(w, a.Params.core(), a.Strategy)
 }

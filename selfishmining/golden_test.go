@@ -1,0 +1,114 @@
+package selfishmining
+
+import (
+	"math"
+	"testing"
+)
+
+// The constants below were captured from the pre-kernel-refactor pipeline
+// (the PR-2 service layer) at the test points of that PR's suite, printed
+// with %.17g. The fork family's Analyze and Sweep outputs must stay
+// BITWISE identical across the kernel/registry refactor: every retained
+// quantity is a pure function of the binary search's exact sign decisions,
+// so any drift here means the fork family's compiled structure, law
+// resolution, or solver semantics changed.
+
+type goldenAnalyze struct {
+	params AttackParams
+	errev  float64 // certified lower bound (BetaLow)
+	upper  float64 // BetaUp
+	iters  int
+}
+
+var goldenAnalyzePoints = []goldenAnalyze{
+	{params: AttackParams{Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 1, MaxForkLen: 4}, errev: 0.41046142578125, upper: 0.4105224609375, iters: 14},
+	{params: AttackParams{Adversary: 0.3, Switching: 0.5, Depth: 1, Forks: 1, MaxForkLen: 4}, errev: 0.29998779296875, upper: 0.300048828125, iters: 14},
+	{params: AttackParams{Adversary: 0.15, Switching: 0.25, Depth: 2, Forks: 2, MaxForkLen: 3}, errev: 0.18115234375, upper: 0.18121337890625, iters: 14},
+	{params: AttackParams{Adversary: 0.35, Switching: 0, Depth: 2, Forks: 2, MaxForkLen: 4}, errev: 0.492431640625, upper: 0.49249267578125, iters: 14},
+}
+
+// TestGoldenForkAnalyzeBitwise pins the refactor's headline acceptance
+// criterion: fork-family bound-only analyses through the service are
+// bitwise identical to their pre-refactor values.
+func TestGoldenForkAnalyzeBitwise(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	for _, g := range goldenAnalyzePoints {
+		res, err := svc.Analyze(g.params, WithEpsilon(1e-4), WithBoundOnly())
+		if err != nil {
+			t.Fatalf("%v: %v", g.params, err)
+		}
+		if math.Float64bits(res.ERRev) != math.Float64bits(g.errev) {
+			t.Errorf("%v: ERRev %.17g, golden %.17g", g.params, res.ERRev, g.errev)
+		}
+		if math.Float64bits(res.ERRevUpper) != math.Float64bits(g.upper) {
+			t.Errorf("%v: ERRevUpper %.17g, golden %.17g", g.params, res.ERRevUpper, g.upper)
+		}
+		if res.Iterations != g.iters {
+			t.Errorf("%v: %d binary-search iterations, golden %d", g.params, res.Iterations, g.iters)
+		}
+	}
+}
+
+// TestGoldenForkAnalyzeExplicitModelName: naming the default family must
+// produce (and cache) exactly the same result as leaving Model empty.
+func TestGoldenForkAnalyzeExplicitModelName(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	g := goldenAnalyzePoints[0]
+	named := g.params
+	named.Model = "fork"
+	res, err := svc.Analyze(named, WithEpsilon(1e-4), WithBoundOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.ERRev) != math.Float64bits(g.errev) {
+		t.Errorf("explicit fork model: ERRev %.17g, golden %.17g", res.ERRev, g.errev)
+	}
+	// The empty name must hit the cache entry of the explicit name.
+	_, info, err := svc.AnalyzeDetailed(g.params, WithEpsilon(1e-4), WithBoundOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cached {
+		t.Error("empty model name missed the cache entry of the explicit \"fork\" name")
+	}
+}
+
+// goldenSweepSeries are the full series of the PR-2 sweep test grid
+// (gamma=0.5, p in {0, 0.1, 0.2, 0.3}, configs 1x1 and 2x1, l=3,
+// tree width 3, eps=1e-3).
+var goldenSweepSeries = map[string][]float64{
+	"honest":           {0, 0.10000000000000001, 0.20000000000000001, 0.29999999999999999},
+	"single-tree(f=3)": {0, 0.066582005540850905, 0.16850161146596046, 0.29890943722204039},
+	"ours(d=1,f=1)":    {0, 0.099609375, 0.19921875, 0.2998046875},
+	"ours(d=2,f=1)":    {0, 0.1142578125, 0.2451171875, 0.40234375},
+}
+
+// TestGoldenForkSweepBitwise pins the sweep half of the parity criterion.
+func TestGoldenForkSweepBitwise(t *testing.T) {
+	fig, err := Sweep(SweepOptions{
+		Gamma:      0.5,
+		PGrid:      []float64{0, 0.1, 0.2, 0.3},
+		Configs:    []AttackConfig{{Depth: 1, Forks: 1}, {Depth: 2, Forks: 1}},
+		MaxForkLen: 3,
+		TreeWidth:  3,
+		Epsilon:    1e-3,
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(fig.Series) != len(goldenSweepSeries) {
+		t.Fatalf("got %d series, golden %d", len(fig.Series), len(goldenSweepSeries))
+	}
+	for _, s := range fig.Series {
+		want, ok := goldenSweepSeries[s.Name]
+		if !ok {
+			t.Errorf("unexpected series %q", s.Name)
+			continue
+		}
+		for i := range want {
+			if math.Float64bits(s.Values[i]) != math.Float64bits(want[i]) {
+				t.Errorf("series %q point %d: %.17g, golden %.17g", s.Name, i, s.Values[i], want[i])
+			}
+		}
+	}
+}

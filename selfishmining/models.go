@@ -1,0 +1,71 @@
+package selfishmining
+
+import "repro/internal/families"
+
+// DefaultModel is the family used when AttackParams.Model is empty: the
+// paper's fork model.
+const DefaultModel = families.DefaultName
+
+// ModelInfo describes one registered attack-model family for discovery
+// (the /v1/models endpoint of cmd/serve renders this verbatim).
+type ModelInfo struct {
+	// Name is the identifier accepted by AttackParams.Model and every
+	// -model flag.
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+	// Depth, Forks and MaxForkLen document the family's reading of the
+	// corresponding AttackParams shape fields.
+	Depth      string `json:"depth"`
+	Forks      string `json:"forks"`
+	MaxForkLen string `json:"max_fork_len"`
+	// DefaultDepth, DefaultForks and DefaultMaxForkLen are a sensible
+	// small shape for the family.
+	DefaultDepth      int `json:"default_depth"`
+	DefaultForks      int `json:"default_forks"`
+	DefaultMaxForkLen int `json:"default_max_fork_len"`
+}
+
+// IsDefaultModel reports whether name selects the default fork family
+// (the empty name does).
+func IsDefaultModel(name string) bool {
+	return name == "" || name == DefaultModel
+}
+
+// ModelInfoFor resolves the discovery metadata of one family name, with
+// the empty name meaning DefaultModel; ok is false for unknown names
+// (validate via AttackParams.Validate for the error with the valid list).
+func ModelInfoFor(name string) (info ModelInfo, ok bool) {
+	if name == "" {
+		name = DefaultModel
+	}
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModelInfo{}, false
+}
+
+// Models lists the registered attack-model families in name order. Every
+// listed name is valid for AttackParams.Model, the -model CLI flags, and
+// the HTTP "model" field.
+func Models() []ModelInfo {
+	fams := families.All()
+	infos := make([]ModelInfo, 0, len(fams))
+	for _, f := range fams {
+		doc := f.ShapeDoc()
+		d, fk, l := f.DefaultShape()
+		infos = append(infos, ModelInfo{
+			Name:              f.Name(),
+			Description:       f.Description(),
+			Depth:             doc.Depth,
+			Forks:             doc.Forks,
+			MaxForkLen:        doc.MaxLen,
+			DefaultDepth:      d,
+			DefaultForks:      fk,
+			DefaultMaxForkLen: l,
+		})
+	}
+	return infos
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/families"
 )
 
 // Default sizing of a Service's caches. All are entry counts; memory per
@@ -33,8 +34,9 @@ type ServiceConfig struct {
 	// n-state model cost O(n) memory; see MaxCachedStates.
 	ResultCacheSize int
 	// StructureCacheSize bounds the compiled-structure LRU keyed by
-	// (Depth, Forks, MaxForkLen) — distinct (p, γ) points share one
-	// core.Compile and only re-derive probabilities (default 8 entries).
+	// (Model, Depth, Forks, MaxForkLen) — distinct (p, γ) points share one
+	// families.Compile and only re-derive probabilities (default 8
+	// entries).
 	StructureCacheSize int
 	// WarmCacheSize bounds the warm-start LRU of (structure, γ)
 	// neighborhoods, each holding up to a handful of converged value
@@ -72,17 +74,20 @@ func (c *ServiceConfig) defaults() {
 	}
 }
 
-// structKey identifies a compiled transition structure: everything of
-// AttackParams except the chain parameters (p, γ), which the structure is
-// reused across.
+// structKey identifies a compiled transition structure: the model family
+// and everything of AttackParams except the chain parameters (p, γ), which
+// the structure is reused across.
 type structKey struct {
+	model                string
 	depth, forks, maxLen int
 }
 
-// resultKey canonically identifies one solved analysis: the attack point
-// plus every option that can change the result. Worker counts are absent by
-// design — results are bitwise identical at any parallelism.
+// resultKey canonically identifies one solved analysis: the model family,
+// the attack point, and every option that can change the result. Worker
+// counts are absent by design — results are bitwise identical at any
+// parallelism.
 type resultKey struct {
+	model                string
 	p, gamma             float64
 	depth, forks, maxLen int
 	epsilon              float64
@@ -92,7 +97,8 @@ type resultKey struct {
 }
 
 // warmKey addresses one warm-start neighborhood: value vectors transfer
-// across p (and β) but not across structures or γ.
+// across p (and β) but not across model families, structures or γ (the
+// family rides in via structKey).
 type warmKey struct {
 	sk    structKey
 	gamma float64
@@ -155,11 +161,12 @@ func (w *warmStore) put(p float64, values []float64) {
 // analysis pipeline. It answers Analyze, AnalyzeBatch and Sweep through
 // three cooperating caches:
 //
-//   - a result LRU keyed by the canonicalized attack parameters and
-//     analysis options, so repeated queries cost a map lookup;
-//   - a structure LRU keyed by (Depth, Forks, MaxForkLen), so distinct
-//     (p, γ) points share one expensive core.Compile and only re-resolve
-//     transition probabilities;
+//   - a result LRU keyed by the model family, the canonicalized attack
+//     parameters and the analysis options, so repeated queries cost a map
+//     lookup;
+//   - a structure LRU keyed by (Model, Depth, Forks, MaxForkLen), so
+//     distinct (p, γ) points share one expensive compilation and only
+//     re-resolve transition probabilities;
 //   - a warm-start LRU of converged value vectors, seeding bound-only
 //     solves from the nearest solved p to cut sweeps on fine grids.
 //
@@ -244,12 +251,13 @@ func (s *Service) AnalyzeDetailed(p AttackParams, opts ...Option) (*Analysis, An
 	}
 	if cfg.useCompiled != nil && !*cfg.useCompiled {
 		// Explicitly requested generic backend: serve uncached for exact
-		// drop-in semantics with the package-level Analyze.
+		// drop-in semantics with the package-level Analyze (which rejects
+		// the request for families without a generic backend).
 		a, err := Analyze(p, opts...)
 		return a, AnalyzeInfo{}, err
 	}
 	cp := p.core()
-	if err := cp.Validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, AnalyzeInfo{}, err
 	}
 	key := s.key(p, &cfg)
@@ -265,12 +273,18 @@ func (s *Service) AnalyzeDetailed(p AttackParams, opts ...Option) (*Analysis, An
 	return a.clone(), AnalyzeInfo{Coalesced: shared}, nil
 }
 
-// key canonicalizes a request so that equivalent requests collide:
-// negative zeros are normalized, and out-of-range option values are
-// replaced by the defaults the solver would substitute anyway.
+// key canonicalizes a request so that equivalent requests collide: the
+// empty model name maps to the default family, negative zeros are
+// normalized, and out-of-range option values are replaced by the defaults
+// the solver would substitute anyway.
 func (s *Service) key(p AttackParams, cfg *config) resultKey {
+	model := p.Model
+	if model == "" {
+		model = families.DefaultName
+	}
 	k := resultKey{
-		p: p.Adversary, gamma: p.Switching,
+		model: model,
+		p:     p.Adversary, gamma: p.Switching,
 		depth: p.Depth, forks: p.Forks, maxLen: p.MaxForkLen,
 		epsilon:   cfg.epsilon,
 		maxIter:   cfg.maxIter,
@@ -306,7 +320,7 @@ func (s *Service) structure(sk structKey) (*core.Compiled, error) {
 		s.compiles.Add(1)
 		// Chain parameters are placeholders: every solver clone installs
 		// its own (p, γ) via SetChainParams before solving.
-		comp, err := core.Compile(core.Params{
+		comp, err := families.Compile(sk.model, core.Params{
 			P: 0.1, Gamma: 0.5,
 			Depth: sk.depth, Forks: sk.forks, MaxLen: sk.maxLen,
 		})
@@ -341,7 +355,7 @@ func (s *Service) solver(sk structKey, p, gamma float64, workers int) (*core.Com
 func (s *Service) solve(key resultKey, p AttackParams, cp core.Params, cfg *config) (*Analysis, error) {
 	s.acquire()
 	defer s.release()
-	sk := structKey{p.Depth, p.Forks, p.MaxForkLen}
+	sk := structKey{key.model, p.Depth, p.Forks, p.MaxForkLen}
 	comp, err := s.solver(sk, p.Adversary, p.Switching, cfg.workers)
 	if err != nil {
 		return nil, err
@@ -366,7 +380,7 @@ func (s *Service) solve(key resultKey, p AttackParams, cp core.Params, cfg *conf
 		return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
 	}
 	s.warmPut(sk, p.Switching, p.Adversary, comp)
-	a, err := newAnalysis(p, cp, res, !cfg.boundOnly)
+	a, err := newAnalysis(p, cp, res, !cfg.boundOnly && p.isFork(), comp.NumStates())
 	if err != nil {
 		return nil, err
 	}
@@ -483,7 +497,7 @@ type ServiceStats struct {
 	// vector reuse — see WarmHits).
 	Results, Structures, WarmStores cache.Stats
 	// Solves counts analyses actually executed; Compiles counts
-	// core.Compile runs (structure-cache misses that did the work).
+	// families.Compile runs (structure-cache misses that did the work).
 	Solves, Compiles uint64
 	// Coalesced counts requests answered by another request's in-flight
 	// solve.

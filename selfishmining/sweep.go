@@ -10,9 +10,18 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/families"
 	"repro/internal/par"
 	"repro/internal/results"
 )
+
+// sweepModel canonicalizes the sweep's family name for cache keys.
+func sweepModel(opts SweepOptions) string {
+	if opts.Model == "" {
+		return families.DefaultName
+	}
+	return opts.Model
+}
 
 // AttackConfig names one (d, f) curve of the paper's Figure 2.
 type AttackConfig struct {
@@ -36,15 +45,23 @@ var Figure2Configs = []AttackConfig{
 
 // SweepOptions configures a Figure-2-style parameter sweep for one γ.
 type SweepOptions struct {
+	// Model selects the attack-model family the attack curves are computed
+	// over ("" means DefaultModel, the paper's fork model). The honest
+	// baseline is included for every family; the single-tree baseline
+	// series only accompanies the fork family (it is that figure's
+	// comparator).
+	Model string
 	// Gamma is the switching probability of the sweep.
 	Gamma float64
 	// PGrid lists the adversary resource fractions (x-axis). Defaults to
 	// 0..0.3 in steps of 0.01, as in the paper.
 	PGrid []float64
 	// Configs lists the attack curves to compute. Defaults to
-	// Figure2Configs.
+	// Figure2Configs for the fork family and to the family's default shape
+	// otherwise.
 	Configs []AttackConfig
-	// MaxForkLen is the fork length bound l (default 4, as in the paper).
+	// MaxForkLen is the length bound l (default 4 for the fork family, as
+	// in the paper; the family default shape's bound otherwise).
 	MaxForkLen int
 	// TreeWidth is the single-tree baseline width (default 5, as in the
 	// paper; its depth equals MaxForkLen).
@@ -67,11 +84,23 @@ func (o *SweepOptions) defaults() {
 	if o.PGrid == nil {
 		o.PGrid = results.Grid(0, 0.3, 0.01)
 	}
+	isFork := o.Model == "" || o.Model == families.DefaultName
 	if o.Configs == nil {
-		o.Configs = Figure2Configs
+		if isFork {
+			o.Configs = Figure2Configs
+		} else if fam, err := families.Get(o.Model); err == nil {
+			d, f, _ := fam.DefaultShape()
+			o.Configs = []AttackConfig{{Depth: d, Forks: f}}
+		}
 	}
 	if o.MaxForkLen <= 0 {
 		o.MaxForkLen = DefaultSweepMaxForkLen
+		if !isFork {
+			if fam, err := families.Get(o.Model); err == nil {
+				_, _, l := fam.DefaultShape()
+				o.MaxForkLen = l
+			}
+		}
 	}
 	if o.TreeWidth <= 0 {
 		o.TreeWidth = 5
@@ -113,6 +142,24 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
 		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
 	}
+	fam, err := families.Get(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	isFork := fam.Name() == families.DefaultName
+	// Validate every (config, p) grid point up front, so one bad point
+	// cannot waste a partially solved panel.
+	for _, cfg := range opts.Configs {
+		for _, p := range opts.PGrid {
+			if p == 0 {
+				continue // served by the no-resource shortcut, any family
+			}
+			cp := core.Params{P: p, Gamma: opts.Gamma, Depth: cfg.Depth, Forks: cfg.Forks, MaxLen: opts.MaxForkLen}
+			if err := fam.Validate(cp); err != nil {
+				return nil, fmt.Errorf("selfishmining: sweep point %v: %w", cp, err)
+			}
+		}
+	}
 	workers := par.Workers(opts.Workers)
 	if s.cfg.MaxConcurrent > 0 && workers > s.cfg.MaxConcurrent {
 		workers = s.cfg.MaxConcurrent
@@ -123,8 +170,12 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 		defer progressMu.Unlock()
 		opts.Progress(format, args...)
 	}
+	title := fmt.Sprintf("Expected relative revenue vs adversary resource (gamma=%g)", opts.Gamma)
+	if !isFork {
+		title = fmt.Sprintf("Expected relative revenue vs adversary resource (model=%s, gamma=%g)", fam.Name(), opts.Gamma)
+	}
 	fig := &results.Figure{
-		Title:  fmt.Sprintf("Expected relative revenue vs adversary resource (gamma=%g)", opts.Gamma),
+		Title:  title,
 		XLabel: "p",
 		YLabel: "ERRev",
 		X:      opts.PGrid,
@@ -142,24 +193,27 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 		return nil, err
 	}
 
-	// The single-tree baseline points are independent exact chain analyses;
-	// spread them over the pool too.
-	tree := make([]float64, len(opts.PGrid))
-	treeErrs := make([]error, len(opts.PGrid))
-	par.For(len(opts.PGrid), workers, func(_, from, to int) {
-		for i := from; i < to; i++ {
-			tree[i], treeErrs[i] = baseline.SingleTreeERRev(baseline.SingleTreeParams{
-				P: opts.PGrid[i], Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
-			})
+	if isFork {
+		// The single-tree baseline points are independent exact chain
+		// analyses; spread them over the pool too. The baseline accompanies
+		// the fork figure only — for the singletree family it IS the curve.
+		tree := make([]float64, len(opts.PGrid))
+		treeErrs := make([]error, len(opts.PGrid))
+		par.For(len(opts.PGrid), workers, func(_, from, to int) {
+			for i := from; i < to; i++ {
+				tree[i], treeErrs[i] = baseline.SingleTreeERRev(baseline.SingleTreeParams{
+					P: opts.PGrid[i], Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
+				})
+			}
+		})
+		for _, err := range treeErrs {
+			if err != nil {
+				return nil, err
+			}
 		}
-	})
-	for _, err := range treeErrs {
-		if err != nil {
+		if err := fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree); err != nil {
 			return nil, err
 		}
-	}
-	if err := fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree); err != nil {
-		return nil, err
 	}
 	progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
 
@@ -168,7 +222,11 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 		return nil, err
 	}
 	for ci, cfg := range opts.Configs {
-		if err := fig.AddSeries(fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks), series[ci]); err != nil {
+		name := fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks)
+		if !isFork {
+			name = fmt.Sprintf("%s(d=%d,f=%d)", fam.Name(), cfg.Depth, cfg.Forks)
+		}
+		if err := fig.AddSeries(name, series[ci]); err != nil {
 			return nil, err
 		}
 	}
@@ -188,7 +246,7 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 	par.For(len(opts.Configs), workers, func(_, from, to int) {
 		for ci := from; ci < to; ci++ {
 			cfg := opts.Configs[ci]
-			bases[ci], structErrs[ci] = s.structure(structKey{cfg.Depth, cfg.Forks, opts.MaxForkLen})
+			bases[ci], structErrs[ci] = s.structure(structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen})
 		}
 	})
 	for ci, err := range structErrs {
@@ -285,6 +343,7 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, opts SweepOptions) (*Analysis, error) {
 	s.sweepPoints.Add(1)
 	params := AttackParams{
+		Model:     sweepModel(opts),
 		Adversary: p, Switching: opts.Gamma,
 		Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: opts.MaxForkLen,
 	}
@@ -303,7 +362,7 @@ func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, o
 		if err := comp.SetChainParams(p, opts.Gamma); err != nil {
 			return nil, err
 		}
-		sk := structKey{cfg.Depth, cfg.Forks, opts.MaxForkLen}
+		sk := structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen}
 		aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true}
 		if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
 			aOpts.InitialValues = seed
@@ -315,7 +374,7 @@ func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, o
 		}
 		res.Duration = time.Since(start)
 		s.warmPut(sk, opts.Gamma, p, comp)
-		a, err := newAnalysis(params, params.core(), res, false)
+		a, err := newAnalysis(params, params.core(), res, false, comp.NumStates())
 		if err != nil {
 			return nil, err
 		}
