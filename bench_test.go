@@ -19,8 +19,10 @@
 package repro_test
 
 import (
+	"context"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -37,7 +39,7 @@ func benchTable1(b *testing.B, d, f int) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := selfishmining.Analyze(params,
+		res, err := selfishmining.AnalyzeContext(context.Background(), params,
 			selfishmining.WithEpsilon(1e-4),
 			selfishmining.WithoutStrategyEval(),
 		)
@@ -80,7 +82,7 @@ func BenchmarkTable1_SingleTree_f5(b *testing.B) {
 func benchFigure2Panel(b *testing.B, gamma float64) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+		fig, err := selfishmining.SweepContext(context.Background(), selfishmining.SweepOptions{
 			Gamma: gamma,
 			PGrid: []float64{0.1, 0.2, 0.3},
 			Configs: []selfishmining.AttackConfig{
@@ -114,7 +116,7 @@ func BenchmarkFigure2_PanelGamma100(b *testing.B) { benchFigure2Panel(b, 1) }
 func benchFigure2PanelWorkers(b *testing.B, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+		fig, err := selfishmining.SweepContext(context.Background(), selfishmining.SweepOptions{
 			Gamma: 0.5,
 			PGrid: []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3},
 			Configs: []selfishmining.AttackConfig{
@@ -149,7 +151,7 @@ func benchFamily(b *testing.B, model string, d, f, l int) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := selfishmining.Analyze(params,
+		res, err := selfishmining.AnalyzeContext(context.Background(), params,
 			selfishmining.WithEpsilon(1e-4),
 			selfishmining.WithBoundOnly(),
 		)
@@ -254,7 +256,7 @@ func BenchmarkMicro_Simulation(b *testing.B) {
 	params := selfishmining.AttackParams{
 		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 1, MaxForkLen: 4,
 	}
-	res, err := selfishmining.Analyze(params)
+	res, err := selfishmining.AnalyzeContext(context.Background(), params)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -335,9 +337,109 @@ func BenchmarkAblation_ForkBound_l5(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := selfishmining.Analyze(params,
+		if _, err := selfishmining.AnalyzeContext(context.Background(), params,
 			selfishmining.WithEpsilon(1e-4), selfishmining.WithoutStrategyEval()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyze is the reference cost of one full Algorithm-1 analysis
+// through the canonical v2 entry point (the mid-size d=2, f=2 Table-1
+// configuration). BenchmarkAnalyze_DeadlineCtx runs the identical work
+// under a live cancelable deadline context, so bench.json records both
+// sides of the per-sweep ctx-check cost that TestCtxOverheadGuard bounds.
+func BenchmarkAnalyze(b *testing.B) { benchAnalyzeCtx(b, context.Background()) }
+
+func BenchmarkAnalyze_DeadlineCtx(b *testing.B) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	benchAnalyzeCtx(b, ctx)
+}
+
+func benchAnalyzeCtx(b *testing.B, ctx context.Context) {
+	b.Helper()
+	params := selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 2, MaxForkLen: 4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := selfishmining.AnalyzeContext(ctx, params,
+			selfishmining.WithEpsilon(1e-4),
+			selfishmining.WithoutStrategyEval(),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ERRev < params.Adversary-1e-3 {
+			b.Fatalf("suspicious ERRev %v below honest", res.ERRev)
+		}
+	}
+}
+
+// TestCtxOverheadGuard asserts the per-sweep context check costs under 1%
+// of the solver's hot loop: it times a fixed number of compiled
+// value-iteration sweeps over the 187 500-state d=3, f=2 model under a
+// Background context and under a live deadline context (whose Err() takes
+// a mutex — the most expensive stdlib case), interleaved, taking the
+// minimum of several repetitions to shed scheduler noise. The identical
+// MaxIter bound makes both sides do bit-identical floating-point work.
+//
+// Wall-clock assertions do not belong in the default test run, so the
+// guard only engages under BENCH_GUARD=1 — the CI bench job sets it.
+func TestCtxOverheadGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("timing guard; set BENCH_GUARD=1 to run (CI bench job does)")
+	}
+	comp, err := core.Compile(core.Params{P: 0.3, Gamma: 0.5, Depth: 3, Forks: 2, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp.SetWorkers(1) // serial sweeps: no pool jitter in the measurement
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	const sweeps = 20
+	run := func(c context.Context) time.Duration {
+		start := time.Now()
+		res, _ := comp.MeanPayoffCtx(c, 0.4, core.CompiledOptions{MaxIter: sweeps})
+		if res == nil || res.Iters != sweeps {
+			t.Fatalf("expected exactly %d sweeps, got %+v", sweeps, res)
+		}
+		return time.Since(start)
+	}
+	run(context.Background()) // warm-up: page in the structure
+	// Three interleaved series: two Background controls bracketing the
+	// deadline-ctx runs. The control pair measures the runner's own
+	// timing noise — if the machine cannot resolve 1% on identical work,
+	// a 1% verdict about the ctx check would be fiction, so the guard
+	// reports and skips instead of flaking.
+	minBgA, minCtx, minBgB := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
+	for rep := 0; rep < 9; rep++ {
+		if d := run(context.Background()); d < minBgA {
+			minBgA = d
+		}
+		if d := run(ctx); d < minCtx {
+			minCtx = d
+		}
+		if d := run(context.Background()); d < minBgB {
+			minBgB = d
+		}
+	}
+	minBg := minBgA
+	if minBgB < minBg {
+		minBg = minBgB
+	}
+	noise := float64(minBgA-minBgB) / float64(minBg)
+	if noise < 0 {
+		noise = -noise
+	}
+	overhead := float64(minCtx-minBg) / float64(minBg)
+	t.Logf("per-sweep ctx check: background mins %v/%v (noise %.3f%%), deadline-ctx min %v, overhead %.3f%%",
+		minBgA, minBgB, noise*100, minCtx, overhead*100)
+	if noise > 0.01 {
+		t.Skipf("runner noise %.2f%% exceeds the 1%% resolution this guard asserts; measurement inconclusive", noise*100)
+	}
+	if overhead > 0.01 {
+		t.Errorf("deadline-ctx sweeps are %.2f%% slower than background (min of 9 interleaved reps); the per-sweep check must stay <1%%", overhead*100)
 	}
 }

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/selfishmining"
 )
 
 func TestRunSmallConfig(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-p", "0.3", "-gamma", "0.5", "-d", "1", "-f", "1", "-l", "3",
 		"-eps", "1e-3", "-simulate", "5000",
 	})
@@ -17,7 +21,7 @@ func TestRunSmallConfig(t *testing.T) {
 
 func TestRunSaveStrategy(t *testing.T) {
 	dir := t.TempDir()
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-p", "0.2", "-gamma", "0", "-d", "1", "-f", "1", "-l", "2",
 		"-eps", "1e-2", "-save", dir + "/strategy.txt",
 	})
@@ -27,16 +31,16 @@ func TestRunSaveStrategy(t *testing.T) {
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run([]string{"-p", "2"}); err == nil {
+	if err := run(context.Background(), []string{"-p", "2"}); err == nil {
 		t.Fatal("invalid p accepted")
 	}
-	if err := run([]string{"-d", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-d", "0"}); err == nil {
 		t.Fatal("invalid d accepted")
 	}
 }
 
 func TestRunNonForkModel(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-model", "nakamoto", "-p", "0.4", "-gamma", "0", "-d", "1", "-f", "1", "-l", "10",
 		"-eps", "1e-3",
 	})
@@ -46,7 +50,7 @@ func TestRunNonForkModel(t *testing.T) {
 }
 
 func TestRunRejectsUnknownModel(t *testing.T) {
-	err := run([]string{"-model", "bogus"})
+	err := run(context.Background(), []string{"-model", "bogus"})
 	if err == nil {
 		t.Fatal("unknown -model accepted")
 	}
@@ -58,16 +62,16 @@ func TestRunRejectsUnknownModel(t *testing.T) {
 }
 
 func TestRunRejectsForkOnlyFlagsForOtherModels(t *testing.T) {
-	if err := run([]string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-simulate", "100"}); err == nil {
+	if err := run(context.Background(), []string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-simulate", "100"}); err == nil {
 		t.Error("-simulate accepted for a non-fork model")
 	}
-	if err := run([]string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-save", t.TempDir() + "/s.txt"}); err == nil {
+	if err := run(context.Background(), []string{"-model", "nakamoto", "-d", "1", "-f", "1", "-l", "10", "-save", t.TempDir() + "/s.txt"}); err == nil {
 		t.Error("-save accepted for a non-fork model")
 	}
 }
 
 func TestRunListModels(t *testing.T) {
-	if err := run([]string{"-list-models"}); err != nil {
+	if err := run(context.Background(), []string{"-list-models"}); err != nil {
 		t.Fatalf("run(-list-models): %v", err)
 	}
 }
@@ -79,8 +83,40 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 		{"-workers", "-1"},
 		{"-simulate", "-5"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
 		}
+	}
+}
+
+// TestRunTimeoutCancelsAnalysis: -timeout maps onto the context-first API;
+// an expired deadline surfaces as the package's cancellation taxonomy.
+func TestRunTimeoutCancelsAnalysis(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-p", "0.3", "-gamma", "0.5", "-d", "2", "-f", "1", "-l", "3",
+		"-eps", "1e-3", "-timeout", "1ns",
+	})
+	if err == nil {
+		t.Fatal("1ns timeout produced a full analysis")
+	}
+	if !errors.Is(err, selfishmining.ErrCanceled) {
+		t.Fatalf("timeout error %v does not match selfishmining.ErrCanceled", err)
+	}
+}
+
+func TestRunRejectsNegativeTimeout(t *testing.T) {
+	if err := run(context.Background(), []string{"-timeout", "-1s"}); err == nil {
+		t.Fatal("negative -timeout accepted")
+	}
+}
+
+// TestRunCanceledContext: an already-canceled parent context (the SIGINT
+// path) aborts before solving.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-p", "0.3", "-gamma", "0.5", "-d", "1", "-f", "1", "-l", "3", "-eps", "1e-3"})
+	if !errors.Is(err, selfishmining.ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
 	}
 }

@@ -10,20 +10,29 @@
 // Usage:
 //
 //	runtimes [-model fork] [-p 0.3] [-gamma 0.5] [-eps 1e-4] [-workers N]
-//	         [-full] [-markdown]
+//	         [-timeout 0] [-full] [-markdown]
 //
 // Without -full the 4x2 configuration (9.4M states) is skipped. With a
 // non-fork -model (see analyze -list-models) the table times the family's
 // default shape instead of the Figure-2 configuration list, and the
 // single-tree baseline row (the fork table's comparator) is omitted.
+//
+// The run is cancellable: SIGINT/SIGTERM (or -timeout expiring) stops the
+// configuration being analyzed at its next value-iteration sweep boundary
+// and emits the table rows completed so far before exiting non-zero, so a
+// run that turns out to be too expensive still yields its partial Table 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/results"
@@ -31,13 +40,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the current analysis at its next deterministic
+	// checkpoint; completed rows are still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "runtimes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("runtimes", flag.ContinueOnError)
 	var (
 		model    = fs.String("model", selfishmining.DefaultModel, "attack-model family (see analyze -list-models)")
@@ -45,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 		gamma    = fs.Float64("gamma", 0.5, "switching probability (Table 1 uses 0.5)")
 		eps      = fs.Float64("eps", 1e-4, "analysis precision")
 		workers  = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores)")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this long (0 = none); completed rows are still written")
 		full     = fs.Bool("full", false, "include the 4x2 configuration (9.4M states)")
 		markdown = fs.Bool("markdown", false, "emit Markdown instead of CSV")
 	)
@@ -53,6 +67,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *eps <= 0 || math.IsNaN(*eps) {
 		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout %v: need >= 0 (0 = none)", *timeout)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
@@ -95,11 +117,20 @@ func run(args []string, stdout io.Writer) error {
 			Depth: cfg.depth, Forks: cfg.forks, MaxForkLen: cfg.maxLen,
 		}
 		start := time.Now()
-		res, err := selfishmining.Analyze(params,
+		res, err := selfishmining.AnalyzeContext(ctx, params,
 			selfishmining.WithEpsilon(*eps),
 			selfishmining.WithWorkers(*workers),
 			selfishmining.WithoutStrategyEval(),
 		)
+		if errors.Is(err, selfishmining.ErrCanceled) {
+			// Emit the rows finished so far, then report the interruption:
+			// a partial Table 1 beats losing the completed measurements.
+			fmt.Fprintf(os.Stderr, "interrupted at d=%d f=%d; writing %d completed rows\n", cfg.depth, cfg.forks, len(table.Rows))
+			if werr := writeTable(table, *markdown, stdout); werr != nil {
+				return werr
+			}
+			return fmt.Errorf("analyzing %v: %w", params, err)
+		}
 		if err != nil {
 			return fmt.Errorf("analyzing %v: %w", params, err)
 		}
@@ -137,8 +168,14 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	if *markdown {
-		return table.WriteMarkdown(stdout)
+	return writeTable(table, *markdown, stdout)
+}
+
+// writeTable renders the table in the requested format; shared by the
+// complete and interrupted-partial output paths.
+func writeTable(table *results.Table, markdown bool, w io.Writer) error {
+	if markdown {
+		return table.WriteMarkdown(w)
 	}
-	return table.WriteCSV(stdout)
+	return table.WriteCSV(w)
 }

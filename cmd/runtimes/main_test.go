@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/selfishmining"
 )
 
 func TestRunProducesTable(t *testing.T) {
 	var out bytes.Buffer
 	// Keep it fast: loose epsilon; -full is off so d=4 is skipped.
-	if err := run([]string{"-eps", "1e-2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-eps", "1e-2"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := out.String()
@@ -25,7 +29,7 @@ func TestRunProducesTable(t *testing.T) {
 
 func TestRunMarkdownMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-eps", "1e-2", "-markdown"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-eps", "1e-2", "-markdown"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "| attack |") {
@@ -35,7 +39,7 @@ func TestRunMarkdownMode(t *testing.T) {
 
 func TestRunNonForkModel(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-model", "singletree", "-eps", "1e-2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", "singletree", "-eps", "1e-2"}, &out); err != nil {
 		t.Fatalf("run(-model singletree): %v", err)
 	}
 	got := out.String()
@@ -48,7 +52,7 @@ func TestRunNonForkModel(t *testing.T) {
 }
 
 func TestRunRejectsUnknownModel(t *testing.T) {
-	err := run([]string{"-model", "bogus"}, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-model", "bogus"}, &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("unknown -model accepted")
 	}
@@ -66,8 +70,30 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 		{"-p", "2"},
 		{"-gamma", "-0.5"},
 	} {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
 		}
+	}
+}
+
+// TestRunTimeoutWritesPartialTable: an interrupted run still emits the
+// rows completed so far (here: just the header) before failing.
+func TestRunTimeoutWritesPartialTable(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-eps", "1e-3", "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("1ns timeout produced a full table")
+	}
+	if !errors.Is(err, selfishmining.ErrCanceled) {
+		t.Fatalf("timeout error %v does not match selfishmining.ErrCanceled", err)
+	}
+	if !strings.Contains(out.String(), "attack") {
+		t.Errorf("partial output lacks the table header: %q", out.String())
+	}
+}
+
+func TestRunRejectsNegativeTimeout(t *testing.T) {
+	if err := run(context.Background(), []string{"-timeout", "-1s"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative -timeout accepted")
 	}
 }

@@ -8,37 +8,55 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze        one attack configuration -> certified ERRev
-//	POST /v1/analyze/batch  many configurations, deduplicated
-//	POST /v1/sweep          a Figure-2 panel (curves over a p-grid)
-//	GET  /v1/models         registered attack-model families
-//	GET  /v1/stats          cache and coalescing counters
-//	GET  /healthz           liveness
+//	POST /v1/analyze       one attack configuration -> certified ERRev
+//	POST /v1/analyze/batch many configurations, deduplicated
+//	POST /v1/sweep         a Figure-2 panel (curves over a p-grid)
+//	POST /v1/sweep/stream  the same panel as NDJSON, one line per point
+//	GET  /v1/models        registered attack-model families
+//	GET  /v1/stats         cache, coalescing and cancellation counters
+//	GET  /healthz          liveness
 //
 // Analyze, batch and sweep requests accept a "model" field selecting the
 // attack-model family (default "fork", the paper's model); GET /v1/models
 // lists every family with its parameter semantics and default shape.
 //
+// Every request is governed by its context end to end: a client that
+// disconnects cancels its in-flight solve at the next value-iteration
+// sweep boundary (and frees its concurrency slot immediately if it was
+// queued), -request-timeout bounds every request server-side, and a
+// per-request "timeout_ms" field tightens that bound per call. Interrupted
+// requests answer with status 499 (client cancel) or 504 (deadline) and an
+// "error"/"code" body ("canceled" / "deadline"). /v1/sweep/stream emits
+// each completed grid point as one NDJSON line as it is solved, then a
+// terminal summary (or error) line; disconnecting mid-stream stops the
+// remaining grid work.
+//
 // Usage:
 //
 //	serve [-addr :8080] [-workers N] [-max-concurrent N] [-result-cache N]
 //	      [-structure-cache N] [-warm-cache N] [-max-states N]
-//	      [-max-batch N] [-shutdown-timeout 10s]
+//	      [-max-batch N] [-request-timeout 0] [-shutdown-timeout 10s]
 //
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze -d \
-//	  '{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4}'
-//	curl -s localhost:8080/v1/analyze -d \
-//	  '{"model":"nakamoto","p":0.4,"gamma":0,"d":1,"f":1,"l":20,"bound_only":true}'
+//	  '{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4,"timeout_ms":30000}'
+//	curl -sN localhost:8080/v1/sweep/stream -d \
+//	  '{"gamma":0.5,"pmax":0.3,"pstep":0.05,"configs":[{"d":2,"f":1}]}'
+//
+// On SIGINT/SIGTERM the server cancels all in-flight solves through its
+// base context (they stop at their next sweep boundary and answer 499)
+// and then drains connections for up to -shutdown-timeout.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,6 +85,7 @@ type serverConfig struct {
 	warmCache       int
 	maxStates       int
 	maxBatch        int
+	requestTimeout  time.Duration
 	shutdownTimeout time.Duration
 }
 
@@ -83,7 +102,8 @@ func parseFlags(args []string) (*serverConfig, error) {
 	fs.IntVar(&cfg.warmCache, "warm-cache", selfishmining.DefaultWarmCacheSize, "warm-start neighborhood LRU entries (negative disables warm starts)")
 	fs.IntVar(&cfg.maxStates, "max-states", 16<<20, "reject requests whose MDP exceeds this many states")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 1024, "max requests per batch call")
-	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "server-side deadline per request (0 = none); a request's timeout_ms can tighten it")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM (in-flight solves are canceled immediately)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -105,6 +125,9 @@ func parseFlags(args []string) (*serverConfig, error) {
 	if cfg.maxBatch < 1 {
 		return nil, fmt.Errorf("-max-batch %d: need >= 1", cfg.maxBatch)
 	}
+	if cfg.requestTimeout < 0 {
+		return nil, fmt.Errorf("-request-timeout %v: need >= 0 (0 = none)", cfg.requestTimeout)
+	}
 	if cfg.shutdownTimeout <= 0 {
 		return nil, fmt.Errorf("-shutdown-timeout %v: need > 0", cfg.shutdownTimeout)
 	}
@@ -116,6 +139,22 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	return serve(cfg, sig, nil)
+}
+
+// serve runs the HTTP server until a stop signal (or listener failure),
+// then shuts down in two phases: first it cancels the server's base
+// context — every in-flight request context is a child of it, so running
+// solves stop at their next value-iteration sweep boundary and answer 499
+// instead of burning their concurrency slot to completion — and only then
+// drains connections for up to -shutdown-timeout. ready, if non-nil,
+// receives the bound address once the listener is up (used by the
+// shutdown-under-load test, which needs a real socket and a real signal
+// path).
+func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error {
 	svc := selfishmining.NewService(selfishmining.ServiceConfig{
 		ResultCacheSize:    cfg.resultCache,
 		StructureCacheSize: cfg.structureCache,
@@ -123,23 +162,31 @@ func run(args []string) error {
 		Workers:            cfg.workers,
 		MaxConcurrent:      cfg.maxConcurrent,
 	})
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
-		Addr:              cfg.addr,
 		Handler:           newServer(svc, cfg),
 		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (max-concurrent=%d, result-cache=%d)\n",
-		cfg.addr, cfg.maxConcurrent, cfg.resultCache)
+		ln.Addr(), cfg.maxConcurrent, cfg.resultCache)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		return err
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "serve: %v, draining for up to %v\n", s, cfg.shutdownTimeout)
+	case s := <-stop:
+		fmt.Fprintf(os.Stderr, "serve: %v, canceling in-flight solves and draining for up to %v\n", s, cfg.shutdownTimeout)
+		cancelBase()
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		return srv.Shutdown(ctx)
@@ -158,6 +205,7 @@ func newServer(svc *selfishmining.Service, cfg *serverConfig) http.Handler {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/sweep/stream", s.handleSweepStream)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -186,6 +234,11 @@ type analyzeRequest struct {
 	// IncludeStrategy inlines the full strategy (one action index per MDP
 	// state) in the response; off by default since it is O(states).
 	IncludeStrategy bool `json:"include_strategy,omitempty"`
+	// TimeoutMs bounds this request server-side, in milliseconds; on
+	// expiry the solve stops at its next sweep boundary and the response
+	// is 504 with code "deadline". It can only tighten -request-timeout,
+	// never extend it (both deadlines apply).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 func (r *analyzeRequest) params() selfishmining.AttackParams {
@@ -263,9 +316,31 @@ func (s *server) checkParams(p selfishmining.AttackParams) error {
 	return nil
 }
 
+// requestCtx derives the context governing one request's solve: the
+// request's own context (canceled when the client disconnects, or when the
+// server shuts down, via the base context), tightened by -request-timeout
+// and the request's timeout_ms when positive. Both timeouts apply — the
+// per-request value cannot extend the server-wide bound.
+func (s *server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	ctx, cancel := r.Context(), context.CancelFunc(func() {})
+	if s.cfg.requestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+	}
+	if timeoutMs > 0 {
+		inner, innerCancel := context.WithTimeout(ctx, time.Duration(timeoutMs)*time.Millisecond)
+		outer := cancel
+		ctx, cancel = inner, func() { innerCancel(); outer() }
+	}
+	return ctx, cancel
+}
+
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.TimeoutMs < 0 {
+		httpError(w, fmt.Errorf("timeout_ms %d: need >= 0", req.TimeoutMs), http.StatusBadRequest)
 		return
 	}
 	p := req.params()
@@ -273,12 +348,14 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err, http.StatusBadRequest)
 		return
 	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
 	start := time.Now()
-	res, info, err := s.svc.AnalyzeDetailed(p, req.options()...)
+	res, info, err := s.svc.AnalyzeDetailedContext(ctx, p, req.options()...)
 	if err != nil {
-		// The request was well-formed; a failure here is the solver's
-		// (matching the batch endpoint's classification).
-		httpError(w, err, http.StatusInternalServerError)
+		// The request was well-formed; a failure here is the solver's or
+		// the context's (matching the batch endpoint's classification).
+		solveError(w, err)
 		return
 	}
 	resp := buildResponse(req, res)
@@ -322,15 +399,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if ar.Epsilon != req.Requests[0].Epsilon || ar.SkipEval != req.Requests[0].SkipEval ||
-			ar.BoundOnly != req.Requests[0].BoundOnly {
-			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only)", i), http.StatusBadRequest)
+			ar.BoundOnly != req.Requests[0].BoundOnly || ar.TimeoutMs != req.Requests[0].TimeoutMs {
+			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only, timeout_ms)", i), http.StatusBadRequest)
 			return
 		}
 	}
+	if req.Requests[0].TimeoutMs < 0 {
+		httpError(w, fmt.Errorf("timeout_ms %d: need >= 0", req.Requests[0].TimeoutMs), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.Requests[0].TimeoutMs)
+	defer cancel()
 	start := time.Now()
-	analyses, err := s.svc.AnalyzeBatch(params, req.Requests[0].options()...)
+	analyses, err := s.svc.AnalyzeBatchContext(ctx, params, req.Requests[0].options()...)
 	if err != nil {
-		httpError(w, err, http.StatusInternalServerError)
+		solveError(w, err)
 		return
 	}
 	resp := batchResponse{
@@ -343,7 +426,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// sweepRequest is the wire form of one Figure-2 panel request.
+// sweepRequest is the wire form of one Figure-2 panel request (buffered or
+// streaming).
 type sweepRequest struct {
 	// Model selects the attack-model family of the panel's attack curves
 	// ("" = "fork"); GET /v1/models lists the valid names.
@@ -359,6 +443,9 @@ type sweepRequest struct {
 	Len       int     `json:"l,omitempty"`
 	TreeWidth int     `json:"tree_width,omitempty"`
 	Epsilon   float64 `json:"epsilon,omitempty"`
+	// TimeoutMs bounds the whole panel server-side, in milliseconds (see
+	// analyzeRequest.TimeoutMs).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 type sweepResponse struct {
@@ -373,10 +460,18 @@ type wireSeries struct {
 	Values []float64 `json:"values"`
 }
 
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
-	if !decodeJSON(w, r, &req) {
-		return
+// buildSweepOptions validates req and assembles the sweep options shared
+// by the buffered (/v1/sweep) and streaming (/v1/sweep/stream) endpoints.
+// Every returned error is a client error (400).
+func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions, error) {
+	var opts selfishmining.SweepOptions
+	if req.TimeoutMs < 0 {
+		return opts, fmt.Errorf("timeout_ms %d: need >= 0", req.TimeoutMs)
+	}
+	// Validate gamma here so a malformed panel is a 400 before any work
+	// (post-validation sweep failures are classified as solver errors).
+	if req.Gamma < 0 || req.Gamma > 1 || math.IsNaN(req.Gamma) {
+		return opts, fmt.Errorf("gamma %v outside [0, 1]", req.Gamma)
 	}
 	pmax := req.PMax
 	if pmax == 0 {
@@ -387,25 +482,22 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		pstep = 0.01
 	}
 	if pstep <= 0 || math.IsNaN(pstep) || req.PMin < 0 || pmax > 1 || req.PMin > pmax || math.IsNaN(req.PMin) || math.IsNaN(pmax) {
-		httpError(w, fmt.Errorf("bad p-grid: pmin=%v pmax=%v pstep=%v", req.PMin, pmax, pstep), http.StatusBadRequest)
-		return
+		return opts, fmt.Errorf("bad p-grid: pmin=%v pmax=%v pstep=%v", req.PMin, pmax, pstep)
 	}
 	// A tiny step would make the grid astronomically long; bound the point
 	// count before materializing anything.
 	const maxSweepPoints = 10000
 	if points := (pmax - req.PMin) / pstep; points > maxSweepPoints {
-		httpError(w, fmt.Errorf("p-grid has ~%.0f points, server limit is %d", points+1, maxSweepPoints), http.StatusBadRequest)
-		return
+		return opts, fmt.Errorf("p-grid has ~%.0f points, server limit is %d", points+1, maxSweepPoints)
 	}
 	info, ok := selfishmining.ModelInfoFor(req.Model)
 	if !ok {
 		// Produce the registry's unknown-family error (listing the valid
 		// names) through validation.
 		bad := selfishmining.AttackParams{Model: req.Model, Depth: 1, Forks: 1, MaxForkLen: 1}
-		httpError(w, bad.Validate(), http.StatusBadRequest)
-		return
+		return opts, bad.Validate()
 	}
-	opts := selfishmining.SweepOptions{
+	opts = selfishmining.SweepOptions{
 		Model:      req.Model,
 		Gamma:      req.Gamma,
 		PGrid:      results.Grid(req.PMin, pmax, pstep),
@@ -443,15 +535,29 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Depth: c.Depth, Forks: c.Forks, MaxForkLen: maxLen,
 		}
 		if err := s.checkParams(p); err != nil {
-			httpError(w, fmt.Errorf("config d=%d f=%d: %w", c.Depth, c.Forks, err), http.StatusBadRequest)
-			return
+			return opts, fmt.Errorf("config d=%d f=%d: %w", c.Depth, c.Forks, err)
 		}
 		opts.Configs = append(opts.Configs, selfishmining.AttackConfig{Depth: c.Depth, Forks: c.Forks})
 	}
-	start := time.Now()
-	fig, err := s.svc.Sweep(opts)
+	return opts, nil
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	opts, err := s.buildSweepOptions(req)
 	if err != nil {
 		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	start := time.Now()
+	fig, err := s.svc.SweepContext(ctx, opts)
+	if err != nil {
+		solveError(w, err)
 		return
 	}
 	resp := sweepResponse{
@@ -463,6 +569,106 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		resp.Series = append(resp.Series, wireSeries{Name: series.Name, Values: series.Values})
 	}
 	writeJSON(w, resp)
+}
+
+// The NDJSON lines of /v1/sweep/stream: a "point" per completed grid point
+// (in completion order), then exactly one terminal "summary" (the full
+// panel, as /v1/sweep would have returned it) or "error" line. Each line
+// kind is its own struct so every field of a point — including legitimate
+// zero values like the p=0 grid point — is always present on the wire.
+type pointLine struct {
+	Type   string  `json:"type"`
+	Series string  `json:"series"`
+	Depth  int     `json:"d"`
+	Forks  int     `json:"f"`
+	PIndex int     `json:"p_index"`
+	P      float64 `json:"p"`
+	ERRev  float64 `json:"errev"`
+	Sweeps int     `json:"sweeps"`
+}
+
+type summaryLine struct {
+	Type       string       `json:"type"`
+	Title      string       `json:"title"`
+	X          []float64    `json:"x"`
+	AllSeries  []wireSeries `json:"all_series"`
+	Points     int          `json:"points"`
+	DurationMs float64      `json:"duration_ms"`
+}
+
+type errorLine struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// handleSweepStream computes the same panel as /v1/sweep but delivers each
+// completed attack-curve grid point as one NDJSON line the moment it is
+// solved, followed by a terminal summary line carrying the assembled
+// figure (or an error line — after streaming has started, errors can no
+// longer change the HTTP status). A client that disconnects cancels the
+// request context, which stops the remaining grid work at the next
+// value-iteration sweep boundary.
+func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	opts, err := s.buildSweepOptions(req)
+	if err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	var points int
+	// OnPoint calls are serialized by the sweep and stop before
+	// SweepContext returns, so enc is never written concurrently.
+	opts.OnPoint = func(pt selfishmining.SweepPoint) {
+		points++
+		line := pointLine{
+			Type:   "point",
+			Series: pt.Series,
+			Depth:  pt.Config.Depth, Forks: pt.Config.Forks,
+			PIndex: pt.PIndex, P: pt.P,
+			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client gone; the ctx cancellation stops the sweep
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	start := time.Now()
+	fig, err := s.svc.SweepContext(ctx, opts)
+	if err != nil {
+		// Headers may already be out (points were streamed), so the
+		// terminal line — not the HTTP status — carries the outcome.
+		_, code := solveStatus(err)
+		if encErr := enc.Encode(errorLine{Type: "error", Error: err.Error(), Code: code}); encErr != nil {
+			fmt.Fprintf(os.Stderr, "serve: encoding stream error line: %v\n", encErr)
+		}
+		return
+	}
+	sum := summaryLine{
+		Type:       "summary",
+		Title:      fig.Title,
+		X:          fig.X,
+		Points:     points,
+		DurationMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, series := range fig.Series {
+		sum.AllSeries = append(sum.AllSeries, wireSeries{Name: series.Name, Values: series.Values})
+	}
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: encoding stream summary: %v\n", err)
+	}
 }
 
 // handleModels is the family discovery endpoint: every registered
@@ -506,6 +712,40 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		// Headers are already out; nothing more to do than log.
 		fmt.Fprintf(os.Stderr, "serve: encoding response: %v\n", err)
+	}
+}
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for a
+// request abandoned by its client before the server finished it.
+const statusClientClosedRequest = 499
+
+// solveStatus classifies a post-validation failure: context interruptions
+// map to 499 (client cancel / server shutdown) or 504 (deadline) with a
+// machine-readable code, everything else to a plain 500.
+func solveStatus(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "canceled"
+	default:
+		return http.StatusInternalServerError, ""
+	}
+}
+
+// solveError writes a post-validation failure with its cancellation
+// taxonomy (the request was well-formed; the solve failed or was
+// interrupted).
+func solveError(w http.ResponseWriter, err error) {
+	status, code := solveStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := map[string]string{"error": err.Error()}
+	if code != "" {
+		body["code"] = code
+	}
+	if encErr := json.NewEncoder(w).Encode(body); encErr != nil {
+		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", encErr)
 	}
 }
 

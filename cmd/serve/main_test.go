@@ -1,14 +1,19 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/selfishmining"
 )
@@ -62,7 +67,7 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("bad JSON %s: %v", data, err)
 	}
-	want, err := svc.Analyze(selfishmining.AttackParams{
+	want, err := svc.AnalyzeContext(context.Background(), selfishmining.AttackParams{
 		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 1, MaxForkLen: 3,
 	}, selfishmining.WithEpsilon(1e-3))
 	if err != nil {
@@ -350,7 +355,7 @@ func TestAnalyzeEndpointModelField(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("bad JSON %s: %v", data, err)
 	}
-	want, err := svc.Analyze(selfishmining.AttackParams{
+	want, err := svc.AnalyzeContext(context.Background(), selfishmining.AttackParams{
 		Model:     "nakamoto",
 		Adversary: 0.4, Switching: 0, Depth: 1, Forks: 1, MaxForkLen: 10,
 	}, selfishmining.WithEpsilon(1e-3), selfishmining.WithBoundOnly())
@@ -443,5 +448,288 @@ func TestBatchEndpointMixedModels(t *testing.T) {
 	}
 	if out.Results[0].ERRev == out.Results[1].ERRev {
 		t.Errorf("mixed-model batch returned identical ERRev %v — family ignored?", out.Results[0].ERRev)
+	}
+}
+
+// slowSweepBody is a panel large enough (hundreds of points at fine
+// precision) to be reliably still in flight when a test interrupts it.
+// The nakamoto family starts solving grid points immediately — no
+// single-tree baseline series to compute first — so interruption tests
+// observe in-flight work quickly even under -race.
+const slowSweepBody = `{"model":"nakamoto","gamma":0.25,"pmin":0.05,"pmax":0.45,"pstep":0.0005,"l":30,"epsilon":1e-7}`
+
+func TestAnalyzeEndpointTimeoutMs(t *testing.T) {
+	ts, svc := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		`{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4,"epsilon":1e-7,"timeout_ms":1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", data, err)
+	}
+	if out.Code != "deadline" {
+		t.Errorf("code %q, want \"deadline\": %s", out.Code, data)
+	}
+	if st := svc.Stats(); st.DeadlineExceeded != 1 {
+		t.Errorf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+}
+
+func TestServerRequestTimeoutFlag(t *testing.T) {
+	ts, _ := testServer(t, "-request-timeout", "1ms")
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		`{"p":0.3,"gamma":0.5,"d":2,"f":2,"l":4,"epsilon":1e-7}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 under -request-timeout 1ms: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), `"deadline"`) {
+		t.Errorf("body %s missing deadline code", data)
+	}
+}
+
+func TestAnalyzeEndpointRejectsNegativeTimeout(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		`{"p":0.3,"gamma":0.5,"d":1,"f":1,"l":2,"timeout_ms":-5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+}
+
+// TestSweepStreamEndpoint: every grid point arrives as its own NDJSON
+// line, followed by one summary whose series values match the streamed
+// points bitwise.
+func TestSweepStreamEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep/stream",
+		`{"gamma":0.5,"pmin":0.1,"pmax":0.3,"pstep":0.1,"configs":[{"d":1,"f":1}],"l":3,"tree_width":3,"epsilon":1e-3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // 3 grid points + summary
+		t.Fatalf("got %d NDJSON lines, want 4: %s", len(lines), data)
+	}
+	// Parse shape covering both line kinds; pointers detect absent fields.
+	type anyLine struct {
+		Type      string       `json:"type"`
+		Series    string       `json:"series"`
+		PIndex    *int         `json:"p_index"`
+		P         *float64     `json:"p"`
+		ERRev     float64      `json:"errev"`
+		Title     string       `json:"title"`
+		X         []float64    `json:"x"`
+		AllSeries []wireSeries `json:"all_series"`
+		Points    int          `json:"points"`
+	}
+	points := map[float64]float64{}
+	var summary anyLine
+	for i, ln := range lines {
+		var parsed anyLine
+		if err := json.Unmarshal([]byte(ln), &parsed); err != nil {
+			t.Fatalf("line %d is not JSON: %q: %v", i, ln, err)
+		}
+		switch parsed.Type {
+		case "point":
+			if i == len(lines)-1 {
+				t.Fatalf("last line is a point, want summary: %q", ln)
+			}
+			if parsed.Series != "ours(d=1,f=1)" || parsed.PIndex == nil || parsed.P == nil {
+				t.Errorf("point line missing series/p_index/p: %q", ln)
+				continue
+			}
+			points[*parsed.P] = parsed.ERRev
+		case "summary":
+			summary = parsed
+		default:
+			t.Fatalf("unexpected line type %q: %q", parsed.Type, ln)
+		}
+	}
+	if summary.Type != "summary" || summary.Points != 3 {
+		t.Fatalf("summary missing or wrong point count: %+v", summary)
+	}
+	var attack *wireSeries
+	for i := range summary.AllSeries {
+		if summary.AllSeries[i].Name == "ours(d=1,f=1)" {
+			attack = &summary.AllSeries[i]
+		}
+	}
+	if attack == nil {
+		t.Fatalf("summary lacks the attack series: %+v", summary.AllSeries)
+	}
+	for i, x := range summary.X {
+		got, ok := points[x]
+		if !ok {
+			t.Errorf("grid point p=%v was never streamed", x)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(attack.Values[i]) {
+			t.Errorf("p=%v: streamed errev %v != summary %v", x, got, attack.Values[i])
+		}
+	}
+}
+
+// TestSweepStreamClientDisconnectStopsWork: dropping the connection
+// mid-stream cancels the request context, which stops the remaining grid
+// work (surfacing as a canceled request in the service stats).
+func TestSweepStreamClientDisconnectStopsWork(t *testing.T) {
+	ts, svc := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep/stream",
+		strings.NewReader(slowSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST stream: %v", err)
+	}
+	defer resp.Body.Close()
+	// Read one streamed point so the sweep is provably in flight, then
+	// hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first stream line: %v", err)
+	}
+	cancel()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := svc.Stats(); st.Canceled > 0 {
+			return // the server noticed the disconnect and stopped the sweep
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never recorded the canceled sweep after client disconnect")
+}
+
+// TestGracefulShutdownCancelsInflight is the shutdown-under-load satellite:
+// a stop signal must cancel in-flight solves through the server's base
+// context — the server exits promptly even though the running sweep had
+// minutes of work left, instead of burning its -shutdown-timeout (or the
+// whole solve) in the drain.
+func TestGracefulShutdownCancelsInflight(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-shutdown-timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(cfg, sig, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-serveErr:
+		t.Fatalf("serve exited before listening: %v", err)
+	}
+
+	type result struct {
+		status int
+		err    error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/sweep", "application/json", strings.NewReader(slowSweepBody))
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		reqDone <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the sweep is genuinely in flight (SweepPoints is a
+	// monotone counter, so the poll cannot miss the window between two
+	// short point solves the way InFlight could).
+	waitUntil := time.Now().Add(30 * time.Second)
+	inFlight := false
+	for time.Now().Before(waitUntil) {
+		resp, err := http.Get("http://" + addr + "/v1/stats")
+		if err == nil {
+			var st selfishmining.ServiceStats
+			if json.NewDecoder(resp.Body).Decode(&st) == nil && st.SweepPoints > 0 {
+				inFlight = true
+			}
+			resp.Body.Close()
+			if inFlight {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !inFlight {
+		t.Fatal("sweep never became in-flight")
+	}
+
+	start := time.Now()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v on graceful shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve did not return after the stop signal (in-flight solve not canceled?)")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("shutdown took %v; base-context cancellation should preempt the solve immediately", elapsed)
+	}
+	select {
+	case res := <-reqDone:
+		// The interrupted request must have terminated promptly — either
+		// with the 499 cancellation status or a torn connection.
+		if res.err == nil && res.status != statusClientClosedRequest {
+			t.Errorf("in-flight request answered %d, want %d (canceled)", res.status, statusClientClosedRequest)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never terminated after shutdown")
+	}
+}
+
+// TestSweepStreamZeroPointFields: the p=0 grid point is a legitimate zero
+// everywhere (p, errev, sweeps) — its NDJSON line must still carry every
+// field so schema-checking consumers can tell "zero" from "absent".
+func TestSweepStreamZeroPointFields(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep/stream",
+		`{"gamma":0.5,"pmin":0,"pmax":0.1,"pstep":0.1,"configs":[{"d":1,"f":1}],"l":3,"epsilon":1e-2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var zeroLine string
+	for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if strings.Contains(ln, `"type":"point"`) && strings.Contains(ln, `"p_index":0`) {
+			zeroLine = ln
+		}
+	}
+	if zeroLine == "" {
+		t.Fatalf("p=0 point line missing from stream: %s", data)
+	}
+	for _, want := range []string{`"p":0`, `"errev":0`, `"sweeps":0`, `"series":"ours(d=1,f=1)"`} {
+		if !strings.Contains(zeroLine, want) {
+			t.Errorf("p=0 point line %q missing %s", zeroLine, want)
+		}
+	}
+}
+
+// TestSweepEndpointBadGammaIs400: sweep validation failures are client
+// errors — gamma outside [0,1] must answer 400, not fall through to the
+// solver-error classification.
+func TestSweepEndpointBadGammaIs400(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, path := range []string{"/v1/sweep", "/v1/sweep/stream"} {
+		resp, data := postJSON(t, ts.URL+path, `{"gamma":1.5,"configs":[{"d":1,"f":1}],"l":3}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d for gamma=1.5, want 400: %s", path, resp.StatusCode, data)
+		}
 	}
 }

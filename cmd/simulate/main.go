@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -53,7 +54,7 @@ func run(args []string) error {
 	if err := params.Validate(); err != nil {
 		return err
 	}
-	res, err := selfishmining.Analyze(params, selfishmining.WithEpsilon(*eps))
+	res, err := selfishmining.AnalyzeContext(context.Background(), params, selfishmining.WithEpsilon(*eps))
 	if err != nil {
 		return err
 	}

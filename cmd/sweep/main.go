@@ -7,7 +7,14 @@
 //
 //	sweep -gamma 0.5 [-model fork] [-pmax 0.3] [-pstep 0.01]
 //	      [-configs 1x1,2x1,2x2,3x2] [-l 4] [-width 5] [-eps 1e-4]
-//	      [-workers N] [-o figure2c.csv] [-markdown]
+//	      [-workers N] [-timeout 0] [-o figure2c.csv] [-markdown]
+//
+// The sweep is cancellable: SIGINT/SIGTERM (or -timeout expiring) stops
+// the remaining grid points at their next deterministic checkpoint. Grid
+// points stream to stderr as they complete (suppress with -q), so an
+// interrupted run leaves every finished point on record; the CSV/Markdown
+// output file is only written when the full panel completes, never as a
+// torn partial table.
 //
 // The paper's full configuration list includes 4x2 (9.4M states); include
 // it explicitly via -configs when you have the time budget.
@@ -19,25 +26,33 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/results"
 	"repro/selfishmining"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the sweep at its next deterministic
+	// checkpoint; completed points were already streamed to stderr.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		model    = fs.String("model", selfishmining.DefaultModel, "attack-model family (see analyze -list-models)")
@@ -50,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		width    = fs.Int("width", 5, "single-tree baseline width (fork model only)")
 		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
 		workers  = fs.Int("workers", 0, "worker pool size over grid points (0 = all cores); results are identical at any setting")
+		timeout  = fs.Duration("timeout", 0, "abort the sweep after this long (0 = none); completed points were already streamed to stderr")
 		out      = fs.String("o", "", "write CSV to this file (default stdout)")
 		markdown = fs.Bool("markdown", false, "emit a Markdown table instead of CSV")
 		quiet    = fs.Bool("q", false, "suppress per-point progress on stderr")
@@ -81,6 +97,14 @@ func run(args []string, stdout io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: need >= 0 (0 = all cores)", *workers)
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout %v: need >= 0 (0 = none)", *timeout)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	isFork := selfishmining.IsDefaultModel(*model)
 	// The library default config list includes 4x2 (9.4M states); the CLI
 	// default stays bounded. Non-fork families default to their own shape.
@@ -106,7 +130,7 @@ func run(args []string, stdout io.Writer) error {
 	if *quiet {
 		progress = nil
 	}
-	fig, err := selfishmining.Sweep(selfishmining.SweepOptions{
+	fig, err := selfishmining.SweepContext(ctx, selfishmining.SweepOptions{
 		Model:      *model,
 		Gamma:      *gamma,
 		PGrid:      results.Grid(*pmin, *pmax, *pstep),
@@ -118,6 +142,11 @@ func run(args []string, stdout io.Writer) error {
 		Progress:   progress,
 	})
 	if err != nil {
+		if errors.Is(err, selfishmining.ErrCanceled) {
+			// Completed points already streamed via -progress; the panel
+			// file is all-or-nothing, so nothing torn was written.
+			fmt.Fprintln(os.Stderr, "sweep interrupted; no panel written (completed points were streamed above)")
+		}
 		return err
 	}
 	w := stdout

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/selfishmining"
 )
 
 func TestParseConfigs(t *testing.T) {
@@ -26,7 +30,7 @@ func TestParseConfigsErrors(t *testing.T) {
 
 func TestRunSmallSweep(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-gamma", "0.5", "-pmin", "0.1", "-pmax", "0.3", "-pstep", "0.1",
 		"-configs", "1x1", "-l", "2", "-width", "2", "-eps", "1e-3", "-q",
 	}, &out)
@@ -44,7 +48,7 @@ func TestRunSmallSweep(t *testing.T) {
 
 func TestRunMarkdown(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-gamma", "0", "-pmin", "0.2", "-pmax", "0.2", "-pstep", "0.1",
 		"-configs", "1x1", "-l", "2", "-width", "2", "-eps", "1e-2", "-q", "-markdown",
 	}, &out)
@@ -57,14 +61,14 @@ func TestRunMarkdown(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-configs", "junk"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-configs", "junk"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad configs accepted")
 	}
 }
 
 func TestRunNonForkModel(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-model", "nakamoto", "-gamma", "0", "-pmin", "0.2", "-pmax", "0.4", "-pstep", "0.2",
 		"-eps", "1e-2", "-q",
 	}, &out)
@@ -81,7 +85,7 @@ func TestRunNonForkModel(t *testing.T) {
 }
 
 func TestRunRejectsUnknownModel(t *testing.T) {
-	err := run([]string{"-model", "bogus", "-q"}, &bytes.Buffer{})
+	err := run(context.Background(), []string{"-model", "bogus", "-q"}, &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("unknown -model accepted")
 	}
@@ -104,8 +108,33 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 		{"-width", "0"},
 		{"-workers", "-2"},
 	} {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
 		}
+	}
+}
+
+// TestRunTimeoutCancelsSweep: -timeout interrupts the panel cleanly — a
+// cancellation error, no partial output file.
+func TestRunTimeoutCancelsSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-gamma", "0.5", "-configs", "2x1", "-l", "3", "-eps", "1e-3",
+		"-pstep", "0.01", "-timeout", "1ns", "-q",
+	}, &out)
+	if err == nil {
+		t.Fatal("1ns timeout produced a full panel")
+	}
+	if !errors.Is(err, selfishmining.ErrCanceled) {
+		t.Fatalf("timeout error %v does not match selfishmining.ErrCanceled", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("interrupted sweep wrote %d bytes of panel output, want none (all-or-nothing)", out.Len())
+	}
+}
+
+func TestRunRejectsNegativeTimeout(t *testing.T) {
+	if err := run(context.Background(), []string{"-timeout", "-1s"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative -timeout accepted")
 	}
 }

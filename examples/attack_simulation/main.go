@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		Adversary: 0.3, Switching: 0.75, Depth: 2, Forks: 2, MaxForkLen: 4,
 	}
 	fmt.Printf("analyzing %v...\n", params)
-	res, err := selfishmining.Analyze(params)
+	res, err := selfishmining.AnalyzeContext(context.Background(), params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 		params := selfishmining.AttackParams{
 			Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 2, MaxForkLen: l,
 		}
-		res, err := selfishmining.Analyze(params,
+		res, err := selfishmining.AnalyzeContext(context.Background(), params,
 			selfishmining.WithEpsilon(1e-5),
 			selfishmining.WithoutStrategyEval(),
 		)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	for _, p := range []float64{0.15, 0.20, 0.25, 0.28, 0.30} {
 		fmt.Printf("%8.2f", p)
 		for _, g := range gammas {
-			res, err := selfishmining.Analyze(selfishmining.AttackParams{
+			res, err := selfishmining.AnalyzeContext(context.Background(), selfishmining.AttackParams{
 				Adversary: p, Switching: g, Depth: 1, Forks: 1, MaxForkLen: 4,
 			}, selfishmining.WithEpsilon(1e-5), selfishmining.WithoutStrategyEval())
 			if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 			Adversary: p, Switching: gamma,
 			Depth: m.DefaultDepth, Forks: m.DefaultForks, MaxForkLen: m.DefaultMaxForkLen,
 		}
-		res, err := selfishmining.Analyze(params,
+		res, err := selfishmining.AnalyzeContext(context.Background(), params,
 			selfishmining.WithEpsilon(1e-4),
 			selfishmining.WithBoundOnly(),
 		)

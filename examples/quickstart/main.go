@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	// relative revenue, plus a strategy achieving it. Value-iteration
 	// sweeps run on all cores by default; selfishmining.WithWorkers pins
 	// the count, and any setting produces bitwise identical results.
-	res, err := selfishmining.Analyze(params, selfishmining.WithEpsilon(1e-4))
+	res, err := selfishmining.AnalyzeContext(context.Background(), params, selfishmining.WithEpsilon(1e-4))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,70 @@
+// Streaming, cancellable sweep: the v2 context-first API end to end.
+//
+// The program computes a small Figure-2 panel with a deadline attached and
+// streams every attack-curve grid point the moment it is solved
+// (SweepOptions.OnPoint) instead of waiting for the whole panel — the
+// in-process twin of cmd/serve's POST /v1/sweep/stream NDJSON endpoint.
+// It then demonstrates the cancellation taxonomy by re-running the panel
+// under a deadline far too tight to finish and inspecting the returned
+// *CancelError: an interrupted analysis still reports the certified
+// partial bracket it had proven before the deadline hit.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/selfishmining"
+)
+
+func main() {
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+	opts := selfishmining.SweepOptions{
+		Gamma:      0.5,
+		PGrid:      []float64{0, 0.1, 0.2, 0.3},
+		Configs:    []selfishmining.AttackConfig{{Depth: 1, Forks: 1}, {Depth: 2, Forks: 1}},
+		MaxForkLen: 3,
+		TreeWidth:  3,
+		Epsilon:    1e-3,
+		// OnPoint fires in parallel completion order; the values streamed
+		// are bitwise the values the final figure carries.
+		OnPoint: func(pt selfishmining.SweepPoint) {
+			fmt.Printf("point  d=%d f=%d p=%.2f -> ERRev %.5f (%d sweeps)\n",
+				pt.Config.Depth, pt.Config.Forks, pt.P, pt.ERRev, pt.Sweeps)
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fig, err := svc.SweepContext(ctx, opts)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	fmt.Printf("panel complete: %d series over %d grid points\n\n", len(fig.Series), len(fig.X))
+
+	// Now interrupt on purpose: a 20ms deadline cannot finish this
+	// analysis at ε=1e-7, but the binary search still certifies a bracket
+	// before it stops — the CancelError carries that partial progress.
+	tight, cancelTight := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancelTight()
+	params := selfishmining.AttackParams{
+		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 2, MaxForkLen: 4,
+	}
+	_, err = svc.AnalyzeContext(tight, params, selfishmining.WithEpsilon(1e-7))
+	switch ce := (*selfishmining.CancelError)(nil); {
+	case err == nil:
+		fmt.Println("analysis beat the 20ms deadline (fast machine!)")
+	case errors.As(err, &ce):
+		fmt.Printf("interrupted as expected: %d steps, %d sweeps, ERRev already in [%.4f, %.4f]\n",
+			ce.Iterations, ce.Sweeps, ce.BetaLow, ce.BetaUp)
+		fmt.Printf("matches ErrCanceled: %v, cause deadline: %v\n",
+			errors.Is(err, selfishmining.ErrCanceled), errors.Is(err, context.DeadlineExceeded))
+	default:
+		log.Fatalf("unexpected error: %v", err)
+	}
+	fmt.Printf("service stats: %d solves, %d canceled, %d deadline-exceeded\n",
+		svc.Stats().Solves, svc.Stats().Canceled, svc.Stats().DeadlineExceeded)
+}

@@ -12,6 +12,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -52,6 +53,12 @@ type Options struct {
 	// exactly, 0 uses all cores with a small-model cutoff. Results are
 	// bitwise identical at every worker count.
 	Workers int
+	// Progress, if non-nil, is called after every binary-search step with
+	// the current certified bracket [betaLow, betaUp] and the number of
+	// steps completed. It runs on the solving goroutine between inner
+	// solves and must return promptly; it observes progress only and
+	// cannot change any result.
+	Progress func(betaLow, betaUp float64, iteration int)
 }
 
 func (o *Options) defaults() {
@@ -83,9 +90,23 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Analyze runs Algorithm 1 on the attack MDP. The model's β is mutated
-// during the search; its final value is β_low.
+// Analyze runs Algorithm 1 on the attack MDP with no cancellation; it is
+// AnalyzeContext under context.Background().
 func Analyze(m *core.Model, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), m, opts)
+}
+
+// AnalyzeContext runs Algorithm 1 on the attack MDP. The model's β is
+// mutated during the search; its final value is β_low.
+//
+// ctx is threaded into every inner solve (checked at value-iteration sweep
+// boundaries, never inside a sweep) and additionally checked between
+// binary-search steps. On cancellation the partial Result — the bracket
+// narrowed so far, the steps and sweeps completed — is returned together
+// with an error wrapping ctx.Err(), so callers can report how far the
+// search got. Completed analyses are bitwise identical whether or not a
+// (never-fired) context was attached.
+func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
 	params := m.Params()
@@ -104,9 +125,12 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
 	warm := opts.InitialValues
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("analysis: canceled after %d binary-search steps: %w", res.Iterations, err)
+		}
 		beta := (res.BetaLow + res.BetaUp) / 2
 		m.SetBeta(beta)
-		sr, err := solve.MeanPayoff(m, solve.Options{
+		sr, err := solve.MeanPayoffContext(ctx, m, solve.Options{
 			Tol:           zeta,
 			MaxIter:       opts.SolverMaxIter,
 			SignOnly:      true,
@@ -134,6 +158,9 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 			// ERRev — are bitwise identical under any warm start.
 			res.BetaLow = beta
 		}
+		if opts.Progress != nil {
+			opts.Progress(res.BetaLow, res.BetaUp, res.Iterations)
+		}
 	}
 	res.ERRev = res.BetaLow
 	if opts.SkipStrategy {
@@ -143,7 +170,7 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 
 	// Final solve at β_low for the ε-optimal strategy (Theorem 3.1, part 2).
 	m.SetBeta(res.BetaLow)
-	sr, err := solve.MeanPayoff(m, solve.Options{
+	sr, err := solve.MeanPayoffContext(ctx, m, solve.Options{
 		Tol:           zeta,
 		MaxIter:       opts.SolverMaxIter,
 		InitialValues: warm,

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -27,7 +28,22 @@ import (
 // without the seed; only the sweep count changes. Options.SkipStrategy
 // returns right after the search with the bound alone — the mode sweeps
 // use, where the whole result is warm-start independent.
+//
+// AnalyzeCompiled runs with no cancellation; it is AnalyzeCompiledContext
+// under context.Background().
 func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
+	return AnalyzeCompiledContext(context.Background(), c, opts)
+}
+
+// AnalyzeCompiledContext is AnalyzeCompiled with cooperative cancellation:
+// ctx reaches every inner solve (checked at value-iteration sweep
+// boundaries, never inside one) and is additionally checked between
+// binary-search steps, giving Algorithm 1's nested structure deterministic
+// cancellation checkpoints at every level. On cancellation the partial
+// Result — bracket, steps, sweeps so far — returns with an error wrapping
+// ctx.Err(). A run that completes is bitwise identical to one with no
+// context attached; Options.Progress observes each step's bracket.
+func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Options) (*Result, error) {
 	opts.defaults()
 	start := time.Now()
 	if opts.Workers > 0 {
@@ -50,8 +66,11 @@ func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 		warm = true
 	}
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("analysis: canceled after %d binary-search steps: %w", res.Iterations, err)
+		}
 		beta := (res.BetaLow + res.BetaUp) / 2
-		sr, err := c.MeanPayoff(beta, kernel.Options{
+		sr, err := c.MeanPayoffCtx(ctx, beta, kernel.Options{
 			Tol:        zeta,
 			MaxIter:    opts.SolverMaxIter,
 			SignOnly:   true,
@@ -75,6 +94,9 @@ func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 			// See the matching branch in Analyze.
 			res.BetaLow = beta
 		}
+		if opts.Progress != nil {
+			opts.Progress(res.BetaLow, res.BetaUp, res.Iterations)
+		}
 	}
 	res.ERRev = res.BetaLow
 	if opts.SkipStrategy {
@@ -82,7 +104,7 @@ func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	sr, err := c.MeanPayoff(res.BetaLow, kernel.Options{
+	sr, err := c.MeanPayoffCtx(ctx, res.BetaLow, kernel.Options{
 		Tol:        zeta,
 		MaxIter:    opts.SolverMaxIter,
 		KeepValues: warm,
@@ -96,7 +118,7 @@ func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 	res.Strategy = c.GreedyPolicy(res.BetaLow)
 
 	if !opts.SkipStrategyEval {
-		errev, err := c.EvalERRev(res.Strategy, kernel.Options{Tol: zeta, MaxIter: opts.SolverMaxIter})
+		errev, err := c.EvalERRevCtx(ctx, res.Strategy, kernel.Options{Tol: zeta, MaxIter: opts.SolverMaxIter})
 		if err != nil {
 			return res, fmt.Errorf("analysis: evaluating final strategy: %w", err)
 		}

@@ -1,12 +1,14 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLRUHitMissAccounting(t *testing.T) {
@@ -347,5 +349,76 @@ func BenchmarkSingleflightUncontended(b *testing.B) {
 		if _, err, _ := g.Do(0, func() (int, error) { return 1, nil }); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSingleflightDoContextFollowerCancel: a coalesced follower whose
+// context ends stops waiting immediately with ctx.Err(), while the leader
+// keeps executing and later followers still receive its result.
+func TestSingleflightDoContextFollowerCancel(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	leaderDone := make(chan int, 1)
+	go func() {
+		v, err, shared := g.Do("k", func() (int, error) {
+			close(started)
+			<-gate
+			return 42, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: v=%d err=%v shared=%v", v, err, shared)
+		}
+		leaderDone <- v
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err, shared := g.DoContext(ctx, "k", func() (int, error) {
+			t.Error("canceled follower executed fn")
+			return 0, nil
+		})
+		if !shared {
+			t.Error("follower did not coalesce")
+		}
+		followerErr <- err
+	}()
+	// Give the follower time to register as a waiter, then cancel it while
+	// the leader is still parked.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-followerErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled follower did not unblock")
+	}
+
+	close(gate)
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader returned %d after follower cancel, want 42", v)
+	}
+	if n := g.InFlight(); n != 0 {
+		t.Fatalf("InFlight = %d after completion, want 0", n)
+	}
+	if n := g.Coalesced(); n != 1 {
+		t.Fatalf("Coalesced = %d, want 1 (the canceled follower still coalesced)", n)
+	}
+}
+
+// TestSingleflightDoContextLeaderIgnoresCtx: the context governs the wait,
+// not the work — a leader with a dead context still runs fn (cancelling
+// the work is fn's own business).
+func TestSingleflightDoContextLeaderIgnoresCtx(t *testing.T) {
+	var g Group[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err, shared := g.DoContext(ctx, "k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("leader under dead ctx: v=%d err=%v shared=%v, want 7/nil/false", v, err, shared)
 	}
 }

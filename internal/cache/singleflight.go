@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -38,6 +39,17 @@ type Group[K comparable, V any] struct {
 // use the Group (with a different key) or block at length. If fn panics,
 // the panic propagates on the leader and waiters receive ErrLeaderPanicked.
 func (g *Group[K, V]) Do(key K, fn func() (V, error)) (value V, err error, shared bool) {
+	return g.DoContext(context.Background(), key, fn)
+}
+
+// DoContext is Do with a caller-scoped context governing the WAIT, not the
+// work: a coalesced follower whose ctx is done stops waiting immediately
+// and receives ctx.Err(), while the leader's execution of fn continues
+// unaffected (other followers still receive its eventual result, and
+// whatever fn populates — caches, warm-start stores — is untouched by the
+// abandoned wait). The leader itself ignores ctx here; cancelling the
+// leader's work is fn's business (fn typically closes over the same ctx).
+func (g *Group[K, V]) DoContext(ctx context.Context, key K, fn func() (V, error)) (value V, err error, shared bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[K]*call[V])
@@ -46,8 +58,13 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (value V, err error, share
 		c.waiters++
 		g.coalesced++
 		g.mu.Unlock()
-		<-c.done
-		return c.value, c.err, true
+		select {
+		case <-c.done:
+			return c.value, c.err, true
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err(), true
+		}
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -373,14 +374,29 @@ func (o *Options) defaults() {
 }
 
 // MeanPayoff runs relative value iteration for reward r_β over the compiled
-// structure. Semantics match solve.MeanPayoff on the equivalent model.
+// structure with no cancellation; it is MeanPayoffCtx under
+// context.Background().
+func (c *Compiled) MeanPayoff(beta float64, opts Options) (*Result, error) {
+	return c.MeanPayoffCtx(context.Background(), beta, opts)
+}
+
+// MeanPayoffCtx runs relative value iteration for reward r_β over the
+// compiled structure. Semantics match solve.MeanPayoff on the equivalent
+// model.
 //
 // Each sweep is parallelized across SetWorkers goroutines; the result is
 // bitwise identical at any worker count (see the Compiled type comment).
 // In SignOnly mode the solve runs until the bracket excludes zero (or
 // shrinks below Tol·signOnlyFloorFrac), so the certified sign is the true
 // sign of the gain — independent of any KeepValues warm start.
-func (c *Compiled) MeanPayoff(beta float64, opts Options) (*Result, error) {
+//
+// ctx is checked once per sweep, at the sweep boundary and never inside
+// one, so a solve that runs to completion performs exactly the serial
+// floating-point computation regardless of the context — cancellation can
+// only decide WHETHER the next sweep starts, not what any sweep computes.
+// On cancellation the partial Result (with the sweeps done so far in
+// Iters) is returned alongside an error wrapping ctx.Err().
+func (c *Compiled) MeanPayoffCtx(ctx context.Context, beta float64, opts Options) (*Result, error) {
 	opts.defaults()
 	n := c.NumStates()
 	if !opts.KeepValues {
@@ -397,6 +413,11 @@ func (c *Compiled) MeanPayoff(beta float64, opts Options) (*Result, error) {
 	red := par.NewMinMax(par.NumChunks(n, w))
 	lastWidth, stall := math.Inf(1), 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			c.h, c.next = h, next
+			res.Gain = (res.Lo + res.Hi) / 2
+			return res, fmt.Errorf("kernel: compiled solve canceled after %d sweeps: %w", res.Iters, err)
+		}
 		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx
 		par.For(n, w, func(chunk, from, to int) {
 			lo, hi := math.Inf(1), math.Inf(-1)
@@ -508,14 +529,21 @@ func (c *Compiled) greedyRange(policy []int, h []float64, rwd *[rwdTableSize]flo
 	}
 }
 
-// EvalERRev brackets the expected relative revenue of a fixed policy by two
-// iterative fixed-policy gain evaluations: gain(r_A) / gain(r_A + r_H).
+// EvalERRev brackets the expected relative revenue of a fixed policy with
+// no cancellation; it is EvalERRevCtx under context.Background().
 func (c *Compiled) EvalERRev(policy []int, opts Options) (float64, error) {
-	gainA, err := c.evalPolicyGain(policy, true, opts)
+	return c.EvalERRevCtx(context.Background(), policy, opts)
+}
+
+// EvalERRevCtx brackets the expected relative revenue of a fixed policy by
+// two iterative fixed-policy gain evaluations: gain(r_A) / gain(r_A + r_H).
+// ctx is checked at sweep boundaries, exactly as in MeanPayoffCtx.
+func (c *Compiled) EvalERRevCtx(ctx context.Context, policy []int, opts Options) (float64, error) {
+	gainA, err := c.evalPolicyGain(ctx, policy, true, opts)
 	if err != nil {
 		return 0, fmt.Errorf("kernel: evaluating adversary gain: %w", err)
 	}
-	gainTotal, err := c.evalPolicyGain(policy, false, opts)
+	gainTotal, err := c.evalPolicyGain(ctx, policy, false, opts)
 	if err != nil {
 		return 0, fmt.Errorf("kernel: evaluating total gain: %w", err)
 	}
@@ -527,8 +555,8 @@ func (c *Compiled) EvalERRev(policy []int, opts Options) (float64, error) {
 
 // evalPolicyGain runs fixed-policy relative value iteration with reward
 // r_A (advOnly) or r_A + r_H. Sweeps are parallelized like MeanPayoff and
-// equally independent of the worker count.
-func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts Options) (float64, error) {
+// equally independent of the worker count; ctx is checked between sweeps.
+func (c *Compiled) evalPolicyGain(ctx context.Context, policy []int, advOnly bool, opts Options) (float64, error) {
 	opts.defaults()
 	n := c.NumStates()
 	if len(policy) != n {
@@ -551,6 +579,9 @@ func (c *Compiled) evalPolicyGain(policy []int, advOnly bool, opts Options) (flo
 	w := c.sweepWorkers()
 	red := par.NewMinMax(par.NumChunks(n, w))
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return (resLo + resHi) / 2, fmt.Errorf("kernel: policy evaluation canceled after %d sweeps: %w", iter-1, err)
+		}
 		hv, nx := h, next
 		par.For(n, w, func(chunk, from, to int) {
 			lo, hi := math.Inf(1), math.Inf(-1)

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,7 +80,21 @@ func workerViews(m mdp.Model, chunks int) (views []mdp.Model, fellBack bool) {
 // worker. Every state's update reads only the previous value vector and the
 // bracket is reduced with exact min/max, so the parallel sweep is bitwise
 // identical to the serial one at any worker count.
+//
+// MeanPayoff runs with no cancellation; it is MeanPayoffContext under
+// context.Background().
 func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
+	return MeanPayoffContext(context.Background(), m, opts)
+}
+
+// MeanPayoffContext is MeanPayoff with cooperative cancellation: ctx is
+// checked once per sweep, at the sweep boundary and never inside one, so a
+// solve that completes performs exactly the same floating-point operations
+// as an uncancellable one — the context decides only whether the next sweep
+// starts. On cancellation the partial Result (sweeps done so far in Iters,
+// the bracket intersected so far) is returned with an error wrapping
+// ctx.Err().
+func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result, error) {
 	opts.defaults()
 	n := m.NumStates()
 	if n == 0 {
@@ -107,6 +122,11 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 	res.SerialFallback = fellBack && opts.Workers > 1
 	lastWidth, stall := math.Inf(1), 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.Gain = (res.Lo + res.Hi) / 2
+			res.Values = h
+			return res, fmt.Errorf("solve: canceled after %d sweeps: %w", res.Iters, err)
+		}
 		hv, nx := h, next // chunk workers read hv, write disjoint slots of nx
 		par.For(n, chunks, func(chunk, from, to int) {
 			mm := views[chunk]

@@ -4,23 +4,41 @@
 //
 // It exposes the paper's pipeline end to end:
 //
-//   - Analyze runs the fully automated analysis (Algorithm 1) for an attack
-//     configuration, returning an ε-tight lower bound on the optimal
+//   - AnalyzeContext runs the fully automated analysis (Algorithm 1) for an
+//     attack configuration, returning an ε-tight lower bound on the optimal
 //     expected relative revenue (ERRev) and a strategy achieving it.
 //   - Analysis.Simulate replays the computed strategy on a physical
 //     longest-chain block tree as an independent Monte-Carlo check.
 //   - HonestRevenue and SingleTreeRevenue evaluate the paper's two
 //     baselines.
-//   - Sweep regenerates the ERRev-vs-p curves of the paper's Figure 2.
+//   - SweepContext regenerates the ERRev-vs-p curves of the paper's
+//     Figure 2, optionally streaming each grid point as it completes.
 //
 // A minimal session:
 //
 //	params := selfishmining.AttackParams{
 //		Adversary: 0.3, Switching: 0.5, Depth: 2, Forks: 2, MaxForkLen: 4,
 //	}
-//	res, err := selfishmining.Analyze(params)
+//	res, err := selfishmining.AnalyzeContext(ctx, params)
 //	if err != nil { ... }
 //	fmt.Printf("ERRev >= %.4f\n", res.ERRev)
+//
+// # Cancellation and deadlines
+//
+// Every entry point takes a context.Context as its first argument (the
+// context-free names are thin context.Background() wrappers kept for
+// compatibility). Cancellation is cooperative and deterministic: Algorithm
+// 1's nested structure — binary search on β, value-iteration solves per
+// step, sweeps per solve — is checked at every level, but only at sweep
+// BOUNDARIES, never inside a sweep, so a solve that completes performs
+// exactly the floating-point computation it would have performed with no
+// context attached. Interrupted calls return a *CancelError (matching
+// ErrCanceled, and context.Canceled or context.DeadlineExceeded via
+// errors.Is) carrying the certified partial progress: the binary-search
+// bracket narrowed so far and the work done. Cancelling a solve never
+// poisons a Service's caches — a canceled solve stores nothing, and
+// re-running it yields a result bitwise identical to an uninterrupted one.
+// WithProgress observes the live bracket after each binary-search step.
 //
 // # Model families
 //
@@ -56,18 +74,32 @@
 // identical requests, a concurrency limit, and warm-started value
 // iteration that seeds each bound-only solve from the nearest solved p.
 // Cached, coalesced and warm-started answers are bitwise identical to
-// cold serial solves. Sweep and the analyze/sweep CLIs run through a
-// Service, so those paths share the same machinery; cmd/serve exposes it
+// cold serial solves. SweepContext and the analyze/sweep CLIs run through
+// a Service, so those paths share the same machinery; cmd/serve exposes it
 // over HTTP/JSON:
 //
 //	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
-//	res, err := svc.Analyze(params)           // solved once...
-//	res2, err := svc.Analyze(params)          // ...then served from cache
-//	batch, err := svc.AnalyzeBatch(manyParams) // deduplicated fan-out
+//	res, err := svc.AnalyzeContext(ctx, params)  // solved once...
+//	res2, err := svc.AnalyzeContext(ctx, params) // ...then from cache
+//	batch, err := svc.AnalyzeBatchContext(ctx, manyParams) // deduplicated
 //	fmt.Printf("%+v\n", svc.Stats())
+//
+// The serving layer is fully context-aware: a request queued on the
+// MaxConcurrent limit or coalesced behind an identical in-flight solve
+// unblocks immediately when its own context ends, without disturbing the
+// leader's solve or the caches, and the Stats counters record canceled and
+// deadline-exceeded requests separately from solves.
+//
+// # Streaming sweeps
+//
+// SweepOptions.OnPoint streams a sweep's attack-curve grid points as they
+// complete (in parallel completion order), so consumers can render or
+// forward partial panels while the sweep is still running; cmd/serve's
+// POST /v1/sweep/stream endpoint forwards them as NDJSON lines.
 package selfishmining
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -165,6 +197,7 @@ type config struct {
 	useCompiled *bool // nil = auto by state count
 	skipEval    bool
 	boundOnly   bool
+	progress    func(betaLow, betaUp float64, iteration int)
 }
 
 // Option customizes Analyze.
@@ -203,6 +236,18 @@ func WithoutStrategyEval() Option { return func(c *config) { c.skipEval = true }
 // cached value vectors without changing a single bit of the result.
 func WithBoundOnly() Option { return func(c *config) { c.boundOnly = true } }
 
+// WithProgress registers a callback invoked after every binary-search step
+// with the certified ERRev bracket [betaLow, betaUp] narrowed so far and
+// the number of steps completed. It observes progress only — it cannot
+// change any result — and runs on the solving goroutine between inner
+// solves, so it must return promptly. Through a Service, progress fires
+// only on requests that actually solve: answers served from the result
+// cache or coalesced behind another request's solve report nothing (they
+// did no search). The callback is not part of the service's cache key.
+func WithProgress(f func(betaLow, betaUp float64, iteration int)) Option {
+	return func(c *config) { c.progress = f }
+}
+
 // compiledThreshold is the state count above which Analyze defaults to the
 // compiled backend.
 const compiledThreshold = 50000
@@ -239,12 +284,27 @@ type Analysis struct {
 	model *core.Model
 }
 
-// Analyze runs the paper's Algorithm 1 on the given configuration of any
-// registered model family (AttackParams.Model). Non-fork families always
-// use the compiled kernel backend; WithCompiled(false) is only meaningful
-// for the fork family, whose on-the-fly state machine doubles as a generic
-// mdp.Model.
+// Analyze is AnalyzeContext under context.Background().
+//
+// Deprecated: use AnalyzeContext, the canonical v2 entry point, which adds
+// cancellation, deadlines and partial-progress errors. Analyze remains a
+// thin wrapper and computes bit-identical results.
 func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), p, opts...)
+}
+
+// AnalyzeContext runs the paper's Algorithm 1 on the given configuration of
+// any registered model family (AttackParams.Model). Non-fork families
+// always use the compiled kernel backend; WithCompiled(false) is only
+// meaningful for the fork family, whose on-the-fly state machine doubles as
+// a generic mdp.Model.
+//
+// ctx cancels the analysis cooperatively at deterministic checkpoints
+// (value-iteration sweep and binary-search step boundaries); an interrupted
+// call returns a *CancelError carrying the certified partial progress (see
+// the package's cancellation notes). A call that completes is bitwise
+// identical to one with no cancelable context attached.
+func AnalyzeContext(ctx context.Context, p AttackParams, opts ...Option) (*Analysis, error) {
 	cfg := config{epsilon: 1e-4}
 	for _, o := range opts {
 		o(&cfg)
@@ -275,6 +335,7 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 		SkipStrategyEval: cfg.skipEval,
 		SkipStrategy:     cfg.boundOnly,
 		Workers:          cfg.workers,
+		Progress:         cfg.progress,
 	}
 	var res *analysis.Result
 	var numStates int
@@ -284,9 +345,9 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 			return nil, err
 		}
 		numStates = comp.NumStates()
-		res, err = analysis.AnalyzeCompiled(comp, aOpts)
+		res, err = analysis.AnalyzeCompiledContext(ctx, comp, aOpts)
 		if err != nil {
-			return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
+			return nil, analysisError(p, res, err)
 		}
 	} else {
 		m, err := core.NewModel(cp)
@@ -294,12 +355,22 @@ func Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
 			return nil, err
 		}
 		numStates = m.NumStates()
-		res, err = analysis.Analyze(m, aOpts)
+		res, err = analysis.AnalyzeContext(ctx, m, aOpts)
 		if err != nil {
-			return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
+			return nil, analysisError(p, res, err)
 		}
 	}
 	return newAnalysis(p, cp, res, !cfg.boundOnly && p.isFork(), numStates)
+}
+
+// analysisError classifies an inner analysis failure: context
+// interruptions become the public *CancelError (with partial progress);
+// everything else keeps the parameter-tagged solver wrap.
+func analysisError(p AttackParams, res *analysis.Result, err error) error {
+	if isCtxErr(err) {
+		return cancelError(err, res)
+	}
+	return fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
 }
 
 // newAnalysis assembles the public result from an internal one. withModel

@@ -1,0 +1,94 @@
+package selfishmining
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// ErrCanceled is the sentinel of the cancellation taxonomy: every analysis,
+// batch or sweep interrupted by its context — whether by explicit cancel or
+// by a deadline, whether it was solving, queued on the service's
+// concurrency limit, or coalesced behind another request's solve — returns
+// an error matching errors.Is(err, ErrCanceled). It is distinct from
+// invalid-parameter and solver errors, so callers can branch on "the work
+// was fine, the caller stopped wanting it" without string inspection.
+//
+// The concrete error is a *CancelError, which additionally matches the
+// underlying context cause (context.Canceled or context.DeadlineExceeded)
+// via errors.Is and carries partial-progress metadata.
+var ErrCanceled = errors.New("selfishmining: analysis interrupted by context")
+
+// CancelError reports an analysis interrupted by its context, with the
+// progress Algorithm 1 had certified at the moment the cancellation was
+// observed. All interruption paths produce it: a solve stopped at a
+// value-iteration sweep boundary, a binary search stopped between steps, a
+// request abandoned while queued on the service's MaxConcurrent limit, and
+// a coalesced follower that stopped waiting for its leader.
+//
+// errors.Is(err, ErrCanceled) matches any CancelError;
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) distinguish the cause.
+type CancelError struct {
+	// Cause is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+	// Iterations and Sweeps are the binary-search steps and total
+	// value-iteration sweeps completed before the interruption (zero when
+	// the request never started solving — queued or coalesced waits).
+	Iterations, Sweeps int
+	// BetaLow and BetaUp are the certified ERRev bracket narrowed so far:
+	// the optimal ERRev of the modeled strategy class was already proven to
+	// lie in [BetaLow, BetaUp] when the search stopped.
+	BetaLow, BetaUp float64
+}
+
+// Error renders the cause and the certified partial progress.
+func (e *CancelError) Error() string {
+	if e.Iterations == 0 && e.Sweeps == 0 {
+		return fmt.Sprintf("selfishmining: %v before solving started", e.Cause)
+	}
+	return fmt.Sprintf("selfishmining: %v after %d binary-search steps (%d sweeps), ERRev bracket [%g, %g]",
+		e.Cause, e.Iterations, e.Sweeps, e.BetaLow, e.BetaUp)
+}
+
+// Unwrap exposes the context cause to errors.Is/As chains.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is makes every CancelError match the ErrCanceled sentinel.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+
+// isCtxErr reports whether err is rooted in a context interruption.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ctxCause normalizes err's context cause for CancelError.Cause.
+func ctxCause(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return context.DeadlineExceeded
+	}
+	return context.Canceled
+}
+
+// cancelError folds a context-rooted failure into the public taxonomy,
+// attaching whatever partial progress res carries (res may be nil for
+// interruptions before solving started). Non-context errors pass through
+// unchanged.
+func cancelError(err error, res *analysis.Result) error {
+	if err == nil || !isCtxErr(err) {
+		return err
+	}
+	var existing *CancelError
+	if errors.As(err, &existing) {
+		return err // already classified, with its own progress metadata
+	}
+	ce := &CancelError{Cause: ctxCause(err)}
+	if res != nil {
+		ce.Iterations, ce.Sweeps = res.Iterations, res.Sweeps
+		ce.BetaLow, ce.BetaUp = res.BetaLow, res.BetaUp
+	}
+	return ce
+}

@@ -1,6 +1,7 @@
 package selfishmining_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/selfishmining"
@@ -19,12 +20,12 @@ func ExampleModels() {
 	// singletree
 }
 
-// ExampleAnalyze_modelFamily analyzes a non-default family: the classic
+// ExampleAnalyzeContext_modelFamily analyzes a non-default family: the classic
 // Nakamoto d=1 selfish-mining state space. Every family runs through the
 // same Algorithm-1 binary search on the protocol-agnostic kernel, so the
 // result is a certified ε-tight lower bound exactly as for the fork model.
-func ExampleAnalyze_modelFamily() {
-	res, err := selfishmining.Analyze(selfishmining.AttackParams{
+func ExampleAnalyzeContext_modelFamily() {
+	res, err := selfishmining.AnalyzeContext(context.Background(), selfishmining.AttackParams{
 		Model:     "nakamoto",
 		Adversary: 0.4, Switching: 0,
 		Depth: 1, Forks: 1, MaxForkLen: 10,
@@ -37,12 +38,12 @@ func ExampleAnalyze_modelFamily() {
 	// optimal Nakamoto selfish mining at p=0.4: ERRev >= 0.476
 }
 
-// ExampleAnalyze_singletree runs the Eyal–Sirer single-tree baseline as an
+// ExampleAnalyzeContext_singletree runs the Eyal–Sirer single-tree baseline as an
 // MDP family; its certified bound reproduces the exact stationary chain
 // analysis (SingleTreeRevenue) to the requested precision — the
 // cross-validation anchor of the family registry.
-func ExampleAnalyze_singletree() {
-	res, err := selfishmining.Analyze(selfishmining.AttackParams{
+func ExampleAnalyzeContext_singletree() {
+	res, err := selfishmining.AnalyzeContext(context.Background(), selfishmining.AttackParams{
 		Model:     "singletree",
 		Adversary: 0.3, Switching: 0.5,
 		Depth: 1, Forks: 5, MaxForkLen: 4,

@@ -1,6 +1,8 @@
 package selfishmining
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -158,8 +160,8 @@ func (w *warmStore) put(p float64, values []float64) {
 }
 
 // Service is the caching, request-coalescing serving layer over the
-// analysis pipeline. It answers Analyze, AnalyzeBatch and Sweep through
-// three cooperating caches:
+// analysis pipeline. It answers AnalyzeContext, AnalyzeBatchContext and
+// SweepContext through three cooperating caches:
 //
 //   - a result LRU keyed by the model family, the canonicalized attack
 //     parameters and the analysis options, so repeated queries cost a map
@@ -171,7 +173,12 @@ func (w *warmStore) put(p float64, values []float64) {
 //     solves from the nearest solved p to cut sweeps on fine grids.
 //
 // Concurrent identical requests are coalesced into a single solve
-// (singleflight), and MaxConcurrent bounds the solves in flight.
+// (singleflight), and MaxConcurrent bounds the solves in flight. Every
+// request is governed by its caller's context end to end: queued and
+// coalesced waiters unblock the moment their own context ends (without
+// disturbing the leader's solve or the caches), solves stop cooperatively
+// at value-iteration sweep boundaries, and interruptions surface as
+// *CancelError (ErrCanceled) tallied in Stats.
 //
 // # Determinism
 //
@@ -202,6 +209,7 @@ type Service struct {
 	solves, compiles               atomic.Uint64
 	warmHits, warmMisses, warmPuts atomic.Uint64
 	sweepPoints                    atomic.Uint64
+	canceled, deadline             atomic.Uint64
 }
 
 // NewService builds a Service with the given configuration (zero value =
@@ -228,17 +236,44 @@ type AnalyzeInfo struct {
 	Coalesced bool
 }
 
-// Analyze runs (or replays) the fully automated analysis for one attack
-// configuration. Options mirror the package-level Analyze; WithCompiled(
-// false) bypasses the service and runs the generic backend uncached.
+// Analyze is AnalyzeContext under context.Background().
+//
+// Deprecated: use AnalyzeContext, the canonical v2 entry point, which adds
+// cancellation, deadlines and partial-progress errors. Analyze remains a
+// thin wrapper and computes bit-identical results.
 func (s *Service) Analyze(p AttackParams, opts ...Option) (*Analysis, error) {
-	a, _, err := s.AnalyzeDetailed(p, opts...)
+	return s.AnalyzeContext(context.Background(), p, opts...)
+}
+
+// AnalyzeContext runs (or replays) the fully automated analysis for one
+// attack configuration. Options mirror the package-level AnalyzeContext;
+// WithCompiled(false) bypasses the service and runs the generic backend
+// uncached.
+//
+// ctx governs the whole request: a cancellation or deadline unblocks it
+// promptly whether it is solving (checked at sweep boundaries), queued on
+// the MaxConcurrent limit, or coalesced behind an identical in-flight
+// request — a canceled follower stops waiting without disturbing the
+// leader's solve, and a canceled solve stores nothing, so the caches are
+// never poisoned by interruptions. Interrupted requests return a
+// *CancelError (ErrCanceled) and are tallied in Stats as Canceled or
+// DeadlineExceeded, never as Solves.
+func (s *Service) AnalyzeContext(ctx context.Context, p AttackParams, opts ...Option) (*Analysis, error) {
+	a, _, err := s.AnalyzeDetailedContext(ctx, p, opts...)
 	return a, err
 }
 
-// AnalyzeDetailed is Analyze plus serving metadata, for callers (like
-// cmd/serve) that surface cache behavior.
+// AnalyzeDetailed is AnalyzeDetailedContext under context.Background().
+//
+// Deprecated: use AnalyzeDetailedContext, which adds cancellation and
+// deadlines; this wrapper computes bit-identical results.
 func (s *Service) AnalyzeDetailed(p AttackParams, opts ...Option) (*Analysis, AnalyzeInfo, error) {
+	return s.AnalyzeDetailedContext(context.Background(), p, opts...)
+}
+
+// AnalyzeDetailedContext is AnalyzeContext plus serving metadata, for
+// callers (like cmd/serve) that surface cache behavior.
+func (s *Service) AnalyzeDetailedContext(ctx context.Context, p AttackParams, opts ...Option) (*Analysis, AnalyzeInfo, error) {
 	cfg := config{epsilon: 1e-4}
 	for _, o := range opts {
 		o(&cfg)
@@ -251,26 +286,50 @@ func (s *Service) AnalyzeDetailed(p AttackParams, opts ...Option) (*Analysis, An
 	}
 	if cfg.useCompiled != nil && !*cfg.useCompiled {
 		// Explicitly requested generic backend: serve uncached for exact
-		// drop-in semantics with the package-level Analyze (which rejects
-		// the request for families without a generic backend).
-		a, err := Analyze(p, opts...)
-		return a, AnalyzeInfo{}, err
+		// drop-in semantics with the package-level AnalyzeContext (which
+		// rejects the request for families without a generic backend).
+		a, err := AnalyzeContext(ctx, p, opts...)
+		return a, AnalyzeInfo{}, s.countCancel(err)
 	}
 	cp := p.core()
 	if err := p.Validate(); err != nil {
 		return nil, AnalyzeInfo{}, err
 	}
 	key := s.key(p, &cfg)
-	if a, ok := s.results.Get(key); ok {
-		return a.clone(), AnalyzeInfo{Cached: true}, nil
+	for {
+		if a, ok := s.results.Get(key); ok {
+			return a.clone(), AnalyzeInfo{Cached: true}, nil
+		}
+		a, err, shared := s.flight.DoContext(ctx, key, func() (*Analysis, error) {
+			return s.solve(ctx, key, p, cp, &cfg)
+		})
+		if err != nil {
+			// A follower can inherit a cancellation that belongs to the
+			// LEADER's context (the leader's deadline fired mid-solve).
+			// This request's own context is what governs it: while that
+			// is still live, retry — the dead flight entry is gone, so
+			// the retry solves as a fresh leader (or coalesces behind a
+			// healthier one). Genuine solver errors are shared as-is.
+			if shared && isCtxErr(err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, AnalyzeInfo{Coalesced: shared}, s.countCancel(cancelError(err, nil))
+		}
+		return a.clone(), AnalyzeInfo{Coalesced: shared}, nil
 	}
-	a, err, shared := s.flight.Do(key, func() (*Analysis, error) {
-		return s.solve(key, p, cp, &cfg)
-	})
-	if err != nil {
-		return nil, AnalyzeInfo{Coalesced: shared}, err
+}
+
+// countCancel tallies a request-ending context interruption in the serving
+// counters and passes err through for the caller to return.
+func (s *Service) countCancel(err error) error {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadline.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
 	}
-	return a.clone(), AnalyzeInfo{Coalesced: shared}, nil
+	return err
 }
 
 // key canonicalizes a request so that equivalent requests collide: the
@@ -351,9 +410,13 @@ func (s *Service) solver(sk structKey, p, gamma float64, workers int) (*core.Com
 	return comp, nil
 }
 
-// solve is the singleflight leader body for one Analyze request.
-func (s *Service) solve(key resultKey, p AttackParams, cp core.Params, cfg *config) (*Analysis, error) {
-	s.acquire()
+// solve is the singleflight leader body for one AnalyzeContext request.
+// Nothing is cached on failure, so an interrupted solve cannot poison the
+// result or warm-start caches.
+func (s *Service) solve(ctx context.Context, key resultKey, p AttackParams, cp core.Params, cfg *config) (*Analysis, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, cancelError(err, nil)
+	}
 	defer s.release()
 	sk := structKey{key.model, p.Depth, p.Forks, p.MaxForkLen}
 	comp, err := s.solver(sk, p.Adversary, p.Switching, cfg.workers)
@@ -365,6 +428,7 @@ func (s *Service) solve(key resultKey, p AttackParams, cp core.Params, cfg *conf
 		SolverMaxIter:    cfg.maxIter,
 		SkipStrategyEval: cfg.skipEval,
 		SkipStrategy:     cfg.boundOnly,
+		Progress:         cfg.progress,
 	}
 	if cfg.boundOnly {
 		// Warm starts are confined to bound-only analyses: a full analysis
@@ -375,9 +439,9 @@ func (s *Service) solve(key resultKey, p AttackParams, cp core.Params, cfg *conf
 		}
 	}
 	s.solves.Add(1)
-	res, err := analysis.AnalyzeCompiled(comp, aOpts)
+	res, err := analysis.AnalyzeCompiledContext(ctx, comp, aOpts)
 	if err != nil {
-		return nil, fmt.Errorf("selfishmining: analysis of %v failed: %w", p, err)
+		return nil, analysisError(p, res, err)
 	}
 	s.warmPut(sk, p.Switching, p.Adversary, comp)
 	a, err := newAnalysis(p, cp, res, !cfg.boundOnly && p.isFork(), comp.NumStates())
@@ -419,9 +483,21 @@ func (s *Service) warmPut(sk structKey, gamma, p float64, comp *core.Compiled) {
 	s.warmPuts.Add(1)
 }
 
-func (s *Service) acquire() {
-	if s.sem != nil {
-		s.sem <- struct{}{}
+// acquire takes a MaxConcurrent slot, or returns ctx.Err() as soon as the
+// caller's context ends while queued — a waiting request never burns a slot
+// it no longer wants.
+func (s *Service) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -431,13 +507,24 @@ func (s *Service) release() {
 	}
 }
 
-// AnalyzeBatch answers many analysis requests, deduplicating identical
-// parameter sets (each distinct set is solved at most once per batch),
-// serving repeats from the result cache, and fanning distinct solves out
-// over a worker pool bounded by MaxConcurrent. Results align with the
-// request slice; duplicates receive independent copies. The first error
-// aborts the batch.
+// AnalyzeBatch is AnalyzeBatchContext under context.Background().
+//
+// Deprecated: use AnalyzeBatchContext, which adds cancellation and
+// deadlines; this wrapper computes bit-identical results.
 func (s *Service) AnalyzeBatch(reqs []AttackParams, opts ...Option) ([]*Analysis, error) {
+	return s.AnalyzeBatchContext(context.Background(), reqs, opts...)
+}
+
+// AnalyzeBatchContext answers many analysis requests, deduplicating
+// identical parameter sets (each distinct set is solved at most once per
+// batch), serving repeats from the result cache, and fanning distinct
+// solves out over a worker pool bounded by MaxConcurrent. Results align
+// with the request slice; duplicates receive independent copies. The first
+// error aborts the batch.
+//
+// ctx covers every solve of the batch: once it ends, in-flight solves stop
+// at their next sweep boundary and the batch returns a *CancelError.
+func (s *Service) AnalyzeBatchContext(ctx context.Context, reqs []AttackParams, opts ...Option) ([]*Analysis, error) {
 	out := make([]*Analysis, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
@@ -470,7 +557,7 @@ func (s *Service) AnalyzeBatch(reqs []AttackParams, opts ...Option) ([]*Analysis
 				if i >= len(order) {
 					return
 				}
-				solved[i], errs[i] = s.Analyze(order[i], opts...)
+				solved[i], errs[i] = s.AnalyzeContext(ctx, order[i], opts...)
 			}
 		}()
 	}
@@ -507,6 +594,13 @@ type ServiceStats struct {
 	WarmHits, WarmMisses, WarmPuts uint64
 	// SweepPoints counts grid points served by Sweep (cached or solved).
 	SweepPoints uint64
+	// Canceled and DeadlineExceeded count requests that ended with a
+	// context interruption (explicit cancel vs deadline) — whether solving,
+	// queued on MaxConcurrent, or coalesced behind a leader. They tally
+	// request outcomes, not solver work: a coalesced follower that cancels
+	// its wait shows up here and nowhere else (its leader's solve, caches
+	// and warm stores are untouched).
+	Canceled, DeadlineExceeded uint64
 	// InFlight is the number of distinct analyses currently executing.
 	InFlight int
 }
@@ -514,16 +608,18 @@ type ServiceStats struct {
 // Stats snapshots the serving counters.
 func (s *Service) Stats() ServiceStats {
 	return ServiceStats{
-		Results:     s.results.Stats(),
-		Structures:  s.structures.Stats(),
-		WarmStores:  s.warm.Stats(),
-		Solves:      s.solves.Load(),
-		Compiles:    s.compiles.Load(),
-		Coalesced:   s.flight.Coalesced(),
-		WarmHits:    s.warmHits.Load(),
-		WarmMisses:  s.warmMisses.Load(),
-		WarmPuts:    s.warmPuts.Load(),
-		SweepPoints: s.sweepPoints.Load(),
-		InFlight:    s.flight.InFlight(),
+		Results:          s.results.Stats(),
+		Structures:       s.structures.Stats(),
+		WarmStores:       s.warm.Stats(),
+		Solves:           s.solves.Load(),
+		Compiles:         s.compiles.Load(),
+		Coalesced:        s.flight.Coalesced(),
+		WarmHits:         s.warmHits.Load(),
+		WarmMisses:       s.warmMisses.Load(),
+		WarmPuts:         s.warmPuts.Load(),
+		SweepPoints:      s.sweepPoints.Load(),
+		Canceled:         s.canceled.Load(),
+		DeadlineExceeded: s.deadline.Load(),
+		InFlight:         s.flight.InFlight(),
 	}
 }

@@ -1,6 +1,7 @@
 package selfishmining
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -21,6 +22,18 @@ func sweepModel(opts SweepOptions) string {
 		return families.DefaultName
 	}
 	return opts.Model
+}
+
+// attackSeriesName names one attack curve of a panel. The assembled figure
+// and every streamed SweepPoint use this single naming, which is what lets
+// stream consumers (like cmd/serve's NDJSON endpoint) match points to the
+// summary's series by string equality.
+func attackSeriesName(opts SweepOptions, cfg AttackConfig) string {
+	model := sweepModel(opts)
+	if model == families.DefaultName {
+		return fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks)
+	}
+	return fmt.Sprintf("%s(d=%d,f=%d)", model, cfg.Depth, cfg.Forks)
 }
 
 // AttackConfig names one (d, f) curve of the paper's Figure 2.
@@ -78,6 +91,39 @@ type SweepOptions struct {
 	// are serialized, but their order across points follows the parallel
 	// completion order.
 	Progress func(format string, args ...any)
+	// OnPoint, if non-nil, streams every attack-curve grid point as soon as
+	// it completes — solved, coalesced, answered from the result cache, or
+	// short-circuited (p = 0) — instead of only appearing in the final
+	// figure. Calls are serialized but follow the parallel completion
+	// order; the values streamed are exactly the values the final figure
+	// will carry (bitwise — streaming changes delivery, never results).
+	// The callback runs on sweep worker goroutines and must return
+	// promptly. Baseline series (honest, single-tree) are not streamed;
+	// they arrive with the figure.
+	OnPoint func(SweepPoint)
+}
+
+// SweepPoint is one completed attack-curve grid point of a streaming sweep
+// (SweepOptions.OnPoint).
+type SweepPoint struct {
+	// Config is the attack configuration (d, f) the point belongs to, and
+	// Series the name of the figure series that will carry it — the same
+	// string SweepContext puts on the assembled panel, so streamed points
+	// can be matched to the final figure without re-deriving the naming.
+	Config AttackConfig
+	Series string
+	// PIndex is the point's index into SweepOptions.PGrid; P is the grid
+	// value there and Gamma the sweep's switching probability.
+	PIndex int
+	P      float64
+	Gamma  float64
+	// ERRev is the certified lower bound at this point, bitwise equal to
+	// the final figure's value.
+	ERRev float64
+	// Sweeps reports the value-iteration sweeps the point's analysis
+	// performed when it was first solved (0 for the p = 0 shortcut; the
+	// originally recorded count when served from the result cache).
+	Sweeps int
 }
 
 func (o *SweepOptions) defaults() {
@@ -113,31 +159,59 @@ func (o *SweepOptions) defaults() {
 	}
 }
 
-// Sweep regenerates one panel of the paper's Figure 2: ERRev as a function
-// of the adversary's resource p for the honest baseline, the single-tree
-// baseline, and each requested attack configuration, at fixed γ.
+// Sweep is SweepContext under context.Background().
 //
-// Sweep runs through an ephemeral Service, so every call benefits from the
-// serving layer's structure sharing (each attack structure is compiled
-// once) and warm starts (each grid point seeds value iteration from the
-// nearest solved p). Long-lived callers that sweep repeatedly should hold
-// their own Service and call its Sweep method, which additionally reuses
-// results and structures across calls. The computed figure is bitwise
-// identical at every worker count and cache state.
+// Deprecated: use SweepContext, the canonical v2 entry point, which adds
+// cancellation, deadlines and point streaming. Sweep remains a thin
+// wrapper and computes bit-identical figures.
 func Sweep(opts SweepOptions) (*results.Figure, error) {
-	return NewService(ServiceConfig{}).Sweep(opts)
+	return SweepContext(context.Background(), opts)
 }
 
-// Sweep computes one Figure-2 panel through the service's caches: attack
-// structures come from the structure cache, every grid point is answered
-// from the result cache when possible (and coalesced with identical
-// in-flight points otherwise), and fresh points warm-start from the
-// nearest solved p. See the package-level Sweep for the panel's contents.
+// SweepContext regenerates one panel of the paper's Figure 2: ERRev as a
+// function of the adversary's resource p for the honest baseline, the
+// single-tree baseline, and each requested attack configuration, at fixed
+// γ.
+//
+// SweepContext runs through an ephemeral Service, so every call benefits
+// from the serving layer's structure sharing (each attack structure is
+// compiled once) and warm starts (each grid point seeds value iteration
+// from the nearest solved p). Long-lived callers that sweep repeatedly
+// should hold their own Service and call its SweepContext method, which
+// additionally reuses results and structures across calls. The computed
+// figure is bitwise identical at every worker count and cache state.
+func SweepContext(ctx context.Context, opts SweepOptions) (*results.Figure, error) {
+	return NewService(ServiceConfig{}).SweepContext(ctx, opts)
+}
+
+// Sweep is SweepContext under context.Background().
+//
+// Deprecated: use SweepContext, which adds cancellation, deadlines and
+// point streaming; this wrapper computes bit-identical figures.
+func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
+	return s.SweepContext(context.Background(), opts)
+}
+
+// SweepContext computes one Figure-2 panel through the service's caches:
+// attack structures come from the structure cache, every grid point is
+// answered from the result cache when possible (and coalesced with
+// identical in-flight points otherwise), and fresh points warm-start from
+// the nearest solved p. See the package-level SweepContext for the panel's
+// contents.
 //
 // The figure is bitwise identical at every worker count and cache state:
 // grid points are bound-only analyses, whose certified bracket depends
 // only on exact sign decisions (see the Service determinism notes).
-func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
+//
+// ctx cancels the sweep: workers stop drawing new grid points, the point
+// being solved stops at its next value-iteration sweep boundary, and the
+// call returns a *CancelError (ErrCanceled). Completed points stay in the
+// result and warm-start caches — they are full, untainted solves — so a
+// re-run resumes from them and still produces the bitwise-identical
+// panel. SweepOptions.OnPoint streams each completed point; points
+// delivered before a cancellation are exactly the values the full panel
+// would have carried.
+func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results.Figure, error) {
 	opts.defaults()
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
 		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
@@ -159,6 +233,9 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 				return nil, fmt.Errorf("selfishmining: sweep point %v: %w", cp, err)
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, s.countCancel(cancelError(err, nil))
 	}
 	workers := par.Workers(opts.Workers)
 	if s.cfg.MaxConcurrent > 0 && workers > s.cfg.MaxConcurrent {
@@ -217,16 +294,12 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 	}
 	progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
 
-	series, err := s.sweepConfigs(opts, workers, progress)
+	series, err := s.sweepConfigs(ctx, opts, workers, progress)
 	if err != nil {
-		return nil, err
+		return nil, s.countCancel(err)
 	}
 	for ci, cfg := range opts.Configs {
-		name := fmt.Sprintf("ours(d=%d,f=%d)", cfg.Depth, cfg.Forks)
-		if !isFork {
-			name = fmt.Sprintf("%s(d=%d,f=%d)", fam.Name(), cfg.Depth, cfg.Forks)
-		}
-		if err := fig.AddSeries(name, series[ci]); err != nil {
+		if err := fig.AddSeries(attackSeriesName(opts, cfg), series[ci]); err != nil {
 			return nil, err
 		}
 	}
@@ -237,8 +310,11 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 // over all (configuration, p) points. Structures come from the service's
 // structure cache; the bases' own mutable buffers stay idle while workers
 // solve on clones, because a worker adopting a base would race its
-// parameter mutation against other workers cloning from it.
-func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
+// parameter mutation against other workers cloning from it. Completed
+// points are streamed through opts.OnPoint (serialized) as they finish;
+// ctx stops workers from drawing new points and interrupts the one being
+// solved at its next sweep boundary.
+func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
 	// Resolve each (d, f, l) structure once, in parallel across configs
 	// (cache hits return immediately; misses compile).
 	bases := make([]*core.Compiled, len(opts.Configs))
@@ -272,6 +348,17 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 	}
 	errs := make([]error, len(tasks))
 
+	// emit serializes the OnPoint stream across workers.
+	var emitMu sync.Mutex
+	emit := func(pt SweepPoint) {
+		if opts.OnPoint == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		opts.OnPoint(pt)
+	}
+
 	poolSize := workers
 	if poolSize > len(tasks) {
 		poolSize = len(tasks)
@@ -303,11 +390,17 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 				if idx >= len(tasks) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[idx] = cancelError(err, nil)
+					failed.Store(true)
+					return
+				}
 				tk := tasks[idx]
 				cfg := opts.Configs[tk.ci]
 				p := opts.PGrid[tk.pi]
 				if p == 0 {
 					out[tk.ci][tk.pi] = 0 // no resource, no revenue; the p=0 MDP is degenerate
+					emit(SweepPoint{Config: cfg, Series: attackSeriesName(opts, cfg), PIndex: tk.pi, P: p, Gamma: opts.Gamma})
 					continue
 				}
 				if cloneOf != tk.ci {
@@ -315,13 +408,14 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 					comp.SetWorkers(innerWorkers)
 					cloneOf = tk.ci
 				}
-				res, err := s.sweepPoint(comp, cfg, p, opts)
+				res, err := s.sweepPoint(ctx, comp, cfg, p, opts)
 				if err != nil {
 					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
 					failed.Store(true)
 					return
 				}
 				out[tk.ci][tk.pi] = res.ERRev
+				emit(SweepPoint{Config: cfg, Series: attackSeriesName(opts, cfg), PIndex: tk.pi, P: p, Gamma: opts.Gamma, ERRev: res.ERRev, Sweeps: res.Sweeps})
 				progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps)",
 					cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps)
 			}
@@ -339,8 +433,9 @@ func (s *Service) sweepConfigs(opts SweepOptions, workers int, progress func(str
 // sweepPoint answers one grid point: from the result cache when available,
 // coalesced with an identical in-flight point otherwise, and solved on the
 // calling worker's clone as the singleflight leader — seeded from the
-// nearest solved p — when the point is genuinely new.
-func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, opts SweepOptions) (*Analysis, error) {
+// nearest solved p — when the point is genuinely new. A cancellation
+// interrupts the solve at its next sweep boundary and stores nothing.
+func (s *Service) sweepPoint(ctx context.Context, comp *core.Compiled, cfg AttackConfig, p float64, opts SweepOptions) (*Analysis, error) {
 	s.sweepPoints.Add(1)
 	params := AttackParams{
 		Model:     sweepModel(opts),
@@ -349,37 +444,51 @@ func (s *Service) sweepPoint(comp *core.Compiled, cfg AttackConfig, p float64, o
 	}
 	pointCfg := config{epsilon: opts.Epsilon, boundOnly: true, skipEval: true}
 	key := s.key(params, &pointCfg)
-	if a, ok := s.results.Get(key); ok {
+	for {
+		if a, ok := s.results.Get(key); ok {
+			return a, nil
+		}
+		a, err, shared := s.flight.DoContext(ctx, key, func() (*Analysis, error) {
+			// The global solve limit covers sweep points too: a single sweep's
+			// pool is already capped, but concurrent sweeps and analyzes share
+			// this semaphore.
+			if err := s.acquire(ctx); err != nil {
+				return nil, cancelError(err, nil)
+			}
+			defer s.release()
+			start := time.Now()
+			if err := comp.SetChainParams(p, opts.Gamma); err != nil {
+				return nil, err
+			}
+			sk := structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen}
+			aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true}
+			if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
+				aOpts.InitialValues = seed
+			}
+			s.solves.Add(1)
+			res, err := analysis.AnalyzeCompiledContext(ctx, comp, aOpts)
+			if err != nil {
+				return nil, cancelError(err, res)
+			}
+			res.Duration = time.Since(start)
+			s.warmPut(sk, opts.Gamma, p, comp)
+			a, err := newAnalysis(params, params.core(), res, false, comp.NumStates())
+			if err != nil {
+				return nil, err
+			}
+			s.results.Add(key, a)
+			return a, nil
+		})
+		if err != nil {
+			// A point coalesced across CONCURRENT sweeps can inherit the
+			// other sweep's cancellation; while this sweep's own context
+			// is live, retry as a fresh leader (see the matching branch in
+			// AnalyzeDetailedContext).
+			if shared && isCtxErr(err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, cancelError(err, nil)
+		}
 		return a, nil
 	}
-	a, err, _ := s.flight.Do(key, func() (*Analysis, error) {
-		// The global solve limit covers sweep points too: a single sweep's
-		// pool is already capped, but concurrent sweeps and analyzes share
-		// this semaphore.
-		s.acquire()
-		defer s.release()
-		start := time.Now()
-		if err := comp.SetChainParams(p, opts.Gamma); err != nil {
-			return nil, err
-		}
-		sk := structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen}
-		aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true}
-		if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
-			aOpts.InitialValues = seed
-		}
-		s.solves.Add(1)
-		res, err := analysis.AnalyzeCompiled(comp, aOpts)
-		if err != nil {
-			return nil, err
-		}
-		res.Duration = time.Since(start)
-		s.warmPut(sk, opts.Gamma, p, comp)
-		a, err := newAnalysis(params, params.core(), res, false, comp.NumStates())
-		if err != nil {
-			return nil, err
-		}
-		s.results.Add(key, a)
-		return a, nil
-	})
-	return a, err
 }
