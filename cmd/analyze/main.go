@@ -9,6 +9,8 @@
 //	analyze [-model fork] -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4]
 //	        [-workers N] [-timeout 0] [-progress]
 //	        [-simulate 200000] [-save strategy.txt]
+//	analyze -server http://host:8080 -submit [-wait] [-priority N] ...
+//	analyze -server http://host:8080 -resume JOBID [-wait]
 //	analyze -list-models
 //
 // The analysis is cancellable: SIGINT/SIGTERM (or -timeout expiring) stops
@@ -16,6 +18,14 @@
 // the certified partial progress — the ERRev bracket Algorithm 1 had
 // already proven — before exiting non-zero. -progress prints the live
 // bracket after every binary-search step.
+//
+// With -server the analysis runs as an asynchronous job on a running
+// serve instance instead of locally: -submit enqueues it and prints the
+// job id (add -wait to follow it to completion), and -resume re-enqueues
+// a canceled or failed job — replaying its persisted checkpoint, with a
+// result bitwise identical to an uninterrupted solve. Interrupting a
+// waiting CLI does not stop the server-side job; the printed job id can
+// be polled, canceled or resumed later.
 //
 // The -model flag selects the attack-model family (default: the paper's
 // fork model); -list-models describes every registered family and how it
@@ -41,6 +51,7 @@ import (
 	"syscall"
 
 	"repro/selfishmining"
+	"repro/selfishmining/jobs"
 )
 
 // modelFlagHelp names the registered families in the -model usage string.
@@ -93,9 +104,20 @@ func run(ctx context.Context, args []string) error {
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		save       = fs.String("save", "", "write the computed strategy to this file (fork model only)")
 		skipEval   = fs.Bool("skip-eval", false, "skip exact strategy evaluation (large models)")
+		server     = fs.String("server", "", "base URL of a running serve instance (enables -submit/-resume)")
+		submit     = fs.Bool("submit", false, "submit the analysis as an async job to -server and print the job id")
+		wait       = fs.Bool("wait", false, "with -submit or -resume: follow the job to completion and print its result")
+		resumeID   = fs.String("resume", "", "resume this canceled/failed job id on -server")
+		priority   = fs.Int("priority", 0, "job queue priority for -submit (higher runs first)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := jobs.ValidateRemoteFlags(*server, *submit, *resumeID, *wait); err != nil {
+		return err
+	}
+	if *submit && (*simSteps > 0 || *save != "") {
+		return fmt.Errorf("-simulate/-save are local-only (the job result carries no simulation substrate)")
 	}
 	if *timeout < 0 {
 		return fmt.Errorf("-timeout %v: need >= 0 (0 = none)", *timeout)
@@ -108,6 +130,9 @@ func run(ctx context.Context, args []string) error {
 	if *listModels {
 		printModels(os.Stdout)
 		return nil
+	}
+	if *resumeID != "" {
+		return runRemoteResume(ctx, *server, *resumeID, *wait, *showProg)
 	}
 	if *eps <= 0 || math.IsNaN(*eps) {
 		return fmt.Errorf("-eps %v: need a positive precision", *eps)
@@ -131,6 +156,14 @@ func run(ctx context.Context, args []string) error {
 	}
 	if !isFork && *save != "" {
 		return fmt.Errorf("-save: strategy files are fork-only (got -model %s)", *model)
+	}
+	if *submit {
+		spec := jobs.AnalyzeSpec{
+			Model: *model,
+			P:     *p, Gamma: *gamma, Depth: *d, Forks: *f, Len: *l,
+			Epsilon: *eps, SkipEval: *skipEval,
+		}
+		return runRemoteSubmit(ctx, *server, spec, *priority, *wait, *showProg)
 	}
 	fmt.Printf("analyzing %v (%d states, eps=%g)\n", params, params.NumStates(), *eps)
 
@@ -202,4 +235,84 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("strategy saved to %s\n", *save)
 	}
 	return nil
+}
+
+// runRemoteSubmit enqueues the configuration as an async job on the
+// server and optionally follows it.
+func runRemoteSubmit(ctx context.Context, server string, spec jobs.AnalyzeSpec, priority int, wait, showProg bool) error {
+	cl := &jobs.Client{BaseURL: server}
+	st, err := cl.Submit(ctx, jobs.Request{Kind: jobs.KindAnalyze, Priority: priority, Analyze: &spec})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s submitted (%s)\n", st.ID, st.State)
+	if !wait {
+		fmt.Printf("follow with: analyze -server %s -resume %s -wait (after a cancel), or GET %s/v1/jobs/%s\n",
+			server, st.ID, server, st.ID)
+		return nil
+	}
+	return waitRemote(ctx, cl, server, st.ID, showProg)
+}
+
+// runRemoteResume re-enqueues a canceled/failed job (replaying its
+// checkpoint) and optionally follows it.
+func runRemoteResume(ctx context.Context, server, id string, wait, showProg bool) error {
+	cl := &jobs.Client{BaseURL: server}
+	st, err := cl.Get(ctx, id, false)
+	if err != nil {
+		return err
+	}
+	if st.Kind != jobs.KindAnalyze {
+		return fmt.Errorf("job %s is a %s job; resume it with the %s CLI", id, st.Kind, st.Kind)
+	}
+	if st, err = cl.Resume(ctx, id); err != nil {
+		return err
+	}
+	if st.HasCheckpoint {
+		fmt.Printf("job %s resumed from its checkpoint (%d binary-search steps certified)\n", st.ID, st.Progress.Iterations)
+	} else {
+		fmt.Printf("job %s re-queued from the start (no checkpoint)\n", st.ID)
+	}
+	if !wait {
+		return nil
+	}
+	return waitRemote(ctx, cl, server, st.ID, showProg)
+}
+
+// waitRemote follows a job to a terminal state and prints its result.
+// Interrupting the wait leaves the job running server-side.
+func waitRemote(ctx context.Context, cl *jobs.Client, server, id string, showProg bool) error {
+	final, err := cl.Wait(ctx, id, 0, func(st *jobs.Status) {
+		if showProg && st.State == jobs.StateRunning && st.Progress.Iterations > 0 {
+			fmt.Fprintf(os.Stderr, "step %2d: ERRev in [%.6f, %.6f]\n",
+				st.Progress.Iterations, st.Progress.BetaLow, st.Progress.BetaUp)
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "wait interrupted; job %s continues server-side (cancel: DELETE %s/v1/jobs/%s)\n",
+				id, server, id)
+		}
+		return err
+	}
+	switch final.State {
+	case jobs.StateDone:
+		res := final.Result
+		if res == nil {
+			return fmt.Errorf("job %s is a %s job with no analysis result; fetch it with the matching CLI", id, final.Kind)
+		}
+		fmt.Printf("ERRev lower bound:  %.6f  (epsilon-tight, Corollary 3.3)\n", res.ERRev)
+		if res.StrategyERRev != nil {
+			fmt.Printf("strategy ERRev:     %.6f  (independent stationary evaluation)\n", *res.StrategyERRev)
+		}
+		fmt.Printf("chain quality:      %.6f\n", res.ChainQuality)
+		fmt.Printf("binary search:      %d iterations, %d VI sweeps (%d states)\n",
+			res.Iterations, res.Sweeps, res.NumStates)
+		return nil
+	case jobs.StateCanceled:
+		return fmt.Errorf("job %s was canceled after %d steps, ERRev in [%.6f, %.6f]; resume with -resume %s",
+			id, final.Progress.Iterations, final.Progress.BetaLow, final.Progress.BetaUp, id)
+	default:
+		return fmt.Errorf("job %s %s: %s", id, final.State, final.Error)
+	}
 }

@@ -3,6 +3,9 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -118,5 +121,52 @@ func TestRunCanceledContext(t *testing.T) {
 	err := run(ctx, []string{"-p", "0.3", "-gamma", "0.5", "-d", "1", "-f", "1", "-l", "3", "-eps", "1e-3"})
 	if !errors.Is(err, selfishmining.ErrCanceled) {
 		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRunRejectsBadRemoteFlagCombos: the async-job flags demand a
+// consistent combination up front.
+func TestRunRejectsBadRemoteFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-submit"},             // no -server
+		{"-resume", "j123"},     // no -server
+		{"-server", "http://x"}, // -server without -submit/-resume
+		{"-wait"},               // -wait without -submit/-resume
+		{"-server", "http://x", "-submit", "-resume", "j123"},       // both
+		{"-server", "http://x", "-submit", "-simulate", "1000"},     // local-only flag
+		{"-server", "http://x", "-submit", "-save", "strategy.txt"}, // local-only flag
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted, want non-nil error", args)
+		}
+	}
+}
+
+// TestRunSubmitAgainstUnreachableServer: a dead server is a prompt error,
+// not a hang.
+func TestRunSubmitAgainstUnreachableServer(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-server", "http://127.0.0.1:1", "-submit",
+		"-p", "0.3", "-gamma", "0.5", "-d", "1", "-f", "1", "-l", "2",
+	})
+	if err == nil {
+		t.Fatal("submit to unreachable server succeeded")
+	}
+}
+
+// TestRunResumeRejectsWrongKind: resuming a sweep job through the analyze
+// CLI is a typed error, not a nil-pointer crash on the missing result.
+func TestRunResumeRejectsWrongKind(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"jsweep01","kind":"sweep","state":"canceled","progress":{},"submitted_at":"2026-07-26T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+	err := run(context.Background(), []string{"-server", ts.URL, "-resume", "jsweep01", "-wait"})
+	if err == nil {
+		t.Fatal("analyze -resume accepted a sweep job")
+	}
+	if !strings.Contains(err.Error(), "sweep job") {
+		t.Fatalf("error %v does not name the kind mismatch", err)
 	}
 }

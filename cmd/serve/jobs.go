@@ -1,0 +1,246 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/selfishmining"
+	"repro/selfishmining/jobs"
+)
+
+// jobError maps the job manager's error taxonomy onto HTTP statuses.
+func jobError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, err, http.StatusNotFound)
+	case errors.Is(err, jobs.ErrQueueFull):
+		httpError(w, err, http.StatusTooManyRequests)
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, err, http.StatusServiceUnavailable)
+	case errors.Is(err, jobs.ErrNotResumable), errors.Is(err, jobs.ErrFinished):
+		httpError(w, err, http.StatusConflict)
+	default:
+		// Everything else the manager rejects at Submit is a spec problem.
+		httpError(w, err, http.StatusBadRequest)
+	}
+}
+
+// checkJobRequest applies the server's state-space guard (-max-states) to
+// a job request before it reaches the manager. Sweep specs are normalized
+// in place so defaults are known; the manager's own validation re-runs
+// cheaply after.
+func (s *server) checkJobRequest(req *jobs.Request) error {
+	switch req.Kind {
+	case jobs.KindAnalyze:
+		if req.Analyze == nil {
+			return fmt.Errorf("missing analyze spec")
+		}
+		return s.checkParams(req.Analyze.Params())
+	case jobs.KindSweep:
+		if req.Sweep == nil {
+			return fmt.Errorf("missing sweep spec")
+		}
+		if err := req.Sweep.Normalize(); err != nil {
+			return err
+		}
+		for _, cfg := range req.Sweep.Configs {
+			p := selfishmining.AttackParams{
+				Model:     req.Sweep.Model,
+				Adversary: 0.1, Switching: req.Sweep.Gamma,
+				Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: req.Sweep.Len,
+			}
+			if err := s.checkParams(p); err != nil {
+				return fmt.Errorf("config d=%d f=%d: %w", cfg.Depth, cfg.Forks, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+}
+
+// handleJobSubmit enqueues an async job and answers 202 with its initial
+// snapshot; the solve proceeds on the server's job workers.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.checkJobRequest(&req); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	st, err := s.mgr.Submit(req)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, st)
+}
+
+// stripStrategy removes the O(states) strategy payload from a snapshot
+// unless the caller asked for it.
+func stripStrategy(st *jobs.Status, include bool) *jobs.Status {
+	if include || st.Result == nil || st.Result.Strategy == nil {
+		return st
+	}
+	cp := *st
+	res := *st.Result
+	res.Strategy = nil
+	cp.Result = &res
+	return &cp
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, stripStrategy(st, r.URL.Query().Get("include_strategy") == "1"))
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	f := jobs.Filter{
+		State: jobs.State(r.URL.Query().Get("state")),
+		Kind:  jobs.Kind(r.URL.Query().Get("kind")),
+	}
+	list := s.mgr.List(f)
+	out := make([]*jobs.Status, len(list))
+	for i, st := range list {
+		out[i] = stripStrategy(st, false)
+	}
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, stripStrategy(st, false))
+}
+
+func (s *server) handleJobResume(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Resume(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, stripStrategy(st, false))
+}
+
+// sseKeepAlive bounds how long an idle event stream goes without traffic:
+// between events the handler emits a comment line so intermediaries keep
+// the connection alive.
+const sseKeepAlive = 15 * time.Second
+
+// handleJobEvents streams a job's event log as Server-Sent Events:
+// "status" on every lifecycle transition, "progress" per binary-search
+// step, "point" per completed sweep grid point. Event ids are the job's
+// sequence numbers — a client reconnecting with Last-Event-ID (as
+// EventSource does automatically) replays only what it missed, and one
+// that fell behind the per-job ring receives a fresh status snapshot
+// first. The stream ends after the terminal status event.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.mgr.Get(id); err != nil {
+		jobError(w, err)
+		return
+	}
+	after := jobs.LastEventID(r)
+	sse := jobs.NewSSEWriter(w)
+	ctx := r.Context()
+	for {
+		waitCtx, cancel := context.WithTimeout(ctx, sseKeepAlive)
+		evs, err := s.mgr.Events(waitCtx, id, after)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Idle interval, client still there: keep the stream warm.
+			if sse.Comment("keep-alive") != nil {
+				return
+			}
+			continue
+		case errors.Is(err, jobs.ErrNotFound):
+			// Evicted mid-stream.
+			_ = sse.Send(-1, "error", map[string]string{"error": err.Error()})
+			return
+		default:
+			return // client gone or server shutting down
+		}
+		if len(evs) == 0 {
+			return // terminal state reached and fully replayed
+		}
+		for _, ev := range evs {
+			payload := ev
+			if payload.Status != nil {
+				payload.Status = stripStrategy(payload.Status, false)
+			}
+			if sse.Send(ev.Seq, ev.Type, payload) != nil {
+				return
+			}
+			after = ev.Seq
+		}
+	}
+}
+
+// handleSweepSSE is the Server-Sent-Events twin of /v1/sweep/stream
+// (satellite of the jobs subsystem, sharing its SSE writer): one "point"
+// event per completed grid point, then a terminal "summary" (the full
+// panel) or "error" event. Event ids number the points, so a consumer can
+// detect gaps; unlike job streams there is no replay — reconnecting
+// restarts the sweep request.
+func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	opts, err := s.buildSweepOptions(req)
+	if err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	sse := jobs.NewSSEWriter(w)
+	var points int64
+	opts.OnPoint = func(pt selfishmining.SweepPoint) {
+		line := pointLine{
+			Type:   "point",
+			Series: pt.Series,
+			Depth:  pt.Config.Depth, Forks: pt.Config.Forks,
+			PIndex: pt.PIndex, P: pt.P,
+			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
+		}
+		_ = sse.Send(points, "point", line) // client gone → ctx stops the sweep
+		points++
+	}
+	start := time.Now()
+	fig, err := s.svc.SweepContext(ctx, opts)
+	if err != nil {
+		_, code := solveStatus(err)
+		_ = sse.Send(points, "error", errorLine{Type: "error", Error: err.Error(), Code: code})
+		return
+	}
+	sum := summaryLine{
+		Type:       "summary",
+		Title:      fig.Title,
+		X:          fig.X,
+		Points:     int(points),
+		DurationMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, series := range fig.Series {
+		sum.AllSeries = append(sum.AllSeries, wireSeries{Name: series.Name, Values: series.Values})
+	}
+	_ = sse.Send(points, "summary", sum)
+}

@@ -12,13 +12,31 @@
 //	POST /v1/analyze/batch many configurations, deduplicated
 //	POST /v1/sweep         a Figure-2 panel (curves over a p-grid)
 //	POST /v1/sweep/stream  the same panel as NDJSON, one line per point
+//	POST /v1/sweep/sse     the same panel as Server-Sent Events
+//	POST /v1/jobs          submit an async analyze/sweep job -> job id
+//	GET  /v1/jobs          list retained jobs (?state=, ?kind= filters)
+//	GET  /v1/jobs/{id}     one job's snapshot (?include_strategy=1)
+//	DELETE /v1/jobs/{id}   cancel (checkpointing a running analysis)
+//	POST /v1/jobs/{id}/resume  re-enqueue a canceled/failed job
+//	GET  /v1/jobs/{id}/events  the job's live event stream as SSE
 //	GET  /v1/models        registered attack-model families
-//	GET  /v1/stats         cache, coalescing and cancellation counters
+//	GET  /v1/stats         cache, coalescing, cancellation and job counters
 //	GET  /healthz          liveness
 //
 // Analyze, batch and sweep requests accept a "model" field selecting the
 // attack-model family (default "fork", the paper's model); GET /v1/models
 // lists every family with its parameter semantics and default shape.
+//
+// Jobs outlive requests: POST /v1/jobs returns a job id immediately and
+// the solve proceeds on the server's job workers (-jobs-workers), fed from
+// a priority/FIFO queue. Canceling a running analyze job checkpoints the
+// binary search (β bracket + warm value vector); resuming replays from the
+// checkpoint with a result bitwise identical to an uninterrupted solve.
+// With -jobs-dir the records (and checkpoints) persist to disk, so jobs
+// survive a server restart — interrupted ones re-queue automatically.
+// GET /v1/jobs/{id}/events streams status/progress/point events as SSE;
+// reconnect with Last-Event-ID to replay only what was missed (streams
+// that fall behind the per-job ring get a fresh status snapshot first).
 //
 // Every request is governed by its context end to end: a client that
 // disconnects cancels its in-flight solve at the next value-iteration
@@ -36,6 +54,7 @@
 //	serve [-addr :8080] [-workers N] [-max-concurrent N] [-result-cache N]
 //	      [-structure-cache N] [-warm-cache N] [-max-states N]
 //	      [-max-batch N] [-request-timeout 0] [-shutdown-timeout 10s]
+//	      [-jobs-workers 2] [-jobs-queue 1024] [-jobs-ttl 1h] [-jobs-dir DIR]
 //
 // Example:
 //
@@ -45,7 +64,8 @@
 //	  '{"gamma":0.5,"pmax":0.3,"pstep":0.05,"configs":[{"d":2,"f":1}]}'
 //
 // On SIGINT/SIGTERM the server cancels all in-flight solves through its
-// base context (they stop at their next sweep boundary and answer 499)
+// base context (they stop at their next sweep boundary and answer 499),
+// checkpoints running jobs back into the store instead of discarding them,
 // and then drains connections for up to -shutdown-timeout.
 package main
 
@@ -61,11 +81,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/results"
 	"repro/selfishmining"
+	"repro/selfishmining/jobs"
 )
 
 func main() {
@@ -87,6 +109,10 @@ type serverConfig struct {
 	maxBatch        int
 	requestTimeout  time.Duration
 	shutdownTimeout time.Duration
+	jobsWorkers     int
+	jobsQueue       int
+	jobsTTL         time.Duration
+	jobsDir         string
 }
 
 // parseFlags parses and validates; any invalid flag or combination is an
@@ -104,6 +130,10 @@ func parseFlags(args []string) (*serverConfig, error) {
 	fs.IntVar(&cfg.maxBatch, "max-batch", 1024, "max requests per batch call")
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "server-side deadline per request (0 = none); a request's timeout_ms can tighten it")
 	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM (in-flight solves are canceled immediately)")
+	fs.IntVar(&cfg.jobsWorkers, "jobs-workers", jobs.DefaultWorkers, "async jobs executing at once")
+	fs.IntVar(&cfg.jobsQueue, "jobs-queue", jobs.DefaultQueueLimit, "max queued async jobs (submissions beyond answer 429)")
+	fs.DurationVar(&cfg.jobsTTL, "jobs-ttl", jobs.DefaultTTL, "retention of finished jobs before eviction (negative = keep forever)")
+	fs.StringVar(&cfg.jobsDir, "jobs-dir", "", "persist job records (and resume checkpoints) to this directory; empty = in-memory only")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,6 +160,15 @@ func parseFlags(args []string) (*serverConfig, error) {
 	}
 	if cfg.shutdownTimeout <= 0 {
 		return nil, fmt.Errorf("-shutdown-timeout %v: need > 0", cfg.shutdownTimeout)
+	}
+	if cfg.jobsWorkers < 1 {
+		return nil, fmt.Errorf("-jobs-workers %d: need >= 1", cfg.jobsWorkers)
+	}
+	if cfg.jobsQueue < 1 {
+		return nil, fmt.Errorf("-jobs-queue %d: need >= 1", cfg.jobsQueue)
+	}
+	if cfg.jobsTTL == 0 {
+		return nil, fmt.Errorf("-jobs-ttl 0: need a retention duration (negative = keep forever)")
 	}
 	return cfg, nil
 }
@@ -162,10 +201,14 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 		Workers:            cfg.workers,
 		MaxConcurrent:      cfg.maxConcurrent,
 	})
+	mgr, err := newManager(svc, cfg)
+	if err != nil {
+		return err
+	}
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	srv := &http.Server{
-		Handler:           newServer(svc, cfg),
+		Handler:           newServer(svc, mgr, cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
@@ -185,27 +228,62 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 	case err := <-errCh:
 		return err
 	case s := <-stop:
-		fmt.Fprintf(os.Stderr, "serve: %v, canceling in-flight solves and draining for up to %v\n", s, cfg.shutdownTimeout)
+		fmt.Fprintf(os.Stderr, "serve: %v, checkpointing jobs, canceling in-flight solves and draining for up to %v\n", s, cfg.shutdownTimeout)
+		// Order matters: cancel the HTTP base context first so SSE streams
+		// and synchronous solves unblock, then close the manager — running
+		// jobs stop at their next deterministic checkpoint and are
+		// re-queued with their checkpoint persisted, not discarded — and
+		// only then drain connections.
 		cancelBase()
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
+		if err := mgr.Close(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: job shutdown: %v\n", err)
+		}
 		return srv.Shutdown(ctx)
 	}
 }
 
-// server routes HTTP requests onto a selfishmining.Service.
+// newManager assembles the async-job manager from the flag set, with a
+// disk store when -jobs-dir is given.
+func newManager(svc *selfishmining.Service, cfg *serverConfig) (*jobs.Manager, error) {
+	jcfg := jobs.Config{
+		Workers:    cfg.jobsWorkers,
+		QueueLimit: cfg.jobsQueue,
+		TTL:        cfg.jobsTTL,
+	}
+	if cfg.jobsDir != "" {
+		store, err := jobs.NewDiskStore(cfg.jobsDir)
+		if err != nil {
+			return nil, err
+		}
+		jcfg.Store = store
+	}
+	return jobs.New(svc, jcfg)
+}
+
+// server routes HTTP requests onto a selfishmining.Service and its async
+// job manager.
 type server struct {
 	svc *selfishmining.Service
+	mgr *jobs.Manager
 	cfg *serverConfig
 	mux *http.ServeMux
 }
 
-func newServer(svc *selfishmining.Service, cfg *serverConfig) http.Handler {
-	s := &server{svc: svc, cfg: cfg, mux: http.NewServeMux()}
+func newServer(svc *selfishmining.Service, mgr *jobs.Manager, cfg *serverConfig) http.Handler {
+	s := &server{svc: svc, mgr: mgr, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/sweep/stream", s.handleSweepStream)
+	s.mux.HandleFunc("POST /v1/sweep/sse", s.handleSweepSSE)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -608,8 +686,14 @@ type errorLine struct {
 // figure (or an error line — after streaming has started, errors can no
 // longer change the HTTP status). A client that disconnects cancels the
 // request context, which stops the remaining grid work at the next
-// value-iteration sweep boundary.
+// value-iteration sweep boundary. Requests that prefer Server-Sent Events
+// (Accept: text/event-stream) are answered in that framing instead, as
+// /v1/sweep/sse would.
 func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.handleSweepSSE(w, r)
+		return
+	}
 	var req sweepRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -680,8 +764,15 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse inlines the service counters (unchanged wire shape) and
+// nests the job manager's under "jobs".
+type statsResponse struct {
+	selfishmining.ServiceStats
+	Jobs jobs.Stats `json:"jobs"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.svc.Stats())
+	writeJSON(w, statsResponse{ServiceStats: s.svc.Stats(), Jobs: s.mgr.Stats()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -707,6 +798,12 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v for callers that already committed status and
+// headers (like the 202 job-submit response).
+func writeJSONBody(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

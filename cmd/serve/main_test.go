@@ -31,7 +31,16 @@ func testServer(t *testing.T, flags ...string) (*httptest.Server, *selfishmining
 		Workers:            cfg.workers,
 		MaxConcurrent:      cfg.maxConcurrent,
 	})
-	ts := httptest.NewServer(newServer(svc, cfg))
+	mgr, err := newManager(svc, cfg)
+	if err != nil {
+		t.Fatalf("newManager: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	})
+	ts := httptest.NewServer(newServer(svc, mgr, cfg))
 	t.Cleanup(ts.Close)
 	return ts, svc
 }

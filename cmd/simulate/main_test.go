@@ -1,9 +1,15 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/selfishmining"
+)
 
 func TestRunAgreement(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-p", "0.3", "-gamma", "0.5", "-d", "2", "-f", "1", "-l", "3",
 		"-steps", "150000", "-eps", "1e-4", "-seed", "7",
 	})
@@ -13,7 +19,7 @@ func TestRunAgreement(t *testing.T) {
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run([]string{"-gamma", "3"}); err == nil {
+	if err := run(context.Background(), []string{"-gamma", "3"}); err == nil {
 		t.Fatal("invalid gamma accepted")
 	}
 }
@@ -24,9 +30,40 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 		{"-steps", "-10"},
 		{"-eps", "0"},
 		{"-p", "2"},
+		{"-timeout", "-1s"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v accepted, want non-nil error (non-zero exit)", args)
 		}
+	}
+}
+
+// TestRunTimeoutCancelsAnalysis: ctx parity with the other CLIs — an
+// expiring -timeout interrupts the analysis phase with the cancellation
+// taxonomy, not a hang or a raw solver error.
+func TestRunTimeoutCancelsAnalysis(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-p", "0.45", "-gamma", "0.9", "-d", "2", "-f", "2", "-l", "4",
+		"-eps", "1e-9", "-steps", "1000", "-timeout", "1ns",
+	})
+	if err == nil {
+		t.Fatal("1ns timeout did not interrupt the analysis")
+	}
+	if !errors.Is(err, selfishmining.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not carry the cancellation taxonomy", err)
+	}
+}
+
+// TestRunCanceledContext: an already-canceled parent context (the SIGINT
+// path) stops the run before any work.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-p", "0.3", "-gamma", "0.5", "-d", "2", "-f", "1", "-l", "3"})
+	if err == nil {
+		t.Fatal("canceled context did not stop the run")
+	}
+	if !errors.Is(err, selfishmining.ErrCanceled) {
+		t.Fatalf("error %v does not match ErrCanceled", err)
 	}
 }

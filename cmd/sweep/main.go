@@ -8,6 +8,15 @@
 //	sweep -gamma 0.5 [-model fork] [-pmax 0.3] [-pstep 0.01]
 //	      [-configs 1x1,2x1,2x2,3x2] [-l 4] [-width 5] [-eps 1e-4]
 //	      [-workers N] [-timeout 0] [-o figure2c.csv] [-markdown]
+//	sweep -server http://host:8080 -submit [-wait] [-priority N] ...
+//	sweep -server http://host:8080 -resume JOBID [-wait]
+//
+// With -server the panel is computed as an asynchronous job on a running
+// serve instance: -submit enqueues it and prints the job id; -wait follows
+// it (streaming per-point progress to stderr) and writes the finished
+// panel exactly as a local run would; -resume re-enqueues a canceled or
+// failed sweep job. Interrupting a waiting CLI leaves the job running
+// server-side.
 //
 // The sweep is cancellable: SIGINT/SIGTERM (or -timeout expiring) stops
 // the remaining grid points at their next deterministic checkpoint. Grid
@@ -39,6 +48,7 @@ import (
 
 	"repro/internal/results"
 	"repro/selfishmining"
+	"repro/selfishmining/jobs"
 )
 
 func main() {
@@ -69,8 +79,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		out      = fs.String("o", "", "write CSV to this file (default stdout)")
 		markdown = fs.Bool("markdown", false, "emit a Markdown table instead of CSV")
 		quiet    = fs.Bool("q", false, "suppress per-point progress on stderr")
+		server   = fs.String("server", "", "base URL of a running serve instance (enables -submit/-resume)")
+		submit   = fs.Bool("submit", false, "submit the sweep as an async job to -server and print the job id")
+		wait     = fs.Bool("wait", false, "with -submit or -resume: follow the job and write the finished panel")
+		resumeID = fs.String("resume", "", "resume this canceled/failed job id on -server")
+		priority = fs.Int("priority", 0, "job queue priority for -submit (higher runs first)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := jobs.ValidateRemoteFlags(*server, *submit, *resumeID, *wait); err != nil {
 		return err
 	}
 	if *pstep <= 0 || math.IsNaN(*pstep) {
@@ -105,6 +123,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *resumeID != "" {
+		return remoteSweepResume(ctx, *server, *resumeID, *wait, *quiet, stdout, *out, *markdown)
+	}
 	isFork := selfishmining.IsDefaultModel(*model)
 	// The library default config list includes 4x2 (9.4M states); the CLI
 	// default stays bounded. Non-fork families default to their own shape.
@@ -123,6 +144,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxLen := *l
 	if !lSet && isFork {
 		maxLen = selfishmining.DefaultSweepMaxForkLen
+	}
+	if *submit {
+		spec := jobs.SweepSpec{
+			Model: *model, Gamma: *gamma,
+			PGrid:   results.Grid(*pmin, *pmax, *pstep),
+			Len:     maxLen,
+			Epsilon: *eps,
+		}
+		if *width != 5 {
+			spec.TreeWidth = *width
+		}
+		for _, c := range cfgs {
+			spec.Configs = append(spec.Configs, jobs.SweepConfig{Depth: c.Depth, Forks: c.Forks})
+		}
+		return remoteSweepSubmit(ctx, *server, spec, *priority, *wait, *quiet, stdout, *out, *markdown)
 	}
 	progress := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -149,19 +185,87 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return err
 	}
+	return writePanel(fig, stdout, *out, *markdown)
+}
+
+// writePanel renders the finished figure to -o (or stdout) as CSV or
+// Markdown — shared by local sweeps and remote job results.
+func writePanel(fig *results.Figure, stdout io.Writer, out string, markdown bool) error {
 	w := stdout
-	if *out != "" {
-		file, err := os.Create(*out)
+	if out != "" {
+		file, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer file.Close()
 		w = file
 	}
-	if *markdown {
+	if markdown {
 		return fig.WriteMarkdown(w)
 	}
 	return fig.WriteCSV(w)
+}
+
+// remoteSweepSubmit enqueues the panel as an async job on the server.
+func remoteSweepSubmit(ctx context.Context, server string, spec jobs.SweepSpec, priority int, wait, quiet bool, stdout io.Writer, out string, markdown bool) error {
+	cl := &jobs.Client{BaseURL: server}
+	st, err := cl.Submit(ctx, jobs.Request{Kind: jobs.KindSweep, Priority: priority, Sweep: &spec})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s submitted (%s, %d grid points)\n", st.ID, st.State, st.Progress.PointsTotal)
+	if !wait {
+		return nil
+	}
+	return remoteSweepWait(ctx, cl, server, st.ID, quiet, stdout, out, markdown)
+}
+
+// remoteSweepResume re-enqueues a canceled/failed sweep job.
+func remoteSweepResume(ctx context.Context, server, id string, wait, quiet bool, stdout io.Writer, out string, markdown bool) error {
+	cl := &jobs.Client{BaseURL: server}
+	st, err := cl.Get(ctx, id, false)
+	if err != nil {
+		return err
+	}
+	if st.Kind != jobs.KindSweep {
+		return fmt.Errorf("job %s is a %s job; resume it with the %s CLI", id, st.Kind, st.Kind)
+	}
+	if st, err = cl.Resume(ctx, id); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s re-queued (%d/%d points were done; a resumed sweep recomputes, reusing the server's caches)\n",
+		st.ID, st.Progress.PointsDone, st.Progress.PointsTotal)
+	if !wait {
+		return nil
+	}
+	return remoteSweepWait(ctx, cl, server, id, quiet, stdout, out, markdown)
+}
+
+// remoteSweepWait follows the job and writes the finished panel.
+func remoteSweepWait(ctx context.Context, cl *jobs.Client, server, id string, quiet bool, stdout io.Writer, out string, markdown bool) error {
+	final, err := cl.Wait(ctx, id, 0, func(st *jobs.Status) {
+		if !quiet && st.State == jobs.StateRunning {
+			fmt.Fprintf(os.Stderr, "%d/%d points done\n", st.Progress.PointsDone, st.Progress.PointsTotal)
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "wait interrupted; job %s continues server-side (cancel: DELETE %s/v1/jobs/%s)\n",
+				id, server, id)
+		}
+		return err
+	}
+	if final.State != jobs.StateDone {
+		return fmt.Errorf("job %s %s: %s (resume with -resume %s)", id, final.State, final.Error, id)
+	}
+	if final.SweepResult == nil {
+		return fmt.Errorf("job %s is a %s job with no sweep panel; fetch it with the matching CLI", id, final.Kind)
+	}
+	fig, err := final.SweepResult.Figure()
+	if err != nil {
+		return err
+	}
+	return writePanel(fig, stdout, out, markdown)
 }
 
 func parseConfigs(s string) ([]selfishmining.AttackConfig, error) {

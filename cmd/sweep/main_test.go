@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -136,5 +137,21 @@ func TestRunTimeoutCancelsSweep(t *testing.T) {
 func TestRunRejectsNegativeTimeout(t *testing.T) {
 	if err := run(context.Background(), []string{"-timeout", "-1s"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("negative -timeout accepted")
+	}
+}
+
+// TestRunRejectsBadRemoteFlagCombos mirrors cmd/analyze: the async-job
+// flags demand a consistent combination.
+func TestRunRejectsBadRemoteFlagCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-submit"},
+		{"-resume", "j123"},
+		{"-server", "http://x"},
+		{"-wait"},
+		{"-server", "http://x", "-submit", "-resume", "j123"},
+	} {
+		if err := run(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want non-nil error", args)
+		}
 	}
 }

@@ -59,6 +59,65 @@ type Options struct {
 	// solves and must return promptly; it observes progress only and
 	// cannot change any result.
 	Progress func(betaLow, betaUp float64, iteration int)
+	// OnCheckpoint, if non-nil, is called after every completed
+	// binary-search step with a resumable snapshot of the search: the
+	// certified bracket, the step and sweep counters, and a private copy of
+	// the converged value vector the next step would warm-start from.
+	// Feeding the latest snapshot back through Options.Resume replays the
+	// remainder of the search exactly (see Checkpoint). The callback runs
+	// on the solving goroutine and owns its Checkpoint; the O(states)
+	// vector copy per step is the cost of resumability, so leave
+	// OnCheckpoint nil when snapshots are not needed.
+	OnCheckpoint func(Checkpoint)
+	// Resume, if non-nil, restarts Algorithm 1 from a checkpoint instead of
+	// the trivial bracket [0, 1]: the search continues from the
+	// checkpoint's bracket with its step and sweep counters, seeded with
+	// its value vector. A resumed run is bitwise identical to the
+	// uninterrupted run the checkpoint came from — every subsequent inner
+	// solve starts from exactly the vector it would have had — provided the
+	// checkpoint is used as emitted, against the same model, chain
+	// parameters and options. Resume takes precedence over InitialValues.
+	Resume *Checkpoint
+}
+
+// Checkpoint is a resumable snapshot of Algorithm 1 at a binary-search
+// step boundary, as emitted by Options.OnCheckpoint and consumed by
+// Options.Resume.
+//
+// Resuming from a checkpoint is bitwise identical to never having stopped:
+// the binary search's decisions are exact sign certifications (independent
+// of the starting vector), and Values is the converged vector of the last
+// completed step — exactly what the uninterrupted run would warm-start the
+// next solve from — so the resumed trajectory, including the final
+// full-precision solve and the extracted strategy, reproduces the
+// uninterrupted computation float for float. A checkpoint resumed without
+// its Values (nil) still yields the identical ERRev, bracket and step
+// count — the sign decisions do not depend on the seed — but the sweep
+// counts and the low-order bits of a full mode's extracted strategy may
+// then differ from the uninterrupted run.
+type Checkpoint struct {
+	// BetaLow and BetaUp are the certified bracket at the snapshot.
+	BetaLow, BetaUp float64
+	// Iterations and Sweeps are the search counters at the snapshot, so a
+	// resumed run's final counters match the uninterrupted run's.
+	Iterations, Sweeps int
+	// Values is a copy of the converged value vector of the last completed
+	// inner solve (length NumStates).
+	Values []float64
+}
+
+// validate rejects checkpoints no run could have emitted. The value vector
+// itself is checked downstream (SetValues / the solver) against the model's
+// state count.
+func (ck *Checkpoint) validate() error {
+	if math.IsNaN(ck.BetaLow) || math.IsNaN(ck.BetaUp) ||
+		ck.BetaLow < 0 || ck.BetaUp > 1 || ck.BetaLow > ck.BetaUp {
+		return fmt.Errorf("analysis: resume checkpoint has malformed bracket [%v, %v]", ck.BetaLow, ck.BetaUp)
+	}
+	if ck.Iterations < 0 || ck.Sweeps < 0 {
+		return fmt.Errorf("analysis: resume checkpoint has negative counters (%d iterations, %d sweeps)", ck.Iterations, ck.Sweeps)
+	}
+	return nil
 }
 
 func (o *Options) defaults() {
@@ -124,6 +183,16 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 	m.SetMode(core.RewardBeta)
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
 	warm := opts.InitialValues
+	if ck := opts.Resume; ck != nil {
+		if err := ck.validate(); err != nil {
+			return nil, err
+		}
+		res.BetaLow, res.BetaUp = ck.BetaLow, ck.BetaUp
+		res.Iterations, res.Sweeps = ck.Iterations, ck.Sweeps
+		// The copy keeps the caller's checkpoint reusable: inner solves may
+		// reuse the warm slice as scratch. A nil Values resumes cold.
+		warm = append([]float64(nil), ck.Values...)
+	}
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
 		if err := ctx.Err(); err != nil {
 			return res, fmt.Errorf("analysis: canceled after %d binary-search steps: %w", res.Iterations, err)
@@ -160,6 +229,15 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 		}
 		if opts.Progress != nil {
 			opts.Progress(res.BetaLow, res.BetaUp, res.Iterations)
+		}
+		if opts.OnCheckpoint != nil {
+			// warm is this step's converged vector — exactly what the next
+			// solve (or a resumed run's next solve) starts from.
+			opts.OnCheckpoint(Checkpoint{
+				BetaLow: res.BetaLow, BetaUp: res.BetaUp,
+				Iterations: res.Iterations, Sweeps: res.Sweeps,
+				Values: append([]float64(nil), warm...),
+			})
 		}
 	}
 	res.ERRev = res.BetaLow

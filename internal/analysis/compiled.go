@@ -65,6 +65,24 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 		}
 		warm = true
 	}
+	if ck := opts.Resume; ck != nil {
+		if err := ck.validate(); err != nil {
+			return nil, err
+		}
+		res.BetaLow, res.BetaUp = ck.BetaLow, ck.BetaUp
+		res.Iterations, res.Sweeps = ck.Iterations, ck.Sweeps
+		// SetValues copies into the kernel's buffer, so the caller's
+		// checkpoint stays reusable. A nil Values resumes cold (overriding
+		// any InitialValues, matching the documented precedence).
+		if ck.Values != nil {
+			if err := c.SetValues(ck.Values); err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			warm = true
+		} else {
+			warm = false
+		}
+	}
 	for res.BetaUp-res.BetaLow >= opts.Epsilon {
 		if err := ctx.Err(); err != nil {
 			return res, fmt.Errorf("analysis: canceled after %d binary-search steps: %w", res.Iterations, err)
@@ -96,6 +114,15 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 		}
 		if opts.Progress != nil {
 			opts.Progress(res.BetaLow, res.BetaUp, res.Iterations)
+		}
+		if opts.OnCheckpoint != nil {
+			// c.Values() copies the kernel's converged vector — exactly what
+			// the next solve (here or in a resumed run) warm-starts from.
+			opts.OnCheckpoint(Checkpoint{
+				BetaLow: res.BetaLow, BetaUp: res.BetaUp,
+				Iterations: res.Iterations, Sweeps: res.Sweeps,
+				Values: c.Values(),
+			})
 		}
 	}
 	res.ERRev = res.BetaLow

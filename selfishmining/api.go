@@ -198,6 +198,8 @@ type config struct {
 	skipEval    bool
 	boundOnly   bool
 	progress    func(betaLow, betaUp float64, iteration int)
+	checkpoint  func(Checkpoint)
+	resume      *Checkpoint
 }
 
 // Option customizes Analyze.
@@ -337,6 +339,7 @@ func AnalyzeContext(ctx context.Context, p AttackParams, opts ...Option) (*Analy
 		Workers:          cfg.workers,
 		Progress:         cfg.progress,
 	}
+	cfg.analysisCheckpointOpts(&aOpts)
 	var res *analysis.Result
 	var numStates int
 	if useCompiled {

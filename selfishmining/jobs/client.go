@@ -1,0 +1,190 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ValidateRemoteFlags checks the -server/-submit/-resume/-wait flag
+// contract shared by the analyze and sweep CLIs: the remote actions need
+// a server, a server needs a remote action, submit and resume exclude
+// each other, and -wait only makes sense with one of them.
+func ValidateRemoteFlags(server string, submit bool, resumeID string, wait bool) error {
+	remote := submit || resumeID != ""
+	switch {
+	case remote && server == "":
+		return fmt.Errorf("-submit/-resume need -server")
+	case server != "" && !remote:
+		return fmt.Errorf("-server needs -submit or -resume")
+	case submit && resumeID != "":
+		return fmt.Errorf("-submit and -resume are mutually exclusive")
+	case wait && !remote:
+		return fmt.Errorf("-wait needs -submit or -resume")
+	}
+	return nil
+}
+
+// Client talks to the job endpoints of a running cmd/serve instance, so
+// CLIs (and other Go programs) can submit work, poll it, cancel it and
+// resume it without holding a connection open for the solve's lifetime.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON request/response round trip. Error bodies ({"error":
+// ...}) become Go errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("jobs: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return fmt.Errorf("jobs: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("jobs: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("jobs: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("jobs: server returned HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("jobs: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts a job and returns its initial snapshot (state "queued").
+func (c *Client) Submit(ctx context.Context, req Request) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a job's current snapshot. includeStrategy additionally
+// inlines a done analyze job's O(states) strategy.
+func (c *Client) Get(ctx context.Context, id string, includeStrategy bool) (*Status, error) {
+	path := "/v1/jobs/" + url.PathEscape(id)
+	if includeStrategy {
+		path += "?include_strategy=1"
+	}
+	var st Status
+	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches snapshots of every retained job, optionally filtered by
+// state and kind (empty = all).
+func (c *Client) List(ctx context.Context, f Filter) ([]*Status, error) {
+	q := url.Values{}
+	if f.State != "" {
+		q.Set("state", string(f.State))
+	}
+	if f.Kind != "" {
+		q.Set("kind", string(f.Kind))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out struct {
+		Jobs []*Status `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel requests cancellation and returns the job's snapshot (a running
+// job transitions once its solve reaches the next checkpoint).
+func (c *Client) Cancel(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Resume re-enqueues a canceled or failed job (replaying a persisted
+// checkpoint when one exists) and returns its snapshot.
+func (c *Client) Resume(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/resume", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx ends),
+// invoking onUpdate — if non-nil — with every snapshot whose state or
+// progress moved. poll <= 0 defaults to 500ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onUpdate func(*Status)) (*Status, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	var last *Status
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		st, err := c.Get(ctx, id, false)
+		if err != nil {
+			return nil, err
+		}
+		if onUpdate != nil && (last == nil || last.State != st.State || last.Progress != st.Progress) {
+			onUpdate(st)
+		}
+		last = st
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,891 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/selfishmining"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultWorkers     = 2
+	DefaultQueueLimit  = 1024
+	DefaultTTL         = time.Hour
+	DefaultMaxFinished = 4096
+	DefaultEventBuffer = 256
+)
+
+// Config tunes a Manager. The zero value gives serving defaults; see each
+// field for the negative-value escape hatches.
+type Config struct {
+	// Store persists job records (nil = a fresh in-memory MemStore). A
+	// DiskStore makes jobs survive process restarts.
+	Store Store
+	// Workers bounds the jobs executing at once (default 2). The
+	// underlying Service's MaxConcurrent additionally bounds total solves
+	// across jobs and synchronous requests.
+	Workers int
+	// QueueLimit bounds jobs waiting in the queue; Submit fails with
+	// ErrQueueFull beyond it (default 1024).
+	QueueLimit int
+	// TTL is how long finished (done/failed/canceled) jobs are retained
+	// before eviction (default 1h; negative disables eviction).
+	TTL time.Duration
+	// MaxFinished caps retained finished jobs regardless of TTL, evicting
+	// oldest-finished first (default 4096; negative removes the cap).
+	MaxFinished int
+	// EventBuffer is the per-job event-log ring size for SSE replay
+	// (default 256). Reconnects older than the ring receive a fresh status
+	// snapshot first.
+	EventBuffer int
+}
+
+func (c *Config) defaults() {
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.TTL == 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.MaxFinished == 0 {
+		c.MaxFinished = DefaultMaxFinished
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = DefaultEventBuffer
+	}
+}
+
+// Sentinel errors of the job API.
+var (
+	// ErrNotFound: no job with that id (possibly evicted).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull: the queue is at Config.QueueLimit.
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrClosed: the manager has shut down.
+	ErrClosed = errors.New("jobs: manager is closed")
+	// ErrNotResumable: Resume on a job that is not canceled or failed.
+	ErrNotResumable = errors.New("jobs: job is not resumable")
+	// ErrFinished: Cancel on a job that already reached a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// job is the manager-internal record. Immutable identity fields are set
+// at construction; everything mutable is guarded by the manager's mutex.
+type job struct {
+	id       string
+	kind     Kind
+	priority int
+	seq      int64 // submit order; FIFO tiebreak within a priority
+	analyze  *AnalyzeSpec
+	sweep    *SweepSpec
+
+	state       State
+	submitted   time.Time
+	started     *time.Time
+	finished    *time.Time
+	progress    Progress
+	result      *AnalyzeResult
+	sweepResult *SweepResult
+	errMsg      string
+	errCode     string
+	interrupted bool
+	resumes     int
+
+	checkpoint      *selfishmining.Checkpoint
+	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool
+
+	events   []Event
+	firstSeq int64
+	nextSeq  int64
+	eventCh  chan struct{} // closed and replaced on every append
+	heapIdx  int           // position in the queue heap (-1 when not queued)
+
+	// persistMu orders store writes of this job without the manager-wide
+	// mutex: snapshots are taken under m.mu (persistSeq stamps them), but
+	// the O(states) checkpoint encoding and the disk write run under
+	// persistMu only, and a snapshot older than what already landed
+	// (persisted) is skipped.
+	persistMu  sync.Mutex
+	persistSeq int64 // under m.mu
+	persisted  int64 // under persistMu
+}
+
+// jobQueue is a priority queue: higher Priority first, submit order
+// within a priority.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx, q[j].heapIdx = i, j
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}
+
+// Manager runs jobs over a selfishmining.Service: a worker pool fed from
+// the priority queue, durable records in a Store, per-job event logs for
+// SSE, TTL retention, and checkpoint-resume for analyze jobs (see the
+// package documentation). All methods are safe for concurrent use.
+type Manager struct {
+	svc *selfishmining.Service
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	queue  jobQueue
+	closed bool
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+	seq       int64 // submit-order tiebreak, spans recovered and new jobs
+
+	// Process-lifetime counters (guarded by mu; snapshot via Stats).
+	submitted, started, completed, failed uint64
+	canceled, resumed, evicted            uint64
+	interruptedCount                      uint64
+
+	// Test-only gates, set before any Submit and never changed: runGate
+	// runs at the start of every job body, progressGate after every
+	// analyze progress update, pointGate after every sweep point. All run
+	// on the solving goroutine with no locks held, letting tests pin a
+	// job at an exact lifecycle point.
+	runGate      func(id string)
+	progressGate func(id string, iteration int)
+	pointGate    func(id string, pointsDone int)
+}
+
+// New builds a Manager over svc and recovers the store's records: finished
+// jobs are re-indexed (visible to Get/List/Resume), queued jobs re-enter
+// the queue, and jobs that were running when the previous process stopped
+// are re-queued as interrupted — resuming from their persisted checkpoint
+// if one was written (graceful shutdowns write one; crashes may not).
+// Event logs are process-local, so recovered jobs start a fresh event
+// sequence (SSE reconnects receive a status snapshot first).
+func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("jobs: New needs a selfishmining.Service")
+	}
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		svc:       svc,
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m, nil
+}
+
+// recover loads every stored record into the live index.
+func (m *Manager) recover() error {
+	recs, err := m.cfg.Store.List()
+	if err != nil {
+		return fmt.Errorf("jobs: recovering store: %w", err)
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].SubmittedAt.Before(recs[k].SubmittedAt) })
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
+		ck, err := rec.Checkpoint.decode()
+		if err != nil {
+			// A checkpoint that fails to decode costs the warm resume, not
+			// the job: it re-runs cold with the identical result.
+			ck = nil
+		}
+		m.seq++
+		j := &job{
+			id: rec.ID, kind: rec.Kind, priority: rec.Priority, seq: m.seq,
+			analyze: rec.Analyze, sweep: rec.Sweep,
+			state: rec.State, submitted: rec.SubmittedAt,
+			started: rec.StartedAt, finished: rec.FinishedAt,
+			progress: rec.Progress,
+			result:   rec.Result, sweepResult: rec.SweepResult,
+			errMsg: rec.Error, errCode: rec.ErrorCode,
+			interrupted: rec.Interrupted, resumes: rec.Resumes,
+			checkpoint: ck,
+			eventCh:    make(chan struct{}),
+			heapIdx:    -1,
+			// Event numbering continues where the previous process left
+			// off, so pre-restart Last-Event-ID cursors never alias into
+			// this process's events — they fall before the (empty) ring and
+			// are made whole with a status snapshot.
+			firstSeq: rec.EventSeq,
+			nextSeq:  rec.EventSeq,
+		}
+		if j.state == StateRunning {
+			// The previous process died mid-run; whatever checkpoint made it
+			// to disk is the resume point.
+			j.state = StateQueued
+			j.interrupted = true
+			j.started = nil
+		}
+		if j.state == StateQueued && j.interrupted {
+			// Re-queued across a restart — by the crash path above or by a
+			// previous graceful shutdown — lands in this process's counter.
+			m.interruptedCount++
+		}
+		m.jobs[j.id] = j
+		if j.state == StateQueued {
+			heap.Push(&m.queue, j)
+		}
+		// Every live job carries at least one event (the event ring is
+		// process-local), so event streams have a well-defined replay start.
+		m.emitStatusLocked(j)
+		// Startup runs single-threaded; writing inline under the lock is
+		// harmless here.
+		m.persistFnLocked(j)()
+	}
+	return nil
+}
+
+// newID generates a collision-resistant job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random id bytes: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates the request, enqueues the job and returns its initial
+// snapshot. Sweep specs are normalized first (defaults filled, every grid
+// point validated), so the returned spec says exactly what will run.
+func (m *Manager) Submit(req Request) (*Status, error) {
+	j := &job{
+		id: newID(), priority: req.Priority,
+		state: StateQueued, submitted: time.Now(),
+		eventCh: make(chan struct{}), heapIdx: -1,
+	}
+	switch req.Kind {
+	case KindAnalyze:
+		if req.Analyze == nil || req.Sweep != nil {
+			return nil, fmt.Errorf("jobs: kind %q needs exactly the analyze spec", req.Kind)
+		}
+		spec := *req.Analyze
+		if err := spec.validate(); err != nil {
+			return nil, err
+		}
+		j.kind, j.analyze = KindAnalyze, &spec
+		j.progress = Progress{BetaLow: 0, BetaUp: 1}
+	case KindSweep:
+		if req.Sweep == nil || req.Analyze != nil {
+			return nil, fmt.Errorf("jobs: kind %q needs exactly the sweep spec", req.Kind)
+		}
+		spec := *req.Sweep
+		if err := spec.Normalize(); err != nil {
+			return nil, err
+		}
+		j.kind, j.sweep = KindSweep, &spec
+		j.progress = Progress{PointsTotal: spec.points()}
+	default:
+		return nil, fmt.Errorf("jobs: unknown job kind %q (want %q or %q)", req.Kind, KindAnalyze, KindSweep)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.queue) >= m.cfg.QueueLimit {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	evicted := m.evictLocked(time.Now()) // opportunistic retention pass
+	m.seq++
+	j.seq = m.seq
+	m.submitted++
+	m.jobs[j.id] = j
+	heap.Push(&m.queue, j)
+	m.emitStatusLocked(j)
+	persist := m.persistFnLocked(j)
+	st := m.statusLocked(j)
+	m.cond.Signal()
+	m.mu.Unlock()
+	for _, id := range evicted {
+		_ = m.cfg.Store.Delete(id)
+	}
+	persist()
+	return st, nil
+}
+
+// Get returns a job's current snapshot.
+func (m *Manager) Get(id string) (*Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// Filter narrows List.
+type Filter struct {
+	// State / Kind keep only matching jobs when non-empty.
+	State State
+	Kind  Kind
+}
+
+// List returns snapshots of every retained job (newest submission first),
+// optionally filtered.
+func (m *Manager) List(f Filter) []*Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Status, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		if f.Kind != "" && j.kind != f.Kind {
+			continue
+		}
+		out = append(out, m.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.After(out[k].SubmittedAt)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Cancel stops a job: a queued job is canceled immediately; a running job
+// has its context canceled and transitions once the solve observes it at
+// the next deterministic checkpoint (its latest binary-search checkpoint
+// is persisted for Resume). Cancel of an already-canceled job is
+// idempotent; other terminal states return ErrFinished.
+func (m *Manager) Cancel(id string) (*Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	persist := func() {}
+	switch j.state {
+	case StateQueued:
+		if j.heapIdx >= 0 {
+			heap.Remove(&m.queue, j.heapIdx)
+		}
+		now := time.Now()
+		j.state = StateCanceled
+		j.finished = &now
+		j.errMsg = "canceled while queued"
+		j.errCode = "canceled"
+		m.canceled++
+		m.emitStatusLocked(j)
+		persist = m.persistFnLocked(j)
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case StateCanceled:
+		// Idempotent.
+	default:
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrFinished, id, j.state)
+	}
+	st := m.statusLocked(j)
+	m.mu.Unlock()
+	persist()
+	return st, nil
+}
+
+// Resume re-enqueues a canceled or failed job. An analyze job with a
+// persisted checkpoint replays Algorithm 1 from it, with a result bitwise
+// identical to an uninterrupted solve; without one (canceled while queued,
+// or a crash before any step completed) it simply runs from the start. A
+// resumed sweep recomputes its grid, reusing the service's caches within
+// one process.
+func (m *Manager) Resume(id string) (*Status, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.state != StateCanceled && j.state != StateFailed {
+		st := j.state
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotResumable, id, st)
+	}
+	if len(m.queue) >= m.cfg.QueueLimit {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	j.state = StateQueued
+	j.started, j.finished = nil, nil
+	j.errMsg, j.errCode = "", ""
+	j.interrupted = false
+	j.cancelRequested = false
+	j.resumes++
+	m.resumed++
+	heap.Push(&m.queue, j)
+	m.emitStatusLocked(j)
+	persist := m.persistFnLocked(j)
+	st := m.statusLocked(j)
+	m.cond.Signal()
+	m.mu.Unlock()
+	persist()
+	return st, nil
+}
+
+// Events returns the job's buffered events with Seq > after (pass -1 to
+// replay from the start), blocking until at least one is available, the
+// job is terminal with nothing newer (returning an empty slice — the
+// stream is over), or ctx ends. When after predates the event ring (an
+// SSE reconnect after a long gap) or postdates it (a cursor from before a
+// manager restart — event logs are process-local), the slice leads with a
+// synthetic status snapshot so the consumer is made whole before the
+// replay continues.
+func (m *Manager) Events(ctx context.Context, id string, after int64) ([]Event, error) {
+	for {
+		m.mu.Lock()
+		j, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return nil, ErrNotFound
+		}
+		evs := m.eventsSinceLocked(j, after)
+		terminal := j.state.Terminal()
+		ch := j.eventCh
+		m.mu.Unlock()
+		if len(evs) > 0 || terminal {
+			return evs, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// eventsSinceLocked collects buffered events with Seq > after, resetting
+// stale or trimmed-past cursors with a leading status snapshot (whose Seq
+// is one before the oldest replayed event, or negative — "no id" on the
+// wire — when the replay starts at 0).
+func (m *Manager) eventsSinceLocked(j *job, after int64) []Event {
+	var evs []Event
+	if after >= j.nextSeq {
+		// A cursor this process never issued (pre-restart stream): replay
+		// from the beginning.
+		after = -1
+	}
+	if after < j.firstSeq-1 {
+		// The ring was trimmed past the cursor: lead with a snapshot.
+		evs = append(evs, Event{Seq: j.firstSeq - 1, Type: "status", Status: m.statusLocked(j)})
+		after = j.firstSeq - 1
+	}
+	for _, ev := range j.events {
+		if ev.Seq > after {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// Close shuts the manager down: no new submissions, queued jobs stay
+// queued in the store, and running jobs are interrupted at their next
+// deterministic checkpoint and re-queued with their latest checkpoint
+// persisted — a Manager reopened over the same store resumes them with
+// bitwise-identical results. Close waits for the workers to finish
+// checkpointing, up to ctx's deadline.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.closed = true
+	// Cancel in-flight job contexts before releasing the lock, so once any
+	// caller observes ErrClosed the interruption is already in motion.
+	m.cancelAll()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown incomplete: %w", ctx.Err())
+	}
+}
+
+// worker pulls jobs off the queue until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.queue).(*job)
+		now := time.Now()
+		j.state = StateRunning
+		j.started = &now
+		// Sweep progress is incremental (OnPoint counts up), so a re-run —
+		// resume or post-shutdown re-queue — restarts the counter; analyze
+		// progress is absolute and overwrites itself.
+		if j.kind == KindSweep {
+			j.progress.PointsDone = 0
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		m.started++
+		m.emitStatusLocked(j)
+		persist := m.persistFnLocked(j)
+		m.mu.Unlock()
+
+		persist()
+		m.run(ctx, j)
+		cancel()
+
+		m.mu.Lock()
+	}
+}
+
+// run executes one job body (no locks held) and records the outcome.
+func (m *Manager) run(ctx context.Context, j *job) {
+	if m.runGate != nil {
+		m.runGate(j.id)
+	}
+	switch j.kind {
+	case KindAnalyze:
+		m.mu.Lock()
+		resume := j.checkpoint
+		m.mu.Unlock()
+		opts := j.analyze.options()
+		opts = append(opts,
+			selfishmining.WithProgress(func(lo, up float64, iter int) {
+				m.mu.Lock()
+				j.progress.BetaLow, j.progress.BetaUp, j.progress.Iterations = lo, up, iter
+				m.emitLocked(j, Event{Type: "progress", Progress: cloneProgress(j.progress)})
+				m.mu.Unlock()
+				if m.progressGate != nil {
+					m.progressGate(j.id, iter)
+				}
+			}),
+			selfishmining.WithCheckpoints(func(ck selfishmining.Checkpoint) {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				j.checkpoint = &ck
+				j.progress.Sweeps = ck.Sweeps
+			}),
+		)
+		if resume != nil {
+			opts = append(opts, selfishmining.WithResume(resume))
+		}
+		res, err := m.svc.AnalyzeContext(ctx, j.analyze.Params(), opts...)
+		var out *AnalyzeResult
+		if err == nil {
+			out = analyzeResult(res)
+		}
+		m.finish(j, err, func() {
+			j.result = out
+			j.progress.Iterations = out.Iterations
+			j.progress.Sweeps = out.Sweeps
+			j.progress.BetaLow, j.progress.BetaUp = out.ERRev, out.ERRevUpper
+		})
+	case KindSweep:
+		opts := j.sweep.options()
+		opts.OnPoint = func(pt selfishmining.SweepPoint) {
+			m.mu.Lock()
+			j.progress.PointsDone++
+			done := j.progress.PointsDone
+			m.emitLocked(j, Event{Type: "point", Progress: cloneProgress(j.progress), Point: &SweepPoint{
+				Series: pt.Series, Depth: pt.Config.Depth, Forks: pt.Config.Forks,
+				PIndex: pt.PIndex, P: pt.P, ERRev: pt.ERRev, Sweeps: pt.Sweeps,
+			}})
+			m.mu.Unlock()
+			if m.pointGate != nil {
+				m.pointGate(j.id, done)
+			}
+		}
+		fig, err := m.svc.SweepContext(ctx, opts)
+		var out *SweepResult
+		if err == nil {
+			out = sweepResult(fig)
+		}
+		m.finish(j, err, func() { j.sweepResult = out })
+	}
+}
+
+// finish classifies a job body's outcome and records the transition.
+// onDone installs the result under the lock when err is nil.
+func (m *Manager) finish(j *job, err error, onDone func()) {
+	m.mu.Lock()
+	j.cancel = nil
+	now := time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.finished = &now
+		j.checkpoint = nil // a finished search has nothing to resume
+		onDone()
+		m.completed++
+	case errors.Is(err, selfishmining.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.cancelRequested || !m.closed {
+			// Canceled by Cancel (or an unexpected context end while the
+			// manager is live): terminal, resumable from the checkpoint.
+			j.state = StateCanceled
+			j.finished = &now
+			j.errMsg = err.Error()
+			j.errCode = "canceled"
+			m.canceled++
+		} else {
+			// Graceful shutdown: checkpoint and hand the job to the next
+			// process instead of discarding the work.
+			j.state = StateQueued
+			j.started = nil
+			j.interrupted = true
+			m.interruptedCount++
+		}
+	default:
+		j.state = StateFailed
+		j.finished = &now
+		j.errMsg = err.Error()
+		j.errCode = "solver"
+		m.failed++
+	}
+	m.emitStatusLocked(j)
+	persist := m.persistFnLocked(j)
+	m.mu.Unlock()
+	persist()
+}
+
+// janitor evicts expired jobs periodically.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	if m.cfg.TTL < 0 && m.cfg.MaxFinished < 0 {
+		return
+	}
+	period := m.cfg.TTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			m.mu.Lock()
+			evicted := m.evictLocked(time.Now())
+			m.mu.Unlock()
+			for _, id := range evicted {
+				_ = m.cfg.Store.Delete(id)
+			}
+		case <-m.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// evictLocked applies the retention policy — finished jobs past TTL go,
+// then oldest-finished beyond MaxFinished — and returns the evicted ids.
+// The store deletes are the CALLER's job, after releasing m.mu: like
+// persistFnLocked's writes, store I/O must not stall the manager-wide
+// mutex (a big eviction pass would otherwise block every progress hook
+// and API call). A pending persist racing an eviction is harmless in
+// practice: eviction fires at least a TTL after the job's last
+// transition, long after its final snapshot landed.
+func (m *Manager) evictLocked(now time.Time) (evicted []string) {
+	var finished []*job
+	for _, j := range m.jobs {
+		if !j.state.Terminal() || j.finished == nil {
+			continue
+		}
+		if m.cfg.TTL >= 0 && now.Sub(*j.finished) > m.cfg.TTL {
+			evicted = append(evicted, m.dropLocked(j))
+			continue
+		}
+		finished = append(finished, j)
+	}
+	if m.cfg.MaxFinished >= 0 && len(finished) > m.cfg.MaxFinished {
+		sort.Slice(finished, func(i, k int) bool { return finished[i].finished.Before(*finished[k].finished) })
+		for _, j := range finished[:len(finished)-m.cfg.MaxFinished] {
+			evicted = append(evicted, m.dropLocked(j))
+		}
+	}
+	return evicted
+}
+
+// dropLocked removes the job from the live index (the caller deletes its
+// store record) and returns its id.
+func (m *Manager) dropLocked(j *job) string {
+	delete(m.jobs, j.id)
+	m.evicted++
+	// Wake any event stream still attached so it observes ErrNotFound.
+	close(j.eventCh)
+	j.eventCh = make(chan struct{})
+	return j.id
+}
+
+// emitStatusLocked appends a lifecycle event.
+func (m *Manager) emitStatusLocked(j *job) {
+	m.emitLocked(j, Event{Type: "status", Status: m.statusLocked(j)})
+}
+
+// emitLocked appends ev to the job's ring and wakes waiting streams.
+func (m *Manager) emitLocked(j *job, ev Event) {
+	ev.Seq = j.nextSeq
+	j.nextSeq++
+	j.events = append(j.events, ev)
+	if over := len(j.events) - m.cfg.EventBuffer; over > 0 {
+		j.events = append(j.events[:0], j.events[over:]...)
+		j.firstSeq += int64(over)
+	}
+	close(j.eventCh)
+	j.eventCh = make(chan struct{})
+}
+
+// cloneProgress snapshots the progress for an event payload.
+func cloneProgress(p Progress) *Progress { cp := p; return &cp }
+
+// statusLocked snapshots a job's public view.
+func (m *Manager) statusLocked(j *job) *Status {
+	st := &Status{
+		ID: j.id, Kind: j.kind, State: j.state, Priority: j.priority,
+		Analyze: j.analyze, Sweep: j.sweep,
+		Progress: j.progress,
+		Result:   j.result, SweepResult: j.sweepResult,
+		Error: j.errMsg, ErrorCode: j.errCode,
+		HasCheckpoint: j.checkpoint != nil,
+		Interrupted:   j.interrupted,
+		Resumes:       j.resumes,
+		SubmittedAt:   j.submitted,
+	}
+	if j.started != nil {
+		t := *j.started
+		st.StartedAt = &t
+	}
+	if j.finished != nil {
+		t := *j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// persistFnLocked snapshots the job's durable state under m.mu and
+// returns the write to run AFTER the manager lock is released: the
+// O(states) checkpoint encoding and the store I/O must not stall every
+// other job's progress hooks and every API call on m.mu. Per-job ordering
+// is kept by persistMu + the persistSeq stamp — a snapshot that lost the
+// race to a newer one is skipped, so the store always converges on the
+// latest state. Store failures are deliberately non-fatal to the job
+// itself (the in-memory record stays authoritative); a broken disk
+// surfaces on restart, not mid-solve.
+func (m *Manager) persistFnLocked(j *job) func() {
+	rec := &Record{Status: *m.statusLocked(j), EventSeq: j.nextSeq}
+	ck := j.checkpoint // replaced wholesale, never mutated: safe to share
+	j.persistSeq++
+	seq := j.persistSeq
+	return func() {
+		j.persistMu.Lock()
+		defer j.persistMu.Unlock()
+		if seq <= j.persisted {
+			return // a newer snapshot already landed
+		}
+		rec.Checkpoint = encodeCheckpoint(ck)
+		_ = m.cfg.Store.Put(rec)
+		j.persisted = seq
+	}
+}
+
+// Stats is a point-in-time snapshot of the manager's counters.
+type Stats struct {
+	// Submitted..Evicted are process-lifetime event counters. Resumed
+	// counts Resume calls; Interrupted counts shutdown/restart re-queues.
+	Submitted   uint64 `json:"submitted"`
+	Started     uint64 `json:"started"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Canceled    uint64 `json:"canceled"`
+	Resumed     uint64 `json:"resumed"`
+	Evicted     uint64 `json:"evicted"`
+	Interrupted uint64 `json:"interrupted"`
+	// QueueDepth and Running are current gauges; Retained counts every
+	// job still indexed (any state).
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	Retained   int `json:"retained"`
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Submitted: m.submitted, Started: m.started, Completed: m.completed,
+		Failed: m.failed, Canceled: m.canceled, Resumed: m.resumed,
+		Evicted: m.evicted, Interrupted: m.interruptedCount,
+		QueueDepth: len(m.queue), Retained: len(m.jobs),
+	}
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			st.Running++
+		}
+	}
+	return st
+}

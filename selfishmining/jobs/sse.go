@@ -1,0 +1,90 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// SSEWriter frames Server-Sent Events onto an HTTP response: one
+// `id:`/`event:`/`data:` block per Send, flushed immediately so events
+// reach the client as they happen. It is the shared SSE surface of the
+// jobs endpoints (GET /v1/jobs/{id}/events) and the sweep SSE stream, and
+// is not safe for concurrent Sends.
+type SSEWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+// NewSSEWriter prepares w for an event stream: sets the text/event-stream
+// content type, disables intermediary buffering, and writes the headers.
+func NewSSEWriter(w http.ResponseWriter) *SSEWriter {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	s := &SSEWriter{w: w, fl: fl}
+	s.flush()
+	return s
+}
+
+// Send writes one event: id (the reconnect cursor; omitted when negative),
+// the event name, and data JSON-encoded on the data line. A write error
+// means the client is gone; stop sending.
+func (s *SSEWriter) Send(id int64, event string, data any) error {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding SSE %s event: %w", event, err)
+	}
+	var b strings.Builder
+	if id >= 0 {
+		fmt.Fprintf(&b, "id: %d\n", id)
+	}
+	fmt.Fprintf(&b, "event: %s\n", event)
+	// json.Marshal never emits raw newlines, so one data line suffices.
+	fmt.Fprintf(&b, "data: %s\n\n", payload)
+	if _, err := s.w.Write([]byte(b.String())); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+// Comment writes a comment line (": text"), the SSE keep-alive idiom —
+// clients ignore it, proxies see traffic.
+func (s *SSEWriter) Comment(text string) error {
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *SSEWriter) flush() {
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// LastEventID extracts the client's reconnect cursor: the standard
+// Last-Event-ID header (set automatically by EventSource on reconnect), or
+// a last_event_id query parameter for clients that cannot set headers.
+// Returns -1 when absent or unparseable (meaning: replay from the start).
+func LastEventID(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	if raw == "" {
+		return -1
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 0 {
+		return -1
+	}
+	return id
+}

@@ -1,0 +1,414 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/selfishmining"
+)
+
+func TestCheckpointRecordRoundTripBitwise(t *testing.T) {
+	ck := &selfishmining.Checkpoint{
+		BetaLow: 0.25, BetaUp: 0.375, Iterations: 7, Sweeps: 1234,
+		Values: []float64{0, -0.0, 1.5, math.Pi, -2.75e-17, math.Inf(1), math.MaxFloat64},
+	}
+	got, err := encodeCheckpoint(ck).decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BetaLow != ck.BetaLow || got.BetaUp != ck.BetaUp ||
+		got.Iterations != ck.Iterations || got.Sweeps != ck.Sweeps {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Values) != len(ck.Values) {
+		t.Fatalf("%d values, want %d", len(got.Values), len(ck.Values))
+	}
+	for i := range ck.Values {
+		if math.Float64bits(got.Values[i]) != math.Float64bits(ck.Values[i]) {
+			t.Errorf("value %d: %x != %x", i, math.Float64bits(got.Values[i]), math.Float64bits(ck.Values[i]))
+		}
+	}
+	// Empty and nil round-trip too.
+	if got, err := encodeCheckpoint(&selfishmining.Checkpoint{BetaUp: 1}).decode(); err != nil || got.Values != nil {
+		t.Errorf("empty checkpoint: %+v, %v", got, err)
+	}
+	if encodeCheckpoint(nil) != nil {
+		t.Error("nil checkpoint encodes to non-nil")
+	}
+}
+
+func TestCheckpointRecordRejectsCorruptPayloads(t *testing.T) {
+	cases := []*CheckpointRecord{
+		{NumValues: 2, ValuesB64: "not base64!!"},
+		{NumValues: 3, ValuesB64: "AAAA"}, // length mismatch
+	}
+	for i, rec := range cases {
+		if _, err := rec.decode(); err == nil {
+			t.Errorf("case %d: corrupt checkpoint decoded", i)
+		}
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().Round(0)
+	fin := now.Add(time.Second)
+	rec := &Record{
+		Status: Status{
+			ID: "jabc123", Kind: KindAnalyze, State: StateCanceled, Priority: 3,
+			Analyze:  &AnalyzeSpec{P: 0.3, Gamma: 0.5, Depth: 2, Forks: 1, Len: 3, Epsilon: 1e-3},
+			Progress: Progress{BetaLow: 0.2, BetaUp: 0.3, Iterations: 4, Sweeps: 99},
+			Error:    "canceled", ErrorCode: "canceled", HasCheckpoint: true, Resumes: 1,
+			SubmittedAt: now, FinishedAt: &fin,
+		},
+		Checkpoint: encodeCheckpoint(&selfishmining.Checkpoint{
+			BetaLow: 0.2, BetaUp: 0.3, Iterations: 4, Sweeps: 99, Values: []float64{1, 2, 3},
+		}),
+	}
+	if err := store.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := store.Get("jabc123")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got.ID != rec.ID || got.State != rec.State || got.Priority != 3 ||
+		got.Analyze == nil || got.Analyze.P != 0.3 || got.Error != "canceled" || got.Resumes != 1 {
+		t.Errorf("round trip lost fields: %+v", got.Status)
+	}
+	if !got.SubmittedAt.Equal(now) || got.FinishedAt == nil || !got.FinishedAt.Equal(fin) {
+		t.Errorf("timestamps: %v / %v", got.SubmittedAt, got.FinishedAt)
+	}
+	ck, err := got.Checkpoint.decode()
+	if err != nil || len(ck.Values) != 3 || ck.Values[2] != 3 {
+		t.Errorf("checkpoint: %+v, %v", ck, err)
+	}
+	recs, err := store.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("List: %d records, err %v", len(recs), err)
+	}
+	if err := store.Delete("jabc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := store.Get("jabc123"); ok {
+		t.Error("record survived Delete")
+	}
+	if err := store.Delete("jabc123"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+	// Updating in place replaces the snapshot.
+	if err := store.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := *rec
+	rec2.State = StateDone
+	if err := store.Put(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = store.Get("jabc123")
+	if got.State != StateDone {
+		t.Errorf("upsert did not replace: %s", got.State)
+	}
+}
+
+func TestDiskStoreRejectsHostileIDs(t *testing.T) {
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../escape", "a/b", `a\b`, "x..y"} {
+		if err := store.Put(&Record{Status: Status{ID: id, Kind: KindAnalyze}}); err == nil {
+			t.Errorf("Put accepted id %q", id)
+		}
+		if _, _, err := store.Get(id); err == nil {
+			t.Errorf("Get accepted id %q", id)
+		}
+	}
+}
+
+func TestDiskStoreCorruptFileRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Record{Status: Status{ID: "jgood", Kind: KindAnalyze, State: StateDone, SubmittedAt: time.Now()}}
+	if err := store.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write, garbage, and a structurally empty record.
+	if err := os.WriteFile(filepath.Join(dir, "jtorn.json"), []byte(`{"id":"jtorn","ki`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jjunk.json"), []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jempty.json"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.List()
+	if err != nil {
+		t.Fatalf("List with corrupt files: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != "jgood" {
+		t.Fatalf("List returned %d records", len(recs))
+	}
+	if n := store.CorruptFiles(); n != 3 {
+		t.Errorf("CorruptFiles = %d, want 3", n)
+	}
+	// Quarantined, not deleted: the bytes survive for post-mortems, and a
+	// re-scan does not recount them.
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(quarantined) != 3 {
+		t.Errorf("%d quarantined files, want 3", len(quarantined))
+	}
+	if _, err := store.List(); err != nil {
+		t.Fatal(err)
+	}
+	if n := store.CorruptFiles(); n != 3 {
+		t.Errorf("re-scan recounted corrupt files: %d", n)
+	}
+	// A manager still starts over the damaged directory.
+	m, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store})
+	if err != nil {
+		t.Fatalf("New over damaged store: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+	if _, err := m.Get("jgood"); err != nil {
+		t.Errorf("surviving record not recovered: %v", err)
+	}
+}
+
+// TestRestartResumeBitwise is the acceptance pin for durable resume: a job
+// canceled mid-search in one manager, with its checkpoint persisted to
+// disk, resumes in a NEW manager over the same directory (a process
+// restart) and finishes bitwise identical to an uninterrupted solve.
+func TestRestartResumeBitwise(t *testing.T) {
+	for _, tc := range familySpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			want := reference(t, tc.spec)
+			dir := t.TempDir()
+			store1, err := NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1.progressGate = func(id string, iter int) {
+				if iter == 2 {
+					m1.Cancel(id)
+				}
+			}
+			st, err := m1.Submit(Request{Kind: KindAnalyze, Analyze: &tc.spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			canceled := waitState(t, m1, st.ID, StateCanceled)
+			if !canceled.HasCheckpoint {
+				t.Fatal("no checkpoint persisted on cancel")
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := m1.Close(ctx); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// "Restart": a fresh manager, fresh service, same directory.
+			store2, err := NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				m2.Close(ctx)
+			}()
+			rec, err := m2.Get(st.ID)
+			if err != nil {
+				t.Fatalf("job lost across restart: %v", err)
+			}
+			if rec.State != StateCanceled || !rec.HasCheckpoint {
+				t.Fatalf("recovered job %s, checkpoint %v", rec.State, rec.HasCheckpoint)
+			}
+			if _, err := m2.Resume(st.ID); err != nil {
+				t.Fatalf("Resume after restart: %v", err)
+			}
+			done := waitState(t, m2, st.ID, StateDone)
+			equalJobResults(t, tc.name, want, done.Result)
+		})
+	}
+}
+
+// TestShutdownCheckpointsRunningJobs: Close interrupts a running job at
+// its next deterministic checkpoint and re-queues it (state "queued",
+// interrupted, checkpoint persisted) instead of discarding it; the next
+// manager over the same store picks it up automatically and completes it
+// bitwise identical to an uninterrupted solve.
+func TestShutdownCheckpointsRunningJobs(t *testing.T) {
+	spec := familySpecs[0].spec
+	want := reference(t, spec)
+	dir := t.TempDir()
+	store1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	m1.progressGate = func(id string, iter int) {
+		if iter == 2 && !once {
+			once = true
+			close(reached)
+			<-release
+		}
+	}
+	st, err := m1.Submit(Request{Kind: KindAnalyze, Analyze: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached
+	// Initiate shutdown; once Submit observes ErrClosed the in-flight
+	// contexts are already canceled (Close cancels them under the lock),
+	// so releasing the gate lets the solve observe the interruption.
+	closeErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		closeErr <- m1.Close(ctx)
+	}()
+	for {
+		if _, err := m1.Submit(Request{Kind: KindAnalyze, Analyze: &spec}); errors.Is(err, ErrClosed) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec, ok, err := store1.Get(st.ID)
+	if err != nil || !ok {
+		t.Fatalf("record missing after shutdown: ok=%v err=%v", ok, err)
+	}
+	if rec.State != StateQueued || !rec.Interrupted || rec.Checkpoint == nil {
+		t.Fatalf("shutdown persisted state=%s interrupted=%v checkpoint=%v",
+			rec.State, rec.Interrupted, rec.Checkpoint != nil)
+	}
+
+	store2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	// No Resume needed: queued jobs re-enter the queue on recovery.
+	done := waitState(t, m2, st.ID, StateDone)
+	if !done.Interrupted {
+		t.Error("Interrupted flag lost (it should record the restart)")
+	}
+	equalJobResults(t, "shutdown-resume", want, done.Result)
+	if got := m2.Stats().Interrupted; got != 1 {
+		t.Errorf("Stats.Interrupted = %d, want 1", got)
+	}
+}
+
+// TestManagerRecoversFinishedJobs: done jobs (and their results) survive a
+// restart and stay queryable.
+func TestManagerRecoversFinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(Request{Kind: KindAnalyze, Analyze: &smallSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m1, st.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	got, err := m2.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("recovered state %s", got.State)
+	}
+	equalJobResults(t, "recovered", done.Result, got.Result)
+	// Event rings are process-local, but sequence numbering continues from
+	// the persisted high-water mark: a fresh stream replays from a leading
+	// snapshot, and a pre-restart cursor (numerically below the recovered
+	// mark) must NOT alias into the new numbering — it is reset with a
+	// status snapshot too, never a silent mid-stream suffix.
+	evs, err := m2.Events(context.Background(), st.ID, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 || evs[0].Type != "status" {
+		t.Fatalf("recovered event stream: %+v", evs)
+	}
+	if head := evs[len(evs)-1].Seq; head < 2 {
+		t.Fatalf("recovered events restart numbering at %d; expected continuation past the old process's events", head)
+	}
+	stale, err := m2.Events(context.Background(), st.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) == 0 || stale[0].Type != "status" {
+		t.Fatalf("stale pre-restart cursor was not reset with a status snapshot: %+v", stale)
+	}
+	if !strings.HasPrefix(st.ID, "j") {
+		t.Errorf("unexpected id shape %q", st.ID)
+	}
+}

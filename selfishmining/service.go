@@ -87,7 +87,9 @@ type structKey struct {
 // resultKey canonically identifies one solved analysis: the model family,
 // the attack point, and every option that can change the result. Worker
 // counts are absent by design — results are bitwise identical at any
-// parallelism.
+// parallelism — and so are checkpoint sinks and resume seeds: a resumed
+// solve reproduces the uninterrupted result float for float, so it shares
+// the cold solve's cache entry.
 type resultKey struct {
 	model                string
 	p, gamma             float64
@@ -430,10 +432,13 @@ func (s *Service) solve(ctx context.Context, key resultKey, p AttackParams, cp c
 		SkipStrategy:     cfg.boundOnly,
 		Progress:         cfg.progress,
 	}
-	if cfg.boundOnly {
+	cfg.analysisCheckpointOpts(&aOpts)
+	if cfg.boundOnly && cfg.resume == nil {
 		// Warm starts are confined to bound-only analyses: a full analysis
 		// extracts its strategy from the final value vector, which a seed
-		// would perturb in the low bits; the bound is seed-independent.
+		// would perturb in the low bits; the bound is seed-independent. A
+		// resumed request carries its own seed — the checkpoint's vector,
+		// which the resume guarantee requires verbatim.
 		if seed, ok := s.warmSeed(sk, p.Switching, p.Adversary, comp.NumStates()); ok {
 			aOpts.InitialValues = seed
 		}
