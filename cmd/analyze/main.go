@@ -97,6 +97,7 @@ func run(ctx context.Context, args []string) error {
 		f          = fs.Int("f", 2, "forks per depth")
 		l          = fs.Int("l", 4, "maximal fork length")
 		eps        = fs.Float64("eps", 1e-4, "analysis precision epsilon")
+		kernelName = fs.String("kernel", "", fmt.Sprintf("value-iteration kernel variant: %s (default jacobi, the bitwise-deterministic kernel; all variants certify the same result)", strings.Join(selfishmining.KernelVariants(), ", ")))
 		workers    = fs.Int("workers", 0, "goroutines per value-iteration sweep (0 = all cores); results are identical at any setting")
 		timeout    = fs.Duration("timeout", 0, "abort the analysis after this long (0 = none); partial progress is reported")
 		showProg   = fs.Bool("progress", false, "print the certified ERRev bracket after every binary-search step")
@@ -143,6 +144,9 @@ func run(ctx context.Context, args []string) error {
 	if *simSteps < 0 {
 		return fmt.Errorf("-simulate %d: need >= 0 steps", *simSteps)
 	}
+	if err := selfishmining.ValidateKernel(*kernelName); err != nil {
+		return err
+	}
 	params := selfishmining.AttackParams{
 		Model:     *model,
 		Adversary: *p, Switching: *gamma, Depth: *d, Forks: *f, MaxForkLen: *l,
@@ -161,13 +165,16 @@ func run(ctx context.Context, args []string) error {
 		spec := jobs.AnalyzeSpec{
 			Model: *model,
 			P:     *p, Gamma: *gamma, Depth: *d, Forks: *f, Len: *l,
-			Epsilon: *eps, SkipEval: *skipEval,
+			Epsilon: *eps, SkipEval: *skipEval, Kernel: *kernelName,
 		}
 		return runRemoteSubmit(ctx, *server, spec, *priority, *wait, *showProg)
 	}
 	fmt.Printf("analyzing %v (%d states, eps=%g)\n", params, params.NumStates(), *eps)
 
 	opts := []selfishmining.Option{selfishmining.WithEpsilon(*eps), selfishmining.WithWorkers(*workers)}
+	if *kernelName != "" {
+		opts = append(opts, selfishmining.WithKernel(*kernelName))
+	}
 	if *skipEval {
 		opts = append(opts, selfishmining.WithoutStrategyEval())
 	}

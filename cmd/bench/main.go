@@ -1,0 +1,401 @@
+// Command bench runs the repository's tracked performance matrix — attack
+// family × kernel variant × worker count at the standard test points — and
+// writes a structured BENCH_<n>.json artifact establishing the perf
+// trajectory each PR appends to.
+//
+// Usage:
+//
+//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_6.json]
+//	bench -check BENCH_6.json [-min-speedup 5]
+//	bench -check fresh.json -baseline BENCH_6.json [-min-ratio 0.25]
+//
+// Measurement mode solves every (point, variant, workers) cell -iters times
+// through the public selfishmining API (bound-only, the sweep workload) and
+// records the fastest run — fixed iteration counts, unlike `go test
+// -benchtime=1x`, so the artifact is comparable across commits. The cell
+// matrix always includes "default" (the pipeline exactly as a plain caller
+// gets it, i.e. the previous PR's behavior) alongside every named kernel
+// variant forced onto the compiled backend, so the artifact's summary is a
+// directly-read speedup of the best variant over the shipped default.
+//
+// Every cell's certified ERRev is cross-checked against the default cell of
+// the same point to within epsilon: a kernel variant that drifts out of the
+// certification contract fails the run, so the artifact can only record
+// speedups of *correct* solvers.
+//
+// Check mode validates an artifact (schema, required families and variants,
+// positive timings, the fork-family speedup floor) and exits non-zero on
+// violation — CI runs it against the committed baseline so a missing or
+// malformed BENCH_<n>.json fails the build. With -baseline it additionally
+// compares matching cells of a fresh artifact against the committed one and
+// fails if any cell regressed below -min-ratio × the baseline throughput
+// (generous by default: shared CI runners are noisy).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/selfishmining"
+)
+
+// prNumber stamps the artifact; bump when a new PR re-baselines the
+// trajectory (the artifact file name follows it: BENCH_<pr>.json).
+const prNumber = 6
+
+// benchPoint is one standard test point of the matrix: the family's default
+// shape at the service-layer test chain parameters (p=0.3, γ=0.5) used since
+// the PR-2 service tests.
+type benchPoint struct {
+	Family string  `json:"family"`
+	Depth  int     `json:"d"`
+	Forks  int     `json:"f"`
+	Len    int     `json:"l"`
+	P      float64 `json:"p"`
+	Gamma  float64 `json:"gamma"`
+	States int     `json:"states"`
+	Runs   []cell  `json:"runs"`
+}
+
+// cell is one measured (variant, workers) cell of a point.
+type cell struct {
+	Variant string `json:"variant"`
+	Workers int    `json:"workers"`
+	// NsOp is the fastest wall-clock of the -iters runs, in nanoseconds.
+	NsOp int64 `json:"ns_op"`
+	// ERRev is the certified lower bound the run produced (cross-checked
+	// against the point's default cell to within epsilon).
+	ERRev      float64 `json:"errev"`
+	Iterations int     `json:"iterations"`
+	Sweeps     int     `json:"sweeps"`
+}
+
+// artifact is the BENCH_<n>.json wire form.
+type artifact struct {
+	Schema  string       `json:"schema"`
+	PR      int          `json:"pr"`
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	Iters   int          `json:"iters"`
+	Epsilon float64      `json:"epsilon"`
+	Points  []benchPoint `json:"points"`
+	Summary summary      `json:"summary"`
+}
+
+type summary struct {
+	// ForkDefaultNsOp / ForkBestNsOp are the single-core fork-family
+	// default and fastest-variant timings; Speedup is their ratio — the
+	// headline number the perf trajectory tracks.
+	ForkDefaultNsOp          int64   `json:"fork_default_ns_op"`
+	ForkBestNsOp             int64   `json:"fork_best_ns_op"`
+	ForkBestVariant          string  `json:"fork_best_variant"`
+	ForkSpeedupBestVsDefault float64 `json:"fork_speedup_best_vs_default"`
+}
+
+const schemaV1 = "bench/v1"
+
+// points are the standard test points: every registered family at its
+// default shape, p=0.3, γ=0.5.
+func points() []benchPoint {
+	pts := make([]benchPoint, 0, 4)
+	for _, m := range selfishmining.Models() {
+		pts = append(pts, benchPoint{
+			Family: m.Name,
+			Depth:  m.DefaultDepth, Forks: m.DefaultForks, Len: m.DefaultMaxForkLen,
+			P: 0.3, Gamma: 0.5,
+		})
+	}
+	return pts
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		iters      = fs.Int("iters", 3, "fixed runs per matrix cell; the fastest is recorded")
+		workersCSV = fs.String("workers", "1", "comma-separated sweep worker counts (the matrix's workers axis)")
+		eps        = fs.Float64("eps", 1e-4, "per-solve analysis precision")
+		out        = fs.String("o", "", "write the artifact to this file (default stdout)")
+		check      = fs.String("check", "", "validate this artifact instead of measuring, and exit")
+		baseline   = fs.String("baseline", "", "with -check: compare matching cells against this committed artifact")
+		minSpeedup = fs.Float64("min-speedup", 5, "with -check: required fork-family speedup of the best variant over the default")
+		minRatio   = fs.Float64("min-ratio", 0.25, "with -check -baseline: fail if a cell drops below this fraction of baseline throughput")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check != "" {
+		return runCheck(*check, *baseline, *minSpeedup, *minRatio)
+	}
+	if *iters < 1 {
+		return fmt.Errorf("-iters %d: need >= 1", *iters)
+	}
+	if *eps <= 0 || math.IsNaN(*eps) {
+		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	workers, err := parseWorkers(*workersCSV)
+	if err != nil {
+		return err
+	}
+	art, err := measure(*iters, *eps, workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func parseWorkers(csv string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(csv, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-workers %q: need comma-separated integers >= 1", csv)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// variants is the matrix's kernel axis: "default" is the pipeline with no
+// options at all (whatever backend the library picks — the previous PR's
+// behavior), "jacobi" forces the compiled backend with the deterministic
+// default kernel, and the rest are the named fast variants (which imply the
+// compiled backend).
+func variants() []string {
+	return append([]string{"default"}, selfishmining.KernelVariants()...)
+}
+
+// solveCell runs one (point, variant, workers) solve and returns its result
+// and wall-clock.
+func solveCell(pt benchPoint, variant string, workers int, eps float64) (*selfishmining.Analysis, time.Duration, error) {
+	params := selfishmining.AttackParams{
+		Model:     pt.Family,
+		Adversary: pt.P, Switching: pt.Gamma,
+		Depth: pt.Depth, Forks: pt.Forks, MaxForkLen: pt.Len,
+	}
+	opts := []selfishmining.Option{
+		selfishmining.WithEpsilon(eps),
+		selfishmining.WithBoundOnly(),
+		selfishmining.WithWorkers(workers),
+	}
+	switch variant {
+	case "default":
+		// No kernel or backend options: exactly what a plain caller gets.
+	case "jacobi":
+		// The default kernel, but forced onto the compiled backend so the
+		// artifact separates "compiled vs generic" from "kernel variant".
+		opts = append(opts, selfishmining.WithCompiled(true))
+	default:
+		opts = append(opts, selfishmining.WithKernel(variant))
+	}
+	start := time.Now()
+	res, err := selfishmining.AnalyzeContext(context.Background(), params, opts...)
+	return res, time.Since(start), err
+}
+
+func measure(iters int, eps float64, workers []int) (*artifact, error) {
+	art := &artifact{
+		Schema: schemaV1,
+		PR:     prNumber,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS, GOARCH: runtime.GOARCH,
+		Iters:   iters,
+		Epsilon: eps,
+		Points:  points(),
+	}
+	for pi := range art.Points {
+		pt := &art.Points[pi]
+		pt.States = selfishmining.AttackParams{
+			Model: pt.Family, Adversary: pt.P, Switching: pt.Gamma,
+			Depth: pt.Depth, Forks: pt.Forks, MaxForkLen: pt.Len,
+		}.NumStates()
+		defaultERRev := math.NaN()
+		for _, w := range workers {
+			for _, v := range variants() {
+				c := cell{Variant: v, Workers: w, NsOp: math.MaxInt64}
+				for it := 0; it < iters; it++ {
+					res, d, err := solveCell(*pt, v, w, eps)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s workers=%d: %w", pt.Family, v, w, err)
+					}
+					if ns := d.Nanoseconds(); ns < c.NsOp {
+						c.NsOp = ns
+					}
+					c.ERRev, c.Iterations, c.Sweeps = res.ERRev, res.Iterations, res.Sweeps
+				}
+				// Certification cross-check: every variant must land within
+				// epsilon of the default pipeline's certified bound.
+				if v == "default" && w == workers[0] {
+					defaultERRev = c.ERRev
+				} else if math.Abs(c.ERRev-defaultERRev) > eps {
+					return nil, fmt.Errorf("%s %s workers=%d: ERRev %v disagrees with default %v beyond eps=%v",
+						pt.Family, v, w, c.ERRev, defaultERRev, eps)
+				}
+				fmt.Fprintf(os.Stderr, "%-11s %-9s workers=%d  %10.3fms  (%d sweeps, errev=%.6f)\n",
+					pt.Family, v, w, float64(c.NsOp)/1e6, c.Sweeps, c.ERRev)
+				pt.Runs = append(pt.Runs, c)
+			}
+		}
+	}
+	s, err := summarize(art)
+	if err != nil {
+		return nil, err
+	}
+	art.Summary = *s
+	return art, nil
+}
+
+// summarize derives the headline single-core fork-family speedup from the
+// measured cells.
+func summarize(art *artifact) (*summary, error) {
+	var s summary
+	for _, pt := range art.Points {
+		if pt.Family != selfishmining.DefaultModel {
+			continue
+		}
+		for _, c := range pt.Runs {
+			if c.Workers != 1 {
+				continue
+			}
+			if c.Variant == "default" {
+				s.ForkDefaultNsOp = c.NsOp
+			} else if s.ForkBestNsOp == 0 || c.NsOp < s.ForkBestNsOp {
+				s.ForkBestNsOp, s.ForkBestVariant = c.NsOp, c.Variant
+			}
+		}
+	}
+	if s.ForkDefaultNsOp == 0 || s.ForkBestNsOp == 0 {
+		return nil, fmt.Errorf("summary: missing single-core fork-family cells")
+	}
+	s.ForkSpeedupBestVsDefault = float64(s.ForkDefaultNsOp) / float64(s.ForkBestNsOp)
+	return &s, nil
+}
+
+// loadArtifact reads and schema-validates one artifact file.
+func loadArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if art.Schema != schemaV1 {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, art.Schema, schemaV1)
+	}
+	if len(art.Points) == 0 {
+		return nil, fmt.Errorf("%s: no points", path)
+	}
+	seen := map[string]bool{}
+	for _, pt := range art.Points {
+		seen[pt.Family] = true
+		if len(pt.Runs) == 0 {
+			return nil, fmt.Errorf("%s: point %s has no runs", path, pt.Family)
+		}
+		hasDefault := false
+		for _, c := range pt.Runs {
+			if c.NsOp <= 0 {
+				return nil, fmt.Errorf("%s: %s %s workers=%d: non-positive ns_op %d", path, pt.Family, c.Variant, c.Workers, c.NsOp)
+			}
+			if c.Variant == "default" {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return nil, fmt.Errorf("%s: point %s is missing the default cell", path, pt.Family)
+		}
+	}
+	for _, fam := range []string{"fork", "singletree", "nakamoto"} {
+		if !seen[fam] {
+			return nil, fmt.Errorf("%s: missing required family %q", path, fam)
+		}
+	}
+	return &art, nil
+}
+
+// runCheck validates an artifact and, with a baseline, guards against
+// regressions cell by cell.
+func runCheck(path, baselinePath string, minSpeedup, minRatio float64) error {
+	art, err := loadArtifact(path)
+	if err != nil {
+		return err
+	}
+	if art.Summary.ForkSpeedupBestVsDefault < minSpeedup {
+		return fmt.Errorf("%s: fork speedup %.2fx (best variant %s) below required %.2fx",
+			path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, minSpeedup)
+	}
+	fmt.Printf("%s: ok (fork speedup %.2fx via %s)\n", path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant)
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := loadArtifact(baselinePath)
+	if err != nil {
+		return err
+	}
+	type cellKey struct {
+		family, variant string
+		workers         int
+	}
+	baseCells := map[cellKey]int64{}
+	for _, pt := range base.Points {
+		for _, c := range pt.Runs {
+			baseCells[cellKey{pt.Family, c.Variant, c.Workers}] = c.NsOp
+		}
+	}
+	var regressions []string
+	compared := 0
+	for _, pt := range art.Points {
+		for _, c := range pt.Runs {
+			baseNs, ok := baseCells[cellKey{pt.Family, c.Variant, c.Workers}]
+			if !ok {
+				continue
+			}
+			compared++
+			// Throughput ratio vs baseline: 1.0 = identical, < minRatio =
+			// regression. Generous by default — CI runners are noisy and the
+			// guard must only catch collapses, not jitter.
+			if ratio := float64(baseNs) / float64(c.NsOp); ratio < minRatio {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s workers=%d: %.1fms vs baseline %.1fms (%.2fx < %.2fx)",
+						pt.Family, c.Variant, c.Workers,
+						float64(c.NsOp)/1e6, float64(baseNs)/1e6, ratio, minRatio))
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no cells of %s match the baseline %s", path, baselinePath)
+	}
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		return fmt.Errorf("%d of %d cells regressed below %.2fx of baseline:\n  %s",
+			len(regressions), compared, minRatio, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("%s: %d cells within %.2fx of baseline %s\n", path, compared, minRatio, baselinePath)
+	return nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testArtifact builds a minimal valid artifact; mutate copies to probe the
+// validator.
+func testArtifact() *artifact {
+	mkPoint := func(fam string, defNs, bestNs int64) benchPoint {
+		return benchPoint{
+			Family: fam, Depth: 1, Forks: 1, Len: 4, P: 0.3, Gamma: 0.5, States: 100,
+			Runs: []cell{
+				{Variant: "default", Workers: 1, NsOp: defNs, ERRev: 0.4},
+				{Variant: "gs", Workers: 1, NsOp: bestNs, ERRev: 0.4},
+			},
+		}
+	}
+	art := &artifact{
+		Schema: schemaV1, PR: prNumber, Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		Iters: 3, Epsilon: 1e-4,
+		Points: []benchPoint{
+			mkPoint("fork", 300e6, 20e6),
+			mkPoint("singletree", 17e6, 9e6),
+			mkPoint("nakamoto", 7e6, 8e6),
+		},
+	}
+	s, err := summarize(art)
+	if err != nil {
+		panic(err)
+	}
+	art.Summary = *s
+	return art
+}
+
+func writeArtifact(t *testing.T, art *artifact) string {
+	t.Helper()
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarize(t *testing.T) {
+	art := testArtifact()
+	s := art.Summary
+	if s.ForkDefaultNsOp != 300e6 || s.ForkBestNsOp != 20e6 || s.ForkBestVariant != "gs" {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got, want := s.ForkSpeedupBestVsDefault, 15.0; got != want {
+		t.Fatalf("speedup = %v, want %v", got, want)
+	}
+}
+
+func TestCheckValidArtifact(t *testing.T) {
+	path := writeArtifact(t, testArtifact())
+	if err := runCheck(path, "", 5, 0.25); err != nil {
+		t.Fatalf("check of a valid artifact: %v", err)
+	}
+	// Self-comparison is the identity: every cell at exactly 1.0x.
+	if err := runCheck(path, path, 5, 0.25); err != nil {
+		t.Fatalf("self-baseline check: %v", err)
+	}
+}
+
+func TestCheckRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*artifact)
+		want   string
+	}{
+		{"wrong schema", func(a *artifact) { a.Schema = "bench/v0" }, "schema"},
+		{"no points", func(a *artifact) { a.Points = nil }, "no points"},
+		{"missing family", func(a *artifact) { a.Points = a.Points[:2] }, `missing required family "nakamoto"`},
+		{"zero timing", func(a *artifact) { a.Points[0].Runs[1].NsOp = 0 }, "non-positive ns_op"},
+		{"missing default cell", func(a *artifact) { a.Points[1].Runs = a.Points[1].Runs[1:] }, "missing the default cell"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			art := testArtifact()
+			tc.mutate(art)
+			err := runCheck(writeArtifact(t, art), "", 5, 0.25)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckMissingFileFails(t *testing.T) {
+	if err := runCheck(filepath.Join(t.TempDir(), "absent.json"), "", 5, 0.25); err == nil {
+		t.Fatal("check of a missing artifact succeeded")
+	}
+}
+
+func TestCheckSpeedupFloor(t *testing.T) {
+	art := testArtifact()
+	path := writeArtifact(t, art)
+	if err := runCheck(path, "", 100, 0.25); err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("err = %v, want speedup-floor violation", err)
+	}
+}
+
+func TestCheckRegressionGuard(t *testing.T) {
+	base := testArtifact()
+	basePath := writeArtifact(t, base)
+
+	slow := testArtifact()
+	slow.Points[0].Runs[1].NsOp *= 10 // 0.1x of baseline throughput
+	slowPath := writeArtifact(t, slow)
+
+	if err := runCheck(slowPath, basePath, 1, 0.25); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want a regression failure", err)
+	}
+	// The same drop passes under a forgiving enough ratio.
+	if err := runCheck(slowPath, basePath, 1, 0.05); err != nil {
+		t.Fatalf("generous ratio still failed: %v", err)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	ws, err := parseWorkers("1, 2,8")
+	if err != nil || len(ws) != 3 || ws[0] != 1 || ws[1] != 2 || ws[2] != 8 {
+		t.Fatalf("parseWorkers = %v, %v", ws, err)
+	}
+	for _, bad := range []string{"", "0", "1,x", "-2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Fatalf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCommittedArtifactValid pins the committed repo-root BENCH_6.json to
+// the checker's contract: schema, families, cells, and the acceptance
+// speedup floor.
+func TestCommittedArtifactValid(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_6.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed artifact missing: %v", err)
+	}
+	if err := runCheck(path, "", 5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,17 +11,24 @@ import (
 	"repro/selfishmining/jobs"
 )
 
-// jobError maps the job manager's error taxonomy onto HTTP statuses.
+// jobError maps the job manager's error taxonomy onto HTTP statuses plus
+// machine-readable codes, so clients can branch without parsing prose.
+// The load-bearing one is "already_finished": DELETE on a job that
+// already reached done/failed is benign for a client that merely wants
+// the job to not be running, and the code lets it treat the 409 as
+// success instead of string-matching the error text.
 func jobError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):
-		httpError(w, err, http.StatusNotFound)
+		httpErrorCode(w, err, http.StatusNotFound, "not_found")
 	case errors.Is(err, jobs.ErrQueueFull):
-		httpError(w, err, http.StatusTooManyRequests)
+		httpErrorCode(w, err, http.StatusTooManyRequests, "queue_full")
 	case errors.Is(err, jobs.ErrClosed):
-		httpError(w, err, http.StatusServiceUnavailable)
-	case errors.Is(err, jobs.ErrNotResumable), errors.Is(err, jobs.ErrFinished):
-		httpError(w, err, http.StatusConflict)
+		httpErrorCode(w, err, http.StatusServiceUnavailable, "shutting_down")
+	case errors.Is(err, jobs.ErrNotResumable):
+		httpErrorCode(w, err, http.StatusConflict, "not_resumable")
+	case errors.Is(err, jobs.ErrFinished):
+		httpErrorCode(w, err, http.StatusConflict, "already_finished")
 	default:
 		// Everything else the manager rejects at Submit is a spec problem.
 		httpError(w, err, http.StatusBadRequest)

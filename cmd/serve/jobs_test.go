@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -282,23 +283,39 @@ func TestJobEventsSSEWithReconnect(t *testing.T) {
 }
 
 func TestJobCancelResumeEndpoints(t *testing.T) {
-	// One job worker and a deliberately fine epsilon so the job is
-	// cancelable mid-search from the outside.
-	ts, _ := testServer(t, "-jobs-workers", "1")
+	// A blocking progress gate pins the job mid-search: after its first
+	// binary-search step the solving goroutine blocks (the job stays
+	// "running", with at least one checkpoint persisted) until the DELETE
+	// below has landed. That makes cancel-while-running deterministic —
+	// the job provably outlives the cancel — where waiting for the
+	// "running" state and racing the solve's wall clock used to flake
+	// with "409 job already finished" whenever the solve won.
+	var gateOnce sync.Once
+	running := make(chan struct{})
+	release := make(chan struct{})
+	gates := &jobs.Gates{Progress: func(id string, iter int) {
+		gateOnce.Do(func() { close(running) })
+		<-release // held open until the cancel landed; closed afterwards
+	}}
+	ts, _ := testServerGates(t, gates, "-jobs-workers", "1")
 	_, data := postJSON(t, ts.URL+"/v1/jobs",
 		`{"kind":"analyze","analyze":{"p":0.35,"gamma":0.5,"d":2,"f":2,"l":4,"epsilon":1e-9}}`)
 	var st jobs.Status
 	if err := json.Unmarshal(data, &st); err != nil {
 		t.Fatal(err)
 	}
-	waitJobState(t, ts.URL, st.ID, jobs.StateRunning)
+	<-running // the job is mid-search and blocked on the gate
 	resp, data := httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel: %d %s", resp.StatusCode, data)
 	}
+	close(release) // let the solve observe its canceled context
 	canceled := waitJobState(t, ts.URL, st.ID, jobs.StateCanceled)
 	if canceled.ErrorCode != "canceled" {
 		t.Errorf("canceled job code %q", canceled.ErrorCode)
+	}
+	if !canceled.HasCheckpoint {
+		t.Error("canceled mid-search job has no checkpoint")
 	}
 	resp, data = httpDo(t, http.MethodPost, ts.URL+"/v1/jobs/"+st.ID+"/resume", "")
 	if resp.StatusCode != http.StatusOK {
@@ -308,12 +325,29 @@ func TestJobCancelResumeEndpoints(t *testing.T) {
 	if done.Resumes != 1 {
 		t.Errorf("Resumes = %d", done.Resumes)
 	}
-	// Cancel after done is a conflict; resume after done too.
-	if resp, _ := httpDo(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, ""); resp.StatusCode != http.StatusConflict {
-		t.Errorf("cancel done job: %d, want 409", resp.StatusCode)
+	// Cancel after done is a benign conflict with the documented
+	// "already_finished" code; resume after done is "not_resumable".
+	assertJobConflict(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, "already_finished")
+	assertJobConflict(t, http.MethodPost, ts.URL+"/v1/jobs/"+st.ID+"/resume", "not_resumable")
+}
+
+// assertJobConflict expects a 409 carrying the given machine-readable
+// error code.
+func assertJobConflict(t *testing.T, method, url, wantCode string) {
+	t.Helper()
+	resp, data := httpDo(t, method, url, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("%s %s: status %d, want 409", method, url, resp.StatusCode)
 	}
-	if resp, _ := httpDo(t, http.MethodPost, ts.URL+"/v1/jobs/"+st.ID+"/resume", ""); resp.StatusCode != http.StatusConflict {
-		t.Errorf("resume done job: %d, want 409", resp.StatusCode)
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("%s %s: bad error body %s: %v", method, url, data, err)
+	}
+	if body.Code != wantCode {
+		t.Errorf("%s %s: code %q, want %q (error %q)", method, url, body.Code, wantCode, body.Error)
 	}
 }
 

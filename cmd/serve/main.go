@@ -309,6 +309,10 @@ type analyzeRequest struct {
 	// BoundOnly certifies the revenue bracket without extracting a
 	// strategy — the cheapest mode, and the one warm starts accelerate.
 	BoundOnly bool `json:"bound_only,omitempty"`
+	// Kernel selects the value-iteration kernel variant ("" = the default
+	// deterministic Jacobi kernel); GET /v1/models lists the valid names.
+	// All variants certify the same result.
+	Kernel string `json:"kernel,omitempty"`
 	// IncludeStrategy inlines the full strategy (one action index per MDP
 	// state) in the response; off by default since it is O(states).
 	IncludeStrategy bool `json:"include_strategy,omitempty"`
@@ -337,6 +341,9 @@ func (r *analyzeRequest) options() []selfishmining.Option {
 	}
 	if r.BoundOnly {
 		opts = append(opts, selfishmining.WithBoundOnly())
+	}
+	if r.Kernel != "" {
+		opts = append(opts, selfishmining.WithKernel(r.Kernel))
 	}
 	return opts
 }
@@ -426,6 +433,10 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err, http.StatusBadRequest)
 		return
 	}
+	if err := selfishmining.ValidateKernel(req.Kernel); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
 	start := time.Now()
@@ -477,10 +488,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if ar.Epsilon != req.Requests[0].Epsilon || ar.SkipEval != req.Requests[0].SkipEval ||
-			ar.BoundOnly != req.Requests[0].BoundOnly || ar.TimeoutMs != req.Requests[0].TimeoutMs {
-			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only, timeout_ms)", i), http.StatusBadRequest)
+			ar.BoundOnly != req.Requests[0].BoundOnly || ar.TimeoutMs != req.Requests[0].TimeoutMs ||
+			ar.Kernel != req.Requests[0].Kernel {
+			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only, kernel, timeout_ms)", i), http.StatusBadRequest)
 			return
 		}
+	}
+	if err := selfishmining.ValidateKernel(req.Requests[0].Kernel); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
 	}
 	if req.Requests[0].TimeoutMs < 0 {
 		httpError(w, fmt.Errorf("timeout_ms %d: need >= 0", req.Requests[0].TimeoutMs), http.StatusBadRequest)
@@ -521,6 +537,9 @@ type sweepRequest struct {
 	Len       int     `json:"l,omitempty"`
 	TreeWidth int     `json:"tree_width,omitempty"`
 	Epsilon   float64 `json:"epsilon,omitempty"`
+	// Kernel selects the value-iteration kernel variant every grid point is
+	// solved with ("" = the default deterministic Jacobi kernel).
+	Kernel string `json:"kernel,omitempty"`
 	// TimeoutMs bounds the whole panel server-side, in milliseconds (see
 	// analyzeRequest.TimeoutMs).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -550,6 +569,9 @@ func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions
 	// (post-validation sweep failures are classified as solver errors).
 	if req.Gamma < 0 || req.Gamma > 1 || math.IsNaN(req.Gamma) {
 		return opts, fmt.Errorf("gamma %v outside [0, 1]", req.Gamma)
+	}
+	if err := selfishmining.ValidateKernel(req.Kernel); err != nil {
+		return opts, err
 	}
 	pmax := req.PMax
 	if pmax == 0 {
@@ -582,6 +604,7 @@ func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions
 		MaxForkLen: req.Len,
 		TreeWidth:  req.TreeWidth,
 		Epsilon:    req.Epsilon,
+		Kernel:     req.Kernel,
 	}
 	maxLen := req.Len
 	if maxLen <= 0 {
@@ -756,11 +779,13 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleModels is the family discovery endpoint: every registered
-// attack-model family with its parameter semantics and default shape.
+// attack-model family with its parameter semantics and default shape, plus
+// the kernel variant names the solve endpoints accept.
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"default": selfishmining.DefaultModel,
 		"models":  selfishmining.Models(),
+		"kernels": selfishmining.KernelVariants(),
 	})
 }
 
@@ -847,9 +872,19 @@ func solveError(w http.ResponseWriter, err error) {
 }
 
 func httpError(w http.ResponseWriter, err error, code int) {
+	httpErrorCode(w, err, code, "")
+}
+
+// httpErrorCode writes an error body with an optional machine-readable
+// "code" field (the job endpoints' error taxonomy; empty omits it).
+func httpErrorCode(w http.ResponseWriter, err error, status int, code string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+	w.WriteHeader(status)
+	body := map[string]string{"error": err.Error()}
+	if code != "" {
+		body["code"] = code
+	}
+	if encErr := json.NewEncoder(w).Encode(body); encErr != nil {
 		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", encErr)
 	}
 }

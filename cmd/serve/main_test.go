@@ -16,9 +16,18 @@ import (
 	"time"
 
 	"repro/selfishmining"
+	"repro/selfishmining/jobs"
 )
 
 func testServer(t *testing.T, flags ...string) (*httptest.Server, *selfishmining.Service) {
+	t.Helper()
+	return testServerGates(t, nil, flags...)
+}
+
+// testServerGates is testServer with deterministic job-lifecycle gates
+// (jobs.Config.Gates) installed on the manager, for tests that must pin a
+// job at an exact execution point.
+func testServerGates(t *testing.T, gates *jobs.Gates, flags ...string) (*httptest.Server, *selfishmining.Service) {
 	t.Helper()
 	cfg, err := parseFlags(flags)
 	if err != nil {
@@ -31,9 +40,14 @@ func testServer(t *testing.T, flags ...string) (*httptest.Server, *selfishmining
 		Workers:            cfg.workers,
 		MaxConcurrent:      cfg.maxConcurrent,
 	})
-	mgr, err := newManager(svc, cfg)
+	mgr, err := jobs.New(svc, jobs.Config{
+		Workers:    cfg.jobsWorkers,
+		QueueLimit: cfg.jobsQueue,
+		TTL:        cfg.jobsTTL,
+		Gates:      gates,
+	})
 	if err != nil {
-		t.Fatalf("newManager: %v", err)
+		t.Fatalf("jobs.New: %v", err)
 	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

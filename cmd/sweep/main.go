@@ -74,6 +74,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		l        = fs.Int("l", 0, "maximal fork length (default 4 for the fork model, the family default otherwise)")
 		width    = fs.Int("width", 5, "single-tree baseline width (fork model only)")
 		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
+		kern     = fs.String("kernel", "", fmt.Sprintf("value-iteration kernel variant: %s (default jacobi; the figure is identical either way)", strings.Join(selfishmining.KernelVariants(), ", ")))
 		workers  = fs.Int("workers", 0, "worker pool size over grid points (0 = all cores); results are identical at any setting")
 		timeout  = fs.Duration("timeout", 0, "abort the sweep after this long (0 = none); completed points were already streamed to stderr")
 		out      = fs.String("o", "", "write CSV to this file (default stdout)")
@@ -99,6 +100,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *eps <= 0 || math.IsNaN(*eps) {
 		return fmt.Errorf("-eps %v: need a positive precision", *eps)
+	}
+	if err := selfishmining.ValidateKernel(*kern); err != nil {
+		return err
 	}
 	lSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -151,6 +155,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			PGrid:   results.Grid(*pmin, *pmax, *pstep),
 			Len:     maxLen,
 			Epsilon: *eps,
+			Kernel:  *kern,
 		}
 		if *width != 5 {
 			spec.TreeWidth = *width
@@ -174,6 +179,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxForkLen: maxLen,
 		TreeWidth:  *width,
 		Epsilon:    *eps,
+		Kernel:     *kern,
 		Workers:    *workers,
 		Progress:   progress,
 	})

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/solve"
 )
 
@@ -78,6 +79,17 @@ type Options struct {
 	// checkpoint is used as emitted, against the same model, chain
 	// parameters and options. Resume takes precedence over InitialValues.
 	Resume *Checkpoint
+	// Kernel selects the value-iteration sweep variant of the inner solves
+	// (see kernel.Variant). The zero value is the bitwise-deterministic
+	// Jacobi default every golden test pins; the other variants accelerate
+	// the solves while certifying the same final bracket: every
+	// binary-search decision remains an exact sign certification, so
+	// ERRev, BetaLow, BetaUp and Iterations match the default — only sweep
+	// counts (and, in full mode, low-order strategy noise) differ.
+	// VariantExplore32 additionally runs a float32 exploration solve per
+	// step to warm-start the exact float64 decision solve; it requires the
+	// compiled backend, as does VariantSpec.
+	Kernel kernel.Variant
 }
 
 // Checkpoint is a resumable snapshot of Algorithm 1 at a binary-search
@@ -205,6 +217,7 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 			SignOnly:      true,
 			InitialValues: warm,
 			Workers:       opts.Workers,
+			Variant:       opts.Kernel,
 		})
 		if sr != nil {
 			res.Sweeps += sr.Iters
@@ -253,6 +266,7 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 		MaxIter:       opts.SolverMaxIter,
 		InitialValues: warm,
 		Workers:       opts.Workers,
+		Variant:       opts.Kernel,
 	})
 	if sr != nil {
 		res.Sweeps += sr.Iters

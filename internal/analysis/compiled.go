@@ -57,6 +57,22 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 		zeta = opts.Epsilon * 1e-3
 	}
 
+	// Kernel-variant resolution. Explore32 is a hybrid: each step runs a
+	// float32 exploration solve whose promoted vector warm-starts an exact
+	// float64 solve (with GS bursts) that makes the actual decision — so
+	// every decision stays an exact sign certification, identical to the
+	// default kernel's, while the heavy early sweeps run at half the
+	// memory traffic. Once an exploration fails to resolve a sign (β close
+	// enough to β* that the gain is below float32 resolution) exploration
+	// is switched off for the remaining, necessarily-harder steps.
+	inner := opts.Kernel
+	f32Live := false
+	if inner == kernel.VariantExplore32 {
+		inner = kernel.VariantGS
+		f32Live = true
+	}
+	warm32 := false
+
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
 	warm := false
 	if opts.InitialValues != nil {
@@ -88,11 +104,32 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 			return res, fmt.Errorf("analysis: canceled after %d binary-search steps: %w", res.Iterations, err)
 		}
 		beta := (res.BetaLow + res.BetaUp) / 2
+		if f32Live {
+			er, err := c.ExploreMeanPayoff32(ctx, beta, kernel.Options{
+				Tol:        zeta,
+				MaxIter:    opts.SolverMaxIter,
+				SignOnly:   true,
+				KeepValues: warm32,
+			})
+			if er != nil {
+				res.Sweeps += er.Iters
+			}
+			if err != nil {
+				return res, fmt.Errorf("analysis: float32 exploration at beta=%v: %w", beta, err)
+			}
+			// Promote unconditionally: even a sign-unresolved exploration
+			// leaves the vector far closer to the bias than the previous
+			// step's float64 values.
+			c.PromoteValues32()
+			warm, warm32 = true, true
+			f32Live = er.SignKnown()
+		}
 		sr, err := c.MeanPayoffCtx(ctx, beta, kernel.Options{
 			Tol:        zeta,
 			MaxIter:    opts.SolverMaxIter,
 			SignOnly:   true,
 			KeepValues: warm,
+			Variant:    inner,
 		})
 		if sr != nil {
 			res.Sweeps += sr.Iters
@@ -135,6 +172,7 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 		Tol:        zeta,
 		MaxIter:    opts.SolverMaxIter,
 		KeepValues: warm,
+		Variant:    inner,
 	})
 	if sr != nil {
 		res.Sweeps += sr.Iters

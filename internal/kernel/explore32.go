@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+)
+
+// float32 exploration kernel. One transition costs 8 bytes of stream here
+// (dst + probs + wr32) against 16 in the float64 kernels, so an exploration
+// sweep moves half the memory — the win that matters on memory-bound
+// models. The catch is that float32 cannot certify anything: its brackets
+// carry ~1e-7-relative noise, so the analysis layer (see
+// analysis.AnalyzeCompiledContext) only uses this solver to produce a warm
+// value vector and always re-derives the actual decision from an exact
+// float64 solve seeded with PromoteValues32.
+
+// explore32StallSweeps is the exploration give-up bound: once the per-sweep
+// bracket width has not improved for this many consecutive certification
+// sweeps, the vector is as converged as float32 resolution allows and
+// further sweeps are wasted.
+const explore32StallSweeps = 48
+
+// ensureWeights32 mirrors ensureWeights for the float32 stream.
+func (c *Compiled) ensureWeights32(beta float64) {
+	if c.wr32Valid && c.wr32Beta == beta && len(c.wr32) == len(c.probs) {
+		return
+	}
+	if len(c.wr32) != len(c.probs) {
+		c.wr32 = make([]float32, len(c.probs))
+	}
+	var rwd [rwdTableSize]float64
+	rewardTable(&rwd, beta)
+	for k, mv := range c.meta {
+		c.wr32[k] = c.probs[k] * float32(rwd[(mv>>metaRwdShift)&metaRwdMask])
+	}
+	c.wr32Beta, c.wr32Valid = beta, true
+}
+
+func (c *Compiled) ensureBuffers32() {
+	if n := c.NumStates(); len(c.h32) != n {
+		c.h32 = make([]float32, n)
+		c.next32 = make([]float32, n)
+	}
+}
+
+// spec32Sweep is the float32 twin of specSweep. The returned extrema are
+// this sweep's span only — float32 noise makes cross-sweep intersection
+// unsound (it could invert the bracket), so the caller keeps per-sweep
+// brackets instead.
+func (c *Compiled) spec32Sweep(hv, nx []float32, tau float32, w int, red *par.MinMax) (lo, hi float64) {
+	par.For(c.NumStates(), w, func(chunk, from, to int) {
+		clo, chi := math.Inf(1), math.Inf(-1)
+		for s := from; s < to; s++ {
+			aEnd := c.stateAct[s+1]
+			best := float32(math.Inf(-1))
+			for a := c.stateAct[s]; a < aEnd; a++ {
+				kEnd := c.actStart[a+1]
+				var q float32
+				for k := c.actStart[a]; k < kEnd; k++ {
+					q += c.wr32[k] + c.probs[k]*hv[c.dst[k]]
+				}
+				if q > best {
+					best = q
+				}
+			}
+			d := best - hv[s]
+			fd := float64(d)
+			if fd < clo {
+				clo = fd
+			}
+			if fd > chi {
+				chi = fd
+			}
+			nx[s] = hv[s] + tau*d
+		}
+		red.Set(chunk, clo, chi)
+	})
+	return red.Reduce()
+}
+
+// gs32Round is the float32 twin of gsRound (plain Gauss-Seidel, ω = 1).
+// gEst must be subtracted per in-place update for the same reason as in
+// gsRound: without it mean-payoff relaxation tilts instead of converging.
+func (c *Compiled) gs32Round(h []float32, tau, gEst float32, reps int, reverse bool) {
+	relax := func(s int) {
+		aEnd := c.stateAct[s+1]
+		best := float32(math.Inf(-1))
+		for a := c.stateAct[s]; a < aEnd; a++ {
+			kEnd := c.actStart[a+1]
+			var q float32
+			for k := c.actStart[a]; k < kEnd; k++ {
+				q += c.wr32[k] + c.probs[k]*h[c.dst[k]]
+			}
+			if q > best {
+				best = q
+			}
+		}
+		h[s] += tau * (best - h[s] - gEst)
+	}
+	nt := len(c.tiles) - 1
+	for t := 0; t < nt; t++ {
+		ti := t
+		if reverse {
+			ti = nt - 1 - t
+		}
+		from, to := int(c.tiles[ti]), int(c.tiles[ti+1])
+		for r := 0; r < reps; r++ {
+			if reverse {
+				for s := to - 1; s >= from; s-- {
+					relax(s)
+				}
+			} else {
+				for s := from; s < to; s++ {
+					relax(s)
+				}
+			}
+		}
+	}
+	ref := h[0]
+	for i := range h {
+		h[i] -= ref
+	}
+}
+
+// ExploreMeanPayoff32 runs the float32 exploration solve for reward r_β.
+// With KeepValues it resumes from the previous exploration vector (the
+// float32 buffers, not the float64 ones). It stops when this sweep's span
+// excludes zero, drops below Tol, the width stalls at float32 resolution,
+// or MaxIter runs out — and, unlike the exact solvers, reports all of those
+// as success with Converged reflecting whether the last bracket met the
+// target: exploration cannot fail, it just warms the vector less. The only
+// error is context cancellation.
+//
+// The result's Lo/Hi are the LAST sweep's span, a heuristic indicator only;
+// nothing downstream may treat them as certified. Call PromoteValues32 to
+// copy the explored vector into the float64 warm-start slot.
+func (c *Compiled) ExploreMeanPayoff32(ctx context.Context, beta float64, opts Options) (*Result, error) {
+	opts.defaults()
+	c.ensureWeights32(beta)
+	c.ensureBuffers32()
+	if !opts.KeepValues {
+		for i := range c.h32 {
+			c.h32[i] = 0
+		}
+	}
+	tau := float32(opts.Damping)
+	res := &Result{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	h, next := c.h32, c.next32
+	w := c.sweepWorkers()
+	red := par.NewMinMax(par.NumChunks(c.NumStates(), w))
+	bestWidth, stale := math.Inf(1), 0
+	reverse := false
+	for res.Iters < opts.MaxIter {
+		if err := ctx.Err(); err != nil {
+			c.h32, c.next32 = h, next
+			res.Gain = (res.Lo + res.Hi) / 2
+			return res, fmt.Errorf("kernel: float32 exploration canceled after %d sweeps: %w", res.Iters, err)
+		}
+		lo, hi := c.spec32Sweep(h, next, tau, w, red)
+		ref := next[0]
+		for i := range next {
+			next[i] -= ref
+		}
+		h, next = next, h
+		res.Iters++
+		res.Lo, res.Hi = lo, hi
+		width := hi - lo
+		if (opts.SignOnly && res.SignKnown()) || width < opts.Tol {
+			res.Converged = true
+			break
+		}
+		if width < bestWidth {
+			bestWidth, stale = width, 0
+		} else {
+			stale++
+			if stale >= explore32StallSweeps {
+				break // pinned at float32 resolution
+			}
+		}
+		if res.Iters+gsBurstSweeps <= opts.MaxIter {
+			c.gs32Round(h, tau, float32((res.Lo+res.Hi)/2), gsBurstSweeps, reverse)
+			reverse = !reverse
+			res.Iters += gsBurstSweeps
+		}
+	}
+	c.h32, c.next32 = h, next
+	res.Gain = (res.Lo + res.Hi) / 2
+	return res, nil
+}
+
+// PromoteValues32 copies the float32 exploration vector into the float64
+// value slot, so the next exact solve with KeepValues warm-starts from the
+// explored values. It is a no-op if no exploration has run.
+func (c *Compiled) PromoteValues32() {
+	if len(c.h32) != len(c.h) {
+		return
+	}
+	for i, v := range c.h32 {
+		c.h[i] = float64(v)
+	}
+}

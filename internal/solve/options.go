@@ -28,7 +28,11 @@
 // determinism tests in package selfishmining pin down end to end.
 package solve
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/kernel"
+)
 
 // ErrNoConvergence is returned when an iterative solver exhausts its
 // iteration budget before reaching the requested precision.
@@ -64,6 +68,16 @@ type Options struct {
 	// results — chunked sweeps are bitwise identical to serial ones — only
 	// wall-clock time.
 	Workers int
+	// Variant selects the sweep kernel, mirroring kernel.Options.Variant.
+	// The zero value is the bitwise-deterministic Jacobi default. The
+	// generic backend supports VariantGS and VariantSOR (serial in-place
+	// relaxation passes interleaved with the parallel certification
+	// sweeps); VariantSpec and VariantExplore32 exist only on the compiled
+	// backend and are rejected here.
+	Variant kernel.Variant
+	// Omega is the SOR over-relaxation factor in (0, 2); 0 picks the
+	// default. Ignored outside VariantSOR.
+	Omega float64
 }
 
 func (o *Options) defaults() {

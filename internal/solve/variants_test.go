@@ -1,0 +1,95 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestVariantsAgreeOnRandomUnichains: the generic GS/SOR relaxation paths
+// must converge to the same gain bracket as the default Jacobi iteration —
+// the in-place bursts may reshape the value vector arbitrarily, but the
+// certified bracket comes from Jacobi sweeps that bound the gain for any
+// vector.
+func TestVariantsAgreeOnRandomUnichains(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		m := randomUnichain(r, 2+r.Intn(30), 3)
+		ref, err := MeanPayoff(m, Options{Tol: 1e-9})
+		if err != nil {
+			t.Fatalf("trial %d: jacobi: %v", trial, err)
+		}
+		for _, v := range []kernel.Variant{kernel.VariantGS, kernel.VariantSOR} {
+			res, err := MeanPayoff(m, Options{Tol: 1e-9, Variant: v})
+			if err != nil {
+				t.Fatalf("trial %d: %v: %v", trial, v, err)
+			}
+			if math.Abs(res.Gain-ref.Gain) > 1e-8 {
+				t.Errorf("trial %d: %v gain %v, jacobi %v", trial, v, res.Gain, ref.Gain)
+			}
+			if res.Lo > res.Hi {
+				t.Errorf("trial %d: %v inverted bracket [%v, %v]", trial, v, res.Lo, res.Hi)
+			}
+		}
+	}
+}
+
+// TestVariantSORHonorsOmega: an explicit in-range Omega is accepted, and the
+// solve still certifies the Jacobi gain.
+func TestVariantSORHonorsOmega(t *testing.T) {
+	m := stayOrCycle()
+	res, err := MeanPayoff(m, Options{Tol: 1e-9, Variant: kernel.VariantSOR, Omega: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Gain-1) > 1e-8 {
+		t.Errorf("gain = %v, want 1", res.Gain)
+	}
+}
+
+// TestCompiledOnlyVariantsRejected: the generic backend has no specialized
+// or float32 kernels; asking for them must be an explicit error, not a
+// silent fallback.
+func TestCompiledOnlyVariantsRejected(t *testing.T) {
+	for _, v := range []kernel.Variant{kernel.VariantSpec, kernel.VariantExplore32} {
+		_, err := MeanPayoff(chooseLoop(), Options{Tol: 1e-9, Variant: v})
+		if err == nil || !strings.Contains(err.Error(), "requires the compiled backend") {
+			t.Errorf("%v: err = %v, want compiled-backend rejection", v, err)
+		}
+	}
+}
+
+// TestVariantSignOnlyDecisionsMatch: sign-only solves drive binary-search
+// decisions, so GS must certify the same sign as Jacobi from any start.
+func TestVariantSignOnlyDecisionsMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := randomUnichain(r, 2+r.Intn(20), 3)
+		ref, err := MeanPayoff(m, Options{Tol: 1e-6, SignOnly: true})
+		if err != nil {
+			t.Fatalf("trial %d: jacobi: %v", trial, err)
+		}
+		res, err := MeanPayoff(m, Options{Tol: 1e-6, SignOnly: true, Variant: kernel.VariantGS})
+		if err != nil {
+			t.Fatalf("trial %d: gs: %v", trial, err)
+		}
+		refSign, gsSign := sign(ref), sign(res)
+		if refSign != 0 && gsSign != 0 && refSign != gsSign {
+			t.Errorf("trial %d: gs sign %d, jacobi sign %d (brackets [%v,%v] vs [%v,%v])",
+				trial, gsSign, refSign, res.Lo, res.Hi, ref.Lo, ref.Hi)
+		}
+	}
+}
+
+func sign(r *Result) int {
+	switch {
+	case r.Lo > 0:
+		return 1
+	case r.Hi < 0:
+		return -1
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mdp"
 	"repro/internal/par"
 )
@@ -100,6 +101,25 @@ func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result,
 	if n == 0 {
 		return nil, fmt.Errorf("solve: model has no states")
 	}
+	// Variant resolution. GS/SOR interleave a serial in-place relaxation
+	// pass between the (parallel, deterministic) certification sweeps; the
+	// compiled-only variants have no generic implementation.
+	burst := 0
+	omega := 1.0
+	switch opts.Variant {
+	case kernel.VariantJacobi:
+	case kernel.VariantGS:
+		burst = 1
+	case kernel.VariantSOR:
+		burst = 1
+		if opts.Omega > 0 && opts.Omega < 2 {
+			omega = opts.Omega
+		} else {
+			omega = kernel.DefaultSOROmega
+		}
+	default:
+		return nil, fmt.Errorf("solve: kernel variant %q requires the compiled backend", opts.Variant)
+	}
 	h := make([]float64, n)
 	if opts.InitialValues != nil {
 		if len(opts.InitialValues) != n {
@@ -120,8 +140,50 @@ func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result,
 	// Only an explicit parallelism request counts as a fallback worth
 	// reporting; the Workers=0 default may legitimately resolve to serial.
 	res.SerialFallback = fellBack && opts.Workers > 1
+
+	// gsPass runs one serial in-place relaxation pass over the full state
+	// range (alternating direction) on views[0]. Subtracting the current
+	// gain estimate per update is what lets in-place relaxation converge
+	// for mean-payoff iteration at all — see kernel.Compiled's gsRound for
+	// the full argument; this is its generic-backend twin.
+	gsPass := func(h []float64, gEst float64, reverse bool) {
+		mm := views[0]
+		buf := bufs[0]
+		step := tau * omega
+		relax := func(s int) {
+			best := math.Inf(-1)
+			na := mm.NumActions(s)
+			for a := 0; a < na; a++ {
+				buf = mm.Transitions(s, a, buf[:0])
+				var q float64
+				for _, tr := range buf {
+					q += tr.Prob * (tr.Reward + h[tr.Dst])
+				}
+				if q > best {
+					best = q
+				}
+			}
+			h[s] += step * (best - h[s] - gEst)
+		}
+		if reverse {
+			for s := n - 1; s >= 0; s-- {
+				relax(s)
+			}
+		} else {
+			for s := 0; s < n; s++ {
+				relax(s)
+			}
+		}
+		bufs[0] = buf
+		ofs := h[ref]
+		for i := range h {
+			h[i] -= ofs
+		}
+	}
+
 	lastWidth, stall := math.Inf(1), 0
-	for iter := 1; iter <= opts.MaxIter; iter++ {
+	reverse := false
+	for res.Iters < opts.MaxIter {
 		if err := ctx.Err(); err != nil {
 			res.Gain = (res.Lo + res.Hi) / 2
 			res.Values = h
@@ -161,7 +223,7 @@ func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result,
 		// Normalize relative to the reference state to keep values bounded.
 		par.Shift(next, next[ref], chunks)
 		h, next = next, h
-		res.Iters = iter
+		res.Iters++
 		// Bracket tightening: brackets from successive iterations all
 		// contain g*, so intersect them.
 		if lo > res.Lo {
@@ -194,6 +256,11 @@ func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result,
 		lastWidth = width
 		if res.Converged {
 			break
+		}
+		if burst > 0 && res.Iters+burst <= opts.MaxIter {
+			gsPass(h, (res.Lo+res.Hi)/2, reverse)
+			reverse = !reverse
+			res.Iters += burst
 		}
 	}
 	res.Gain = (res.Lo + res.Hi) / 2

@@ -109,6 +109,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/families"
+	"repro/internal/kernel"
 	"repro/internal/simulate"
 	"repro/internal/strategy"
 )
@@ -194,7 +195,8 @@ type config struct {
 	epsilon     float64
 	maxIter     int
 	workers     int
-	useCompiled *bool // nil = auto by state count
+	useCompiled *bool // nil = auto by state count and kernel variant
+	kernel      string
 	skipEval    bool
 	boundOnly   bool
 	progress    func(betaLow, betaUp float64, iteration int)
@@ -222,8 +224,32 @@ func WithSolverMaxIter(n int) Option { return func(c *config) { c.maxIter = n } 
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithCompiled forces the compiled (flattened) solver backend on or off;
-// by default models with at least 50 000 states use it.
+// by default models with at least 50 000 states — and every analysis with a
+// non-default WithKernel variant — use it.
 func WithCompiled(on bool) Option { return func(c *config) { c.useCompiled = &on } }
+
+// WithKernel selects the value-iteration sweep variant of the inner solves
+// by name: "jacobi" (the default — the bitwise-deterministic kernel all
+// golden results pin), "spec" (branch-free specialized rows), "gs"
+// (Gauss-Seidel relaxation bursts), "sor" (over-relaxed bursts), or
+// "explore32" (float32 exploration warm-starting exact float64 decisions).
+// See KernelVariants. Non-default variants certify the same ERRev bracket
+// as the default — every binary-search decision is an exact sign
+// certification — but take a different sweep trajectory, and default to
+// the compiled backend regardless of model size. "spec" and "explore32"
+// exist only there; combining them with WithCompiled(false) fails.
+func WithKernel(name string) Option { return func(c *config) { c.kernel = name } }
+
+// KernelVariants lists the kernel variant names accepted by WithKernel,
+// default first.
+func KernelVariants() []string { return kernel.VariantNames() }
+
+// ValidateKernel checks a kernel variant name as accepted by WithKernel,
+// with the valid list in the error.
+func ValidateKernel(name string) error {
+	_, err := kernel.ParseVariant(name)
+	return err
+}
 
 // WithoutStrategyEval skips the independent exact evaluation of the final
 // strategy, saving time on very large models.
@@ -324,12 +350,19 @@ func AnalyzeContext(ctx context.Context, p AttackParams, opts ...Option) (*Analy
 	if err := fam.Validate(cp); err != nil {
 		return nil, err
 	}
+	kv, err := kernel.ParseVariant(cfg.kernel)
+	if err != nil {
+		return nil, fmt.Errorf("selfishmining: %w", err)
+	}
 	if !p.isFork() && cfg.useCompiled != nil && !*cfg.useCompiled {
 		return nil, fmt.Errorf("selfishmining: model family %q has no generic (non-compiled) backend; only %q does", fam.Name(), families.DefaultName)
 	}
-	useCompiled := !p.isFork() || cp.NumStates() >= compiledThreshold
+	useCompiled := !p.isFork() || cp.NumStates() >= compiledThreshold || kv != kernel.VariantJacobi
 	if cfg.useCompiled != nil {
 		useCompiled = *cfg.useCompiled
+	}
+	if !useCompiled && (kv == kernel.VariantSpec || kv == kernel.VariantExplore32) {
+		return nil, fmt.Errorf("selfishmining: kernel variant %q requires the compiled backend (drop WithCompiled(false))", kv)
 	}
 	aOpts := analysis.Options{
 		Epsilon:          cfg.epsilon,
@@ -338,6 +371,7 @@ func AnalyzeContext(ctx context.Context, p AttackParams, opts ...Option) (*Analy
 		SkipStrategy:     cfg.boundOnly,
 		Workers:          cfg.workers,
 		Progress:         cfg.progress,
+		Kernel:           kv,
 	}
 	cfg.analysisCheckpointOpts(&aOpts)
 	var res *analysis.Result

@@ -85,6 +85,10 @@ type AnalyzeSpec struct {
 	// BoundOnly certifies the revenue bracket without extracting a
 	// strategy.
 	BoundOnly bool `json:"bound_only,omitempty"`
+	// Kernel selects the value-iteration kernel variant ("" = the default
+	// deterministic Jacobi kernel; see selfishmining.KernelVariants). All
+	// variants certify the same result.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Params maps the spec onto the public parameter type.
@@ -104,6 +108,9 @@ func (s AnalyzeSpec) validate() error {
 	if s.Epsilon < 0 || math.IsNaN(s.Epsilon) || math.IsInf(s.Epsilon, 0) {
 		return fmt.Errorf("jobs: epsilon %v: need >= 0 (0 = default)", s.Epsilon)
 	}
+	if err := selfishmining.ValidateKernel(s.Kernel); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
 	return nil
 }
 
@@ -119,6 +126,9 @@ func (s AnalyzeSpec) options() []selfishmining.Option {
 	}
 	if s.BoundOnly {
 		opts = append(opts, selfishmining.WithBoundOnly())
+	}
+	if s.Kernel != "" {
+		opts = append(opts, selfishmining.WithKernel(s.Kernel))
 	}
 	return opts
 }
@@ -148,6 +158,10 @@ type SweepSpec struct {
 	TreeWidth int `json:"tree_width,omitempty"`
 	// Epsilon is the per-point precision (0 = 1e-4).
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Kernel selects the value-iteration kernel variant every grid point is
+	// solved with ("" = the default deterministic Jacobi kernel; see
+	// selfishmining.KernelVariants). The figure is identical either way.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Normalize fills defaults (mirroring SweepOptions) and validates every
@@ -164,6 +178,9 @@ func (s *SweepSpec) Normalize() error {
 	}
 	if s.Epsilon < 0 || math.IsNaN(s.Epsilon) || math.IsInf(s.Epsilon, 0) {
 		return fmt.Errorf("jobs: epsilon %v: need >= 0 (0 = default)", s.Epsilon)
+	}
+	if err := selfishmining.ValidateKernel(s.Kernel); err != nil {
+		return fmt.Errorf("jobs: %w", err)
 	}
 	if s.PGrid == nil {
 		s.PGrid = results.Grid(0, 0.3, 0.01)
@@ -221,6 +238,7 @@ func (s SweepSpec) options() selfishmining.SweepOptions {
 		MaxForkLen: s.Len,
 		TreeWidth:  s.TreeWidth,
 		Epsilon:    s.Epsilon,
+		Kernel:     s.Kernel,
 	}
 	for _, c := range s.Configs {
 		opts.Configs = append(opts.Configs, selfishmining.AttackConfig{Depth: c.Depth, Forks: c.Forks})

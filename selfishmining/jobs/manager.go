@@ -46,6 +46,25 @@ type Config struct {
 	// (default 256). Reconnects older than the ring receive a fresh status
 	// snapshot first.
 	EventBuffer int
+	// Gates installs deterministic lifecycle hooks for tests (nil in
+	// production). See Gates.
+	Gates *Gates
+}
+
+// Gates are deterministic lifecycle hooks that let tests pin a job at an
+// exact execution point — for example, block inside Progress until a
+// Cancel has landed, making cancel-while-running tests race-free. Each
+// hook runs on the solving goroutine with no manager locks held, so a
+// hook may block indefinitely (the job stays StateRunning) and may call
+// back into the Manager. Install via Config.Gates before New; the hooks
+// must not be changed afterwards.
+type Gates struct {
+	// Run fires at the start of every job body.
+	Run func(id string)
+	// Progress fires after every analyze binary-search progress update.
+	Progress func(id string, iteration int)
+	// Point fires after every completed sweep grid point.
+	Point func(id string, pointsDone int)
 }
 
 func (c *Config) defaults() {
@@ -179,7 +198,8 @@ type Manager struct {
 	canceled, resumed, evicted            uint64
 	interruptedCount                      uint64
 
-	// Test-only gates, set before any Submit and never changed: runGate
+	// Test-only gates (installed via Config.Gates, or set directly by
+	// in-package tests), set before any Submit and never changed: runGate
 	// runs at the start of every job body, progressGate after every
 	// analyze progress update, pointGate after every sweep point. All run
 	// on the solving goroutine with no locks held, letting tests pin a
@@ -208,6 +228,9 @@ func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
 		jobs:      make(map[string]*job),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+	}
+	if g := cfg.Gates; g != nil {
+		m.runGate, m.progressGate, m.pointGate = g.Run, g.Progress, g.Point
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if err := m.recover(); err != nil {

@@ -271,7 +271,11 @@ func TestShutdownCheckpointsRunningJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store1})
+	// One worker: the ErrClosed-probe submissions below must stay queued —
+	// on a second worker a probe could be mid-solve when Close lands and
+	// be checkpoint-interrupted too, breaking the Interrupted accounting
+	// this test pins to exactly the gated job.
+	m1, err := New(selfishmining.NewService(selfishmining.ServiceConfig{}), Config{Store: store1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/families"
+	"repro/internal/kernel"
 	"repro/internal/par"
 	"repro/internal/results"
 )
@@ -81,6 +82,11 @@ type SweepOptions struct {
 	TreeWidth int
 	// Epsilon is the per-point analysis precision (default 1e-4).
 	Epsilon float64
+	// Kernel selects the value-iteration kernel variant every grid point is
+	// solved with ("" or "jacobi" for the bitwise-deterministic default; see
+	// KernelVariants). All variants certify the same ERRev values — the
+	// figure is identical — but their sweep counts and runtimes differ.
+	Kernel string
 	// Workers is the size of the worker pool the (configuration, p) grid
 	// points are distributed over; 0, the default, uses runtime.NumCPU().
 	// Each attack structure is compiled once and shared; every worker
@@ -215,6 +221,9 @@ func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results
 	opts.defaults()
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
 		return nil, fmt.Errorf("selfishmining: sweep gamma = %v outside [0, 1]", opts.Gamma)
+	}
+	if err := ValidateKernel(opts.Kernel); err != nil {
+		return nil, fmt.Errorf("selfishmining: %w", err)
 	}
 	fam, err := families.Get(opts.Model)
 	if err != nil {
@@ -442,7 +451,7 @@ func (s *Service) sweepPoint(ctx context.Context, comp *core.Compiled, cfg Attac
 		Adversary: p, Switching: opts.Gamma,
 		Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: opts.MaxForkLen,
 	}
-	pointCfg := config{epsilon: opts.Epsilon, boundOnly: true, skipEval: true}
+	pointCfg := config{epsilon: opts.Epsilon, boundOnly: true, skipEval: true, kernel: opts.Kernel}
 	key := s.key(params, &pointCfg)
 	for {
 		if a, ok := s.results.Get(key); ok {
@@ -461,7 +470,8 @@ func (s *Service) sweepPoint(ctx context.Context, comp *core.Compiled, cfg Attac
 				return nil, err
 			}
 			sk := structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen}
-			aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true}
+			kv, _ := kernel.ParseVariant(opts.Kernel) // validated by SweepContext
+			aOpts := analysis.Options{Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true, Kernel: kv}
 			if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
 				aOpts.InitialValues = seed
 			}
