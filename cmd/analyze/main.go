@@ -7,8 +7,8 @@
 // Usage:
 //
 //	analyze [-model fork] -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4]
-//	        [-workers N] [-timeout 0] [-progress]
-//	        [-simulate 200000] [-save strategy.txt]
+//	        [-kernel jacobi] [-workers N] [-timeout 0] [-progress] [-skip-eval]
+//	        [-simulate 200000] [-seed 1] [-save strategy.txt]
 //	analyze -server http://host:8080 -submit [-wait] [-priority N] ...
 //	analyze -server http://host:8080 -resume JOBID [-wait]
 //	analyze -list-models

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_6.json]
-//	bench -check BENCH_6.json [-min-speedup 5]
-//	bench -check fresh.json -baseline BENCH_6.json [-min-ratio 0.25]
+//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_7.json]
+//	bench -check BENCH_7.json [-min-speedup 5]
+//	bench -check fresh.json -baseline BENCH_7.json [-min-ratio 0.25]
 //
 // Measurement mode solves every (point, variant, workers) cell -iters times
 // through the public selfishmining API (bound-only, the sweep workload) and
@@ -23,12 +23,21 @@
 // certification contract fails the run, so the artifact can only record
 // speedups of *correct* solvers.
 //
+// The artifact also carries an adaptive-vs-uniform sweep cell: one fork
+// panel refined adaptively (tolerance 1e-3) against the equal-fidelity
+// uniform grid (the engine's exhaustive mode, which shares the bisection's
+// midpoint arithmetic so every comparison is bitwise). The cell records the
+// solved-point ratio — the tentpole claim is that the adaptive sweep needs
+// at most 1/5 of the uniform grid's points — and whether every adaptive
+// point matched its uniform counterpart bit for bit.
+//
 // Check mode validates an artifact (schema, required families and variants,
-// positive timings, the fork-family speedup floor) and exits non-zero on
-// violation — CI runs it against the committed baseline so a missing or
-// malformed BENCH_<n>.json fails the build. With -baseline it additionally
-// compares matching cells of a fresh artifact against the committed one and
-// fails if any cell regressed below -min-ratio × the baseline throughput
+// positive timings, the fork-family speedup floor, the adaptive cell's
+// point ratio and bitwise flag) and exits non-zero on violation — CI runs
+// it against the committed baseline so a missing or malformed
+// BENCH_<n>.json fails the build. With -baseline it additionally compares
+// matching cells of a fresh artifact against the committed one and fails
+// if any cell regressed below -min-ratio × the baseline throughput
 // (generous by default: shared CI runners are noisy).
 package main
 
@@ -45,12 +54,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/results"
 	"repro/selfishmining"
 )
 
 // prNumber stamps the artifact; bump when a new PR re-baselines the
 // trajectory (the artifact file name follows it: BENCH_<pr>.json).
-const prNumber = 6
+const prNumber = 7
 
 // benchPoint is one standard test point of the matrix: the family's default
 // shape at the service-layer test chain parameters (p=0.3, γ=0.5) used since
@@ -81,15 +91,45 @@ type cell struct {
 
 // artifact is the BENCH_<n>.json wire form.
 type artifact struct {
-	Schema  string       `json:"schema"`
-	PR      int          `json:"pr"`
-	Go      string       `json:"go"`
-	GOOS    string       `json:"goos"`
-	GOARCH  string       `json:"goarch"`
-	Iters   int          `json:"iters"`
-	Epsilon float64      `json:"epsilon"`
-	Points  []benchPoint `json:"points"`
-	Summary summary      `json:"summary"`
+	Schema   string          `json:"schema"`
+	PR       int             `json:"pr"`
+	Go       string          `json:"go"`
+	GOOS     string          `json:"goos"`
+	GOARCH   string          `json:"goarch"`
+	Iters    int             `json:"iters"`
+	Epsilon  float64         `json:"epsilon"`
+	Points   []benchPoint    `json:"points"`
+	Adaptive *adaptiveReport `json:"adaptive"`
+	Summary  summary         `json:"summary"`
+}
+
+// adaptiveReport is the adaptive-vs-uniform sweep cell: one small fork
+// panel solved adaptively and on the equal-fidelity uniform grid (the
+// refinement engine's exhaustive mode, same midpoint arithmetic).
+type adaptiveReport struct {
+	Family    string  `json:"family"`
+	Depth     int     `json:"d"`
+	Forks     int     `json:"f"`
+	Len       int     `json:"l"`
+	Gamma     float64 `json:"gamma"`
+	PMin      float64 `json:"pmin"`
+	PMax      float64 `json:"pmax"`
+	PStep     float64 `json:"pstep"`
+	Tolerance float64 `json:"tolerance"`
+	MaxDepth  int     `json:"max_depth"`
+	// CoarsePoints is the requested grid's size; AdaptivePoints and
+	// UniformPoints count the attack-curve points each mode solved.
+	CoarsePoints   int `json:"coarse_points"`
+	AdaptivePoints int `json:"adaptive_points"`
+	UniformPoints  int `json:"uniform_points"`
+	// PointRatio is AdaptivePoints / UniformPoints — the solved-work
+	// fraction the adaptive mode needed for the same fidelity.
+	PointRatio float64 `json:"point_ratio"`
+	// Bitwise reports that every adaptive point's value equaled the
+	// uniform run's value at the same p, bit for bit.
+	Bitwise      bool  `json:"bitwise"`
+	AdaptiveNsOp int64 `json:"adaptive_ns_op"`
+	UniformNsOp  int64 `json:"uniform_ns_op"`
 }
 
 type summary struct {
@@ -103,6 +143,11 @@ type summary struct {
 }
 
 const schemaV1 = "bench/v1"
+
+// maxAdaptiveRatio is the ceiling check mode enforces on the adaptive
+// cell's solved-point ratio: the adaptive sweep must need at most 1/5 of
+// the equal-fidelity uniform grid's points.
+const maxAdaptiveRatio = 0.2
 
 // points are the standard test points: every registered family at its
 // default shape, p=0.3, γ=0.5.
@@ -262,12 +307,76 @@ func measure(iters int, eps float64, workers []int) (*artifact, error) {
 			}
 		}
 	}
+	ad, err := measureAdaptive(eps)
+	if err != nil {
+		return nil, err
+	}
+	art.Adaptive = ad
 	s, err := summarize(art)
 	if err != nil {
 		return nil, err
 	}
 	art.Summary = *s
 	return art, nil
+}
+
+// measureAdaptive runs the adaptive-vs-uniform sweep cell: a small fork
+// panel (d=2, f=1, l=3 — cheap enough for CI, curved enough to refine)
+// adaptively at tolerance 1e-3 and exhaustively on the equal-fidelity
+// uniform grid, comparing point counts and values bit for bit.
+func measureAdaptive(eps float64) (*adaptiveReport, error) {
+	rep := &adaptiveReport{
+		Family: selfishmining.DefaultModel, Depth: 2, Forks: 1, Len: 3,
+		Gamma: 0.5, PMin: 0, PMax: 0.3, PStep: 0.01,
+		Tolerance: 1e-3, MaxDepth: selfishmining.DefaultSweepMaxDepth,
+	}
+	grid := results.Grid(rep.PMin, rep.PMax, rep.PStep)
+	rep.CoarsePoints = len(grid)
+	opts := selfishmining.SweepOptions{
+		Gamma: rep.Gamma, PGrid: grid,
+		Configs:    []selfishmining.AttackConfig{{Depth: rep.Depth, Forks: rep.Forks}},
+		MaxForkLen: rep.Len, TreeWidth: 3, Epsilon: eps,
+		Adaptive: true, Tolerance: rep.Tolerance, MaxDepth: rep.MaxDepth,
+	}
+	start := time.Now()
+	adaptiveFig, err := selfishmining.SweepContext(context.Background(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive sweep: %w", err)
+	}
+	rep.AdaptiveNsOp = time.Since(start).Nanoseconds()
+	rep.AdaptivePoints = len(adaptiveFig.X)
+
+	opts.Exhaustive = true
+	start = time.Now()
+	uniformFig, err := selfishmining.SweepContext(context.Background(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("uniform (exhaustive) sweep: %w", err)
+	}
+	rep.UniformNsOp = time.Since(start).Nanoseconds()
+	rep.UniformPoints = len(uniformFig.X)
+	rep.PointRatio = float64(rep.AdaptivePoints) / float64(rep.UniformPoints)
+
+	// Bitwise cross-check: every adaptive x must appear in the uniform
+	// grid with the identical value on every series.
+	uniformAt := make(map[uint64]int, len(uniformFig.X))
+	for i, x := range uniformFig.X {
+		uniformAt[math.Float64bits(x)] = i
+	}
+	rep.Bitwise = true
+	for i, x := range adaptiveFig.X {
+		k, ok := uniformAt[math.Float64bits(x)]
+		if !ok {
+			return nil, fmt.Errorf("adaptive x=%v not on the exhaustive grid", x)
+		}
+		for si, s := range adaptiveFig.Series {
+			if math.Float64bits(s.Values[i]) != math.Float64bits(uniformFig.Series[si].Values[k]) {
+				rep.Bitwise = false
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "adaptive      fork d=%d f=%d  %d points vs %d uniform (ratio %.3f, bitwise %v)\n",
+		rep.Depth, rep.Forks, rep.AdaptivePoints, rep.UniformPoints, rep.PointRatio, rep.Bitwise)
+	return rep, nil
 }
 
 // summarize derives the headline single-core fork-family speedup from the
@@ -336,6 +445,13 @@ func loadArtifact(path string) (*artifact, error) {
 			return nil, fmt.Errorf("%s: missing required family %q", path, fam)
 		}
 	}
+	if art.Adaptive == nil {
+		return nil, fmt.Errorf("%s: missing the adaptive-vs-uniform cell", path)
+	}
+	if art.Adaptive.AdaptivePoints <= 0 || art.Adaptive.UniformPoints <= 0 {
+		return nil, fmt.Errorf("%s: adaptive cell has non-positive point counts (%d vs %d)",
+			path, art.Adaptive.AdaptivePoints, art.Adaptive.UniformPoints)
+	}
 	return &art, nil
 }
 
@@ -350,7 +466,14 @@ func runCheck(path, baselinePath string, minSpeedup, minRatio float64) error {
 		return fmt.Errorf("%s: fork speedup %.2fx (best variant %s) below required %.2fx",
 			path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, minSpeedup)
 	}
-	fmt.Printf("%s: ok (fork speedup %.2fx via %s)\n", path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant)
+	if ad := art.Adaptive; ad.PointRatio > maxAdaptiveRatio {
+		return fmt.Errorf("%s: adaptive sweep solved %d of %d uniform points (ratio %.3f > %.2f)",
+			path, ad.AdaptivePoints, ad.UniformPoints, ad.PointRatio, maxAdaptiveRatio)
+	} else if !ad.Bitwise {
+		return fmt.Errorf("%s: adaptive sweep values were not bitwise equal to the uniform grid's", path)
+	}
+	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise)\n",
+		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio)
 	if baselinePath == "" {
 		return nil
 	}

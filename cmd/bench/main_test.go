@@ -28,6 +28,14 @@ func testArtifact() *artifact {
 			mkPoint("singletree", 17e6, 9e6),
 			mkPoint("nakamoto", 7e6, 8e6),
 		},
+		Adaptive: &adaptiveReport{
+			Family: "fork", Depth: 2, Forks: 1, Len: 3,
+			Gamma: 0.5, PMin: 0, PMax: 0.3, PStep: 0.01,
+			Tolerance: 1e-3, MaxDepth: 4,
+			CoarsePoints: 31, AdaptivePoints: 65, UniformPoints: 481,
+			PointRatio: 65.0 / 481, Bitwise: true,
+			AdaptiveNsOp: 50e6, UniformNsOp: 400e6,
+		},
 	}
 	s, err := summarize(art)
 	if err != nil {
@@ -83,6 +91,8 @@ func TestCheckRejectsMalformed(t *testing.T) {
 		{"missing family", func(a *artifact) { a.Points = a.Points[:2] }, `missing required family "nakamoto"`},
 		{"zero timing", func(a *artifact) { a.Points[0].Runs[1].NsOp = 0 }, "non-positive ns_op"},
 		{"missing default cell", func(a *artifact) { a.Points[1].Runs = a.Points[1].Runs[1:] }, "missing the default cell"},
+		{"missing adaptive cell", func(a *artifact) { a.Adaptive = nil }, "adaptive-vs-uniform"},
+		{"adaptive zero points", func(a *artifact) { a.Adaptive.UniformPoints = 0 }, "non-positive point counts"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +117,20 @@ func TestCheckSpeedupFloor(t *testing.T) {
 	path := writeArtifact(t, art)
 	if err := runCheck(path, "", 100, 0.25); err == nil || !strings.Contains(err.Error(), "below required") {
 		t.Fatalf("err = %v, want speedup-floor violation", err)
+	}
+}
+
+func TestCheckAdaptiveRatioCeiling(t *testing.T) {
+	art := testArtifact()
+	art.Adaptive.AdaptivePoints = art.Adaptive.UniformPoints
+	art.Adaptive.PointRatio = 1
+	if err := runCheck(writeArtifact(t, art), "", 1, 0.25); err == nil || !strings.Contains(err.Error(), "ratio") {
+		t.Fatalf("err = %v, want adaptive-ratio violation", err)
+	}
+	art = testArtifact()
+	art.Adaptive.Bitwise = false
+	if err := runCheck(writeArtifact(t, art), "", 1, 0.25); err == nil || !strings.Contains(err.Error(), "bitwise") {
+		t.Fatalf("err = %v, want bitwise violation", err)
 	}
 }
 
@@ -139,11 +163,11 @@ func TestParseWorkers(t *testing.T) {
 	}
 }
 
-// TestCommittedArtifactValid pins the committed repo-root BENCH_6.json to
-// the checker's contract: schema, families, cells, and the acceptance
-// speedup floor.
+// TestCommittedArtifactValid pins the committed repo-root BENCH_7.json to
+// the checker's contract: schema, families, cells, the acceptance speedup
+// floor, and the adaptive cell's point-ratio ceiling.
 func TestCommittedArtifactValid(t *testing.T) {
-	path := filepath.Join("..", "..", "BENCH_6.json")
+	path := filepath.Join("..", "..", "BENCH_7.json")
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("committed artifact missing: %v", err)
 	}

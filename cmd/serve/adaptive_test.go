@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const adaptiveSweepBody = `{"gamma":0.5,"pmin":0,"pmax":0.3,"pstep":0.1,` +
+	`"configs":[{"d":2,"f":1}],"l":3,"tree_width":3,"epsilon":1e-3,` +
+	`"adaptive":true,"tolerance":1e-3,"max_depth":2}`
+
+// TestSweepEndpointAdaptive checks that /v1/sweep with adaptive=true
+// returns a refined x-axis that is a superset of the requested grid.
+func TestSweepEndpointAdaptive(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", adaptiveSweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.X) <= 4 {
+		t.Fatalf("adaptive sweep returned %d x points; the curve refines past the 4 coarse points", len(out.X))
+	}
+	for _, want := range []float64{0, 0.1, 0.2, 0.3} {
+		found := false
+		for _, x := range out.X {
+			if x == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("coarse grid point %v missing from refined x-axis %v", want, out.X)
+		}
+	}
+	for _, series := range out.Series {
+		if len(series.Values) != len(out.X) {
+			t.Errorf("series %q has %d values for %d x", series.Name, len(series.Values), len(out.X))
+		}
+	}
+}
+
+// TestSweepEndpointAdaptiveRejects pins the adaptive validation,
+// including the worst-case refined-point guard.
+func TestSweepEndpointAdaptiveRejects(t *testing.T) {
+	ts, _ := testServer(t)
+	for name, body := range map[string]string{
+		"tolerance without adaptive": `{"gamma":0.5,"tolerance":1e-3}`,
+		"max_depth without adaptive": `{"gamma":0.5,"max_depth":2}`,
+		"negative tolerance":         `{"gamma":0.5,"adaptive":true,"tolerance":-1}`,
+		"negative max_depth":         `{"gamma":0.5,"adaptive":true,"max_depth":-1}`,
+		"negative max_points":        `{"gamma":0.5,"adaptive":true,"max_points":-1}`,
+		// 301 coarse points; depth 6 could refine to 300 * 63 more — far
+		// past the 10000-point server limit.
+		"worst case too large": `{"gamma":0.5,"pstep":0.001,"adaptive":true,"max_depth":6}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestSweepStreamAdaptiveRefineDepth checks the NDJSON stream carries the
+// refined points' bisection depth and p_index = -1 marker.
+func TestSweepStreamAdaptiveRefineDepth(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/sweep/stream", adaptiveSweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	type anyLine struct {
+		Type        string    `json:"type"`
+		PIndex      *int      `json:"p_index"`
+		RefineDepth int       `json:"refine_depth"`
+		X           []float64 `json:"x"`
+	}
+	var refined, coarse int
+	var summary anyLine
+	for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var parsed anyLine
+		if err := json.Unmarshal([]byte(ln), &parsed); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		switch parsed.Type {
+		case "point":
+			if parsed.RefineDepth > 0 {
+				refined++
+				if parsed.PIndex == nil || *parsed.PIndex != -1 {
+					t.Errorf("refined point has p_index %v, want -1", parsed.PIndex)
+				}
+			} else {
+				coarse++
+				if parsed.PIndex == nil || *parsed.PIndex < 0 {
+					t.Errorf("coarse point has p_index %v, want >= 0", parsed.PIndex)
+				}
+			}
+		case "summary":
+			summary = parsed
+		case "error":
+			t.Fatalf("stream ended with error line: %s", ln)
+		}
+	}
+	if coarse != 4 {
+		t.Errorf("%d coarse point lines, want 4", coarse)
+	}
+	if refined == 0 {
+		t.Error("no refined point lines; the adaptive sweep refines this curve")
+	}
+	if len(summary.X) != coarse+refined {
+		t.Errorf("summary x-axis has %d points, streamed %d", len(summary.X), coarse+refined)
+	}
+}

@@ -226,7 +226,7 @@ func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
 			Type:   "point",
 			Series: pt.Series,
 			Depth:  pt.Config.Depth, Forks: pt.Config.Forks,
-			PIndex: pt.PIndex, P: pt.P,
+			PIndex: pt.PIndex, P: pt.P, RefineDepth: pt.Depth,
 			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
 		}
 		_ = sse.Send(points, "point", line) // client gone → ctx stops the sweep

@@ -540,6 +540,16 @@ type sweepRequest struct {
 	// Kernel selects the value-iteration kernel variant every grid point is
 	// solved with ("" = the default deterministic Jacobi kernel).
 	Kernel string `json:"kernel,omitempty"`
+	// Adaptive turns the p-grid into the coarse pass of a threshold-refining
+	// sweep: cells whose solved values prove curvature beyond tolerance are
+	// recursively bisected, so the response's x-axis is a superset of the
+	// requested grid. tolerance and max_depth default server-side
+	// (selfishmining.DefaultSweepTolerance / DefaultSweepMaxDepth);
+	// max_points caps the refined points added (0 = unlimited).
+	Adaptive  bool    `json:"adaptive,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+	MaxDepth  int     `json:"max_depth,omitempty"`
+	MaxPoints int     `json:"max_points,omitempty"`
 	// TimeoutMs bounds the whole panel server-side, in milliseconds (see
 	// analyzeRequest.TimeoutMs).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -587,8 +597,34 @@ func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions
 	// A tiny step would make the grid astronomically long; bound the point
 	// count before materializing anything.
 	const maxSweepPoints = 10000
-	if points := (pmax - req.PMin) / pstep; points > maxSweepPoints {
+	points := (pmax - req.PMin) / pstep
+	if points > maxSweepPoints {
 		return opts, fmt.Errorf("p-grid has ~%.0f points, server limit is %d", points+1, maxSweepPoints)
+	}
+	if !req.Adaptive && (req.Tolerance != 0 || req.MaxDepth != 0 || req.MaxPoints != 0) {
+		return opts, fmt.Errorf("tolerance/max_depth/max_points require adaptive = true")
+	}
+	if req.Adaptive {
+		if req.Tolerance < 0 || math.IsNaN(req.Tolerance) || math.IsInf(req.Tolerance, 0) {
+			return opts, fmt.Errorf("tolerance %v: need >= 0 (0 = default)", req.Tolerance)
+		}
+		if req.MaxDepth < 0 || req.MaxPoints < 0 {
+			return opts, fmt.Errorf("max_depth %d / max_points %d: need >= 0", req.MaxDepth, req.MaxPoints)
+		}
+		// Bound the worst case up front: full refinement adds 2^depth − 1
+		// midpoints per coarse cell (fewer when max_points caps it).
+		depth := req.MaxDepth
+		if depth == 0 {
+			depth = selfishmining.DefaultSweepMaxDepth
+		}
+		refined := (points + 1) * (math.Pow(2, float64(depth)) - 1)
+		if req.MaxPoints > 0 && float64(req.MaxPoints) < refined {
+			refined = float64(req.MaxPoints)
+		}
+		if points+1+refined > maxSweepPoints {
+			return opts, fmt.Errorf("adaptive sweep could refine to ~%.0f points, server limit is %d (lower max_depth or set max_points)",
+				points+1+refined, maxSweepPoints)
+		}
 	}
 	info, ok := selfishmining.ModelInfoFor(req.Model)
 	if !ok {
@@ -605,6 +641,10 @@ func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions
 		TreeWidth:  req.TreeWidth,
 		Epsilon:    req.Epsilon,
 		Kernel:     req.Kernel,
+		Adaptive:   req.Adaptive,
+		Tolerance:  req.Tolerance,
+		MaxDepth:   req.MaxDepth,
+		MaxPoints:  req.MaxPoints,
 	}
 	maxLen := req.Len
 	if maxLen <= 0 {
@@ -678,14 +718,18 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // kind is its own struct so every field of a point — including legitimate
 // zero values like the p=0 grid point — is always present on the wire.
 type pointLine struct {
-	Type   string  `json:"type"`
-	Series string  `json:"series"`
-	Depth  int     `json:"d"`
-	Forks  int     `json:"f"`
-	PIndex int     `json:"p_index"`
-	P      float64 `json:"p"`
-	ERRev  float64 `json:"errev"`
-	Sweeps int     `json:"sweeps"`
+	Type   string `json:"type"`
+	Series string `json:"series"`
+	Depth  int    `json:"d"`
+	Forks  int    `json:"f"`
+	// PIndex indexes the requested grid; refined points of an adaptive
+	// sweep lie between grid entries and carry p_index = -1 plus their
+	// bisection depth in refine_depth.
+	PIndex      int     `json:"p_index"`
+	P           float64 `json:"p"`
+	RefineDepth int     `json:"refine_depth,omitempty"`
+	ERRev       float64 `json:"errev"`
+	Sweeps      int     `json:"sweeps"`
 }
 
 type summaryLine struct {
@@ -742,7 +786,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 			Type:   "point",
 			Series: pt.Series,
 			Depth:  pt.Config.Depth, Forks: pt.Config.Forks,
-			PIndex: pt.PIndex, P: pt.P,
+			PIndex: pt.PIndex, P: pt.P, RefineDepth: pt.Depth,
 			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
 		}
 		if err := enc.Encode(line); err != nil {

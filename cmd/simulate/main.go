@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	simulate -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-steps 1000000] [-seed 1]
-//	         [-timeout 0]
+//	simulate -p 0.3 -gamma 0.5 -d 2 -f 2 -l 4 [-eps 1e-4] [-steps 1000000]
+//	         [-seed 1] [-timeout 0]
 //
 // The analysis phase is cancellable: SIGINT/SIGTERM (or -timeout expiring)
 // stops it at the next value-iteration sweep boundary and the command

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunAdaptiveSweep runs a small adaptive sweep end to end and checks
+// the CSV grid is a refined superset of the coarse grid.
+func TestRunAdaptiveSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-gamma", "0.5", "-pmin", "0", "-pmax", "0.3", "-pstep", "0.1",
+		"-configs", "2x1", "-l", "3", "-width", "3", "-eps", "1e-3",
+		"-adaptive", "-tolerance", "1e-3", "-max-depth", "2", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) <= 5 { // header + >4 grid points once refined
+		t.Fatalf("adaptive CSV has %d lines; the curve refines past the 4 coarse points:\n%s", len(lines), out.String())
+	}
+	for _, p := range []string{"0,", "0.1,", "0.2,", "0.3,"} {
+		found := false
+		for _, ln := range lines[1:] {
+			if strings.HasPrefix(ln, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("coarse grid row %q missing:\n%s", p, out.String())
+		}
+	}
+}
+
+// TestRunAdaptiveRejectsBadFlagCombos pins the CLI-side validation of the
+// adaptive flags.
+func TestRunAdaptiveRejectsBadFlagCombos(t *testing.T) {
+	for name, args := range map[string][]string{
+		"tolerance without adaptive":  {"-tolerance", "1e-3"},
+		"max-depth without adaptive":  {"-max-depth", "2"},
+		"max-points without adaptive": {"-max-points", "5"},
+		"negative tolerance":          {"-adaptive", "-tolerance", "-1"},
+		"negative max-depth":          {"-adaptive", "-max-depth", "-1"},
+		"negative max-points":         {"-adaptive", "-max-points", "-1"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

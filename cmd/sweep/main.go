@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	sweep -gamma 0.5 [-model fork] [-pmax 0.3] [-pstep 0.01]
+//	sweep -gamma 0.5 [-model fork] [-pmin 0] [-pmax 0.3] [-pstep 0.01]
 //	      [-configs 1x1,2x1,2x2,3x2] [-l 4] [-width 5] [-eps 1e-4]
-//	      [-workers N] [-timeout 0] [-o figure2c.csv] [-markdown]
+//	      [-adaptive [-tolerance 1e-3] [-max-depth 4] [-max-points N]]
+//	      [-kernel jacobi] [-workers N] [-timeout 0] [-o figure2c.csv]
+//	      [-markdown]
 //	sweep -server http://host:8080 -submit [-wait] [-priority N] ...
 //	sweep -server http://host:8080 -resume JOBID [-wait]
 //
@@ -24,6 +26,13 @@
 // interrupted run leaves every finished point on record; the CSV/Markdown
 // output file is only written when the full panel completes, never as a
 // torn partial table.
+//
+// -adaptive turns the p-grid into the coarse pass of a threshold-refining
+// sweep: cells whose solved values prove curvature beyond -tolerance are
+// recursively bisected up to -max-depth, so the output grid is dense only
+// around the profitability threshold. Every emitted point is bitwise
+// identical to what a uniform sweep at the same p would produce; see
+// docs/SWEEPS.md.
 //
 // The paper's full configuration list includes 4x2 (9.4M states); include
 // it explicitly via -configs when you have the time budget.
@@ -74,6 +83,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		l        = fs.Int("l", 0, "maximal fork length (default 4 for the fork model, the family default otherwise)")
 		width    = fs.Int("width", 5, "single-tree baseline width (fork model only)")
 		eps      = fs.Float64("eps", 1e-4, "per-point analysis precision")
+		adaptive = fs.Bool("adaptive", false, "refine the p-grid adaptively around the profitability threshold (see docs/SWEEPS.md)")
+		tol      = fs.Float64("tolerance", 0, "adaptive refinement tolerance (0 = default 1e-3; requires -adaptive)")
+		maxDepth = fs.Int("max-depth", 0, "adaptive bisection depth bound (0 = default 4; requires -adaptive)")
+		maxPts   = fs.Int("max-points", 0, "cap on refined points an adaptive sweep may add (0 = unlimited; requires -adaptive)")
 		kern     = fs.String("kernel", "", fmt.Sprintf("value-iteration kernel variant: %s (default jacobi; the figure is identical either way)", strings.Join(selfishmining.KernelVariants(), ", ")))
 		workers  = fs.Int("workers", 0, "worker pool size over grid points (0 = all cores); results are identical at any setting")
 		timeout  = fs.Duration("timeout", 0, "abort the sweep after this long (0 = none); completed points were already streamed to stderr")
@@ -103,6 +116,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if err := selfishmining.ValidateKernel(*kern); err != nil {
 		return err
+	}
+	if !*adaptive && (*tol != 0 || *maxDepth != 0 || *maxPts != 0) {
+		return fmt.Errorf("-tolerance/-max-depth/-max-points require -adaptive")
+	}
+	if *adaptive {
+		if *tol < 0 || math.IsNaN(*tol) {
+			return fmt.Errorf("-tolerance %v: need >= 0 (0 = default)", *tol)
+		}
+		if *maxDepth < 0 || *maxPts < 0 {
+			return fmt.Errorf("-max-depth %d / -max-points %d: need >= 0", *maxDepth, *maxPts)
+		}
 	}
 	lSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -152,10 +176,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *submit {
 		spec := jobs.SweepSpec{
 			Model: *model, Gamma: *gamma,
-			PGrid:   results.Grid(*pmin, *pmax, *pstep),
-			Len:     maxLen,
-			Epsilon: *eps,
-			Kernel:  *kern,
+			PGrid:     results.Grid(*pmin, *pmax, *pstep),
+			Len:       maxLen,
+			Epsilon:   *eps,
+			Kernel:    *kern,
+			Adaptive:  *adaptive,
+			Tolerance: *tol,
+			MaxDepth:  *maxDepth,
+			MaxPoints: *maxPts,
 		}
 		if *width != 5 {
 			spec.TreeWidth = *width
@@ -180,6 +208,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		TreeWidth:  *width,
 		Epsilon:    *eps,
 		Kernel:     *kern,
+		Adaptive:   *adaptive,
+		Tolerance:  *tol,
+		MaxDepth:   *maxDepth,
+		MaxPoints:  *maxPts,
 		Workers:    *workers,
 		Progress:   progress,
 	})
@@ -239,7 +271,7 @@ func remoteSweepResume(ctx context.Context, server, id string, wait, quiet bool,
 	if st, err = cl.Resume(ctx, id); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "job %s re-queued (%d/%d points were done; a resumed sweep recomputes, reusing the server's caches)\n",
+	fmt.Fprintf(os.Stderr, "job %s re-queued (%d/%d points were done; checkpointed points replay without re-solving)\n",
 		st.ID, st.Progress.PointsDone, st.Progress.PointsTotal)
 	if !wait {
 		return nil

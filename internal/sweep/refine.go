@@ -1,0 +1,273 @@
+// Package sweep implements the adaptive grid-refinement engine behind
+// selfish-mining parameter sweeps.
+//
+// A sweep evaluates one or more curves (attack configurations) over a
+// shared x-grid of adversary resource fractions. Uniform grids waste most
+// of their solves far from the profitability threshold the analysis cares
+// about; this engine instead runs a coarse pass over the requested grid
+// and then recursively bisects only the cells whose solved values prove
+// more resolution is needed, in the refine-only-when-the-bound-demands-it
+// style of Hoeffding-tree split tests.
+//
+// Refinement of a cell [a, b] proceeds in two certified stages:
+//
+//  1. Bracket-gap test: if every curve moves by at most Tolerance across
+//     the cell (max over configs of |v(b) − v(a)| ≤ Tolerance), the corner
+//     values already bracket everything inside to within the tolerance and
+//     the cell is left alone. This is what skips flat regions.
+//  2. Curvature test: otherwise the midpoint m = a + (b−a)/2 is solved,
+//     and the cell recurses only if some curve's midpoint value deviates
+//     from the secant by more than Tolerance (|v(m) − (v(a)+v(b))/2| >
+//     Tolerance). A curve that is linear within the tolerance is rendered
+//     exactly as well by its endpoints, so steep-but-straight regions stop
+//     after one confirming midpoint; only genuine curvature — the
+//     threshold kink — recurses to depth.
+//
+// The engine is deterministic by construction: work proceeds in waves
+// (all cells of one depth), cells within a wave are ordered by ascending
+// x, and the solve callback receives each wave as a single ordered batch.
+// The refined point set, and therefore the output, depends only on the
+// options and the solved values — never on timing, parallelism, or cache
+// state of the caller's solver.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveBatch solves one wave of grid points. ps is strictly increasing;
+// depth is the bisection depth shared by every point of the wave (0 for
+// the coarse grid). The callback returns one value slice per config, each
+// aligned with ps: values[config][i] is curve config at ps[i]. The
+// callback may solve the batch in parallel internally, but the values it
+// returns must not depend on scheduling — the engine's refinement
+// decisions, and thus the next waves it asks for, derive from them.
+type SolveBatch func(ps []float64, depth int) ([][]float64, error)
+
+// Options configures one adaptive refinement run.
+type Options struct {
+	// Grid is the coarse x-grid, strictly increasing with at least two
+	// points. Every grid point is solved; refinement inserts midpoints
+	// between them, so the output is always a superset of Grid.
+	Grid []float64
+	// Configs is the number of curves solved at each x (≥ 1). Refinement
+	// is shared across curves: a cell recurses if any curve's test fires,
+	// and every curve is solved at every emitted x, keeping the output a
+	// dense table over one shared x-axis.
+	Configs int
+	// Tolerance is the refinement tolerance (≥ 0) used by both the
+	// bracket-gap and curvature tests. Smaller tolerances refine harder.
+	Tolerance float64
+	// MaxDepth bounds the bisection depth (≥ 0; refined points have depth
+	// 1..MaxDepth, so each coarse cell splits into at most 2^MaxDepth
+	// subcells). 0 disables refinement entirely.
+	MaxDepth int
+	// MaxPoints, when > 0, caps the number of refined (depth ≥ 1) points
+	// solved. The cap truncates deterministically: cells within a wave are
+	// ordered by ascending x, and a wave that would overrun the budget is
+	// cut at the cap, dropping its ascending-order tail.
+	MaxPoints int
+	// Force disables both refinement tests and bisects every cell to
+	// MaxDepth. The result is the uniformly refined grid with bitwise the
+	// same midpoint arithmetic as an adaptive run — the equal-fidelity
+	// uniform reference adaptive runs are benchmarked against.
+	Force bool
+}
+
+// Result is the refined grid with its solved values.
+type Result struct {
+	// X is the union of the coarse grid and every refined midpoint, in
+	// ascending order.
+	X []float64
+	// Values holds one curve per config: Values[config][i] is the solved
+	// value at X[i].
+	Values [][]float64
+	// Depths gives each X point's bisection depth (0 for coarse points).
+	Depths []int
+	// Refined counts the refined (depth ≥ 1) points solved.
+	Refined int
+	// Truncated reports whether MaxPoints cut refinement short: some cell
+	// whose test fired was left unbisected because the budget ran out.
+	Truncated bool
+}
+
+// pt is one solved grid point: its x, bisection depth, and one value per
+// config.
+type pt struct {
+	x     float64
+	depth int
+	v     []float64
+}
+
+// cell is one refinement interval between two solved points.
+type cell struct {
+	lo, hi *pt
+}
+
+func (o Options) validate() error {
+	if len(o.Grid) < 2 {
+		return fmt.Errorf("sweep: refinement needs a coarse grid of >= 2 points, got %d", len(o.Grid))
+	}
+	for i, x := range o.Grid {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("sweep: grid[%d] = %v is not finite", i, x)
+		}
+		if i > 0 && x <= o.Grid[i-1] {
+			return fmt.Errorf("sweep: grid must be strictly increasing, got grid[%d] = %v after %v", i, x, o.Grid[i-1])
+		}
+	}
+	if o.Configs < 1 {
+		return fmt.Errorf("sweep: refinement needs >= 1 config, got %d", o.Configs)
+	}
+	if o.Tolerance < 0 || math.IsNaN(o.Tolerance) {
+		return fmt.Errorf("sweep: tolerance = %v outside [0, inf)", o.Tolerance)
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("sweep: max depth = %d negative", o.MaxDepth)
+	}
+	return nil
+}
+
+// solveWave runs the callback on one wave and transposes its per-config
+// values into per-point slices.
+func solveWave(solve SolveBatch, ps []float64, depth int, configs int) ([]*pt, error) {
+	vals, err := solve(ps, depth)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != configs {
+		return nil, fmt.Errorf("sweep: solve returned %d config slices, want %d", len(vals), configs)
+	}
+	for c, vs := range vals {
+		if len(vs) != len(ps) {
+			return nil, fmt.Errorf("sweep: solve config %d returned %d values for %d points", c, len(vs), len(ps))
+		}
+	}
+	pts := make([]*pt, len(ps))
+	for i, x := range ps {
+		v := make([]float64, configs)
+		for c := range v {
+			v[c] = vals[c][i]
+		}
+		pts[i] = &pt{x: x, depth: depth, v: v}
+	}
+	return pts, nil
+}
+
+// gap reports the largest per-config value change across the cell.
+func (c cell) gap() float64 {
+	g := 0.0
+	for i := range c.lo.v {
+		if d := math.Abs(c.hi.v[i] - c.lo.v[i]); d > g {
+			g = d
+		}
+	}
+	return g
+}
+
+// deviation reports the largest per-config distance between the midpoint
+// value and the cell's secant.
+func (c cell) deviation(mid *pt) float64 {
+	dev := 0.0
+	for i := range c.lo.v {
+		if d := math.Abs(mid.v[i] - (c.lo.v[i]+c.hi.v[i])/2); d > dev {
+			dev = d
+		}
+	}
+	return dev
+}
+
+// Refine runs the adaptive refinement: the coarse grid first, then one
+// wave per bisection depth until every cell passes its tests or hits a
+// limit. Waves are solved through the callback as ordered batches so the
+// caller can parallelize each wave internally while the refinement
+// decisions stay deterministic.
+func Refine(opts Options, solve SolveBatch) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if solve == nil {
+		return nil, fmt.Errorf("sweep: nil solve callback")
+	}
+
+	coarse, err := solveWave(solve, opts.Grid, 0, opts.Configs)
+	if err != nil {
+		return nil, err
+	}
+	points := append([]*pt(nil), coarse...)
+	cells := make([]cell, 0, len(coarse)-1)
+	for i := 0; i+1 < len(coarse); i++ {
+		cells = append(cells, cell{coarse[i], coarse[i+1]})
+	}
+
+	res := &Result{}
+	for depth := 1; depth <= opts.MaxDepth && len(cells) > 0; depth++ {
+		// Select the cells whose corners demand a midpoint. Cells arrive
+		// in ascending-x order and children are appended in order below,
+		// so every wave is ascending without re-sorting.
+		active := cells[:0:0]
+		for _, c := range cells {
+			mid := c.lo.x + (c.hi.x-c.lo.x)/2
+			if !(mid > c.lo.x && mid < c.hi.x) {
+				continue // float resolution exhausted; cannot bisect further
+			}
+			if opts.Force || c.gap() > opts.Tolerance {
+				active = append(active, c)
+			}
+		}
+		if opts.MaxPoints > 0 {
+			if remaining := opts.MaxPoints - res.Refined; len(active) > remaining {
+				res.Truncated = true
+				active = active[:remaining]
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		mids := make([]float64, len(active))
+		for i, c := range active {
+			mids[i] = c.lo.x + (c.hi.x-c.lo.x)/2
+		}
+		wave, err := solveWave(solve, mids, depth, opts.Configs)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, wave...)
+		res.Refined += len(wave)
+		next := make([]cell, 0, 2*len(active))
+		for i, c := range active {
+			mid := wave[i]
+			if opts.Force || c.deviation(mid) > opts.Tolerance {
+				next = append(next, cell{c.lo, mid}, cell{mid, c.hi})
+			}
+		}
+		cells = next
+	}
+
+	// Merge the waves into one ascending grid. Every wave is ascending
+	// and refined points interleave strictly between their parents, so a
+	// single stable merge sort by x suffices; no two points share an x.
+	sortPoints(points)
+	res.X = make([]float64, len(points))
+	res.Depths = make([]int, len(points))
+	res.Values = make([][]float64, opts.Configs)
+	for c := range res.Values {
+		res.Values[c] = make([]float64, len(points))
+	}
+	for i, p := range points {
+		res.X[i] = p.x
+		res.Depths[i] = p.depth
+		for c := range res.Values {
+			res.Values[c][i] = p.v[c]
+		}
+	}
+	return res, nil
+}
+
+// sortPoints orders points by ascending x (no duplicates exist by
+// construction: midpoints are strictly interior to their cells).
+func sortPoints(points []*pt) {
+	sort.Slice(points, func(i, j int) bool { return points[i].x < points[j].x })
+}

@@ -1,0 +1,321 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// grid builds lo..hi inclusive in n-1 equal steps.
+func grid(lo, hi float64, n int) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return g
+}
+
+// solver adapts plain functions of x to the SolveBatch signature and
+// counts solved points.
+func solver(count *int, fns ...func(float64) float64) SolveBatch {
+	return func(ps []float64, depth int) ([][]float64, error) {
+		out := make([][]float64, len(fns))
+		for c, fn := range fns {
+			out[c] = make([]float64, len(ps))
+			for i, p := range ps {
+				out[c][i] = fn(p)
+			}
+		}
+		if count != nil {
+			*count += len(ps) * len(fns)
+		}
+		return out, nil
+	}
+}
+
+// kink is a hockey-stick curve: flat before the threshold, slope 2 after.
+// The threshold at x = 0.157 falls strictly inside a coarse cell (and off
+// every bisection midpoint), so only deep refinement can localize it.
+func kink(x float64) float64 {
+	return 2 * math.Max(0, x-0.157)
+}
+
+func TestRefineFlatCurveStopsAtCoarseGrid(t *testing.T) {
+	g := grid(0, 0.3, 7)
+	res, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 1e-3, MaxDepth: 8},
+		solver(nil, func(float64) float64 { return 0.25 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.X, g) {
+		t.Fatalf("flat curve refined: X = %v, want coarse grid %v", res.X, g)
+	}
+	if res.Refined != 0 || res.Truncated {
+		t.Fatalf("flat curve: Refined = %d, Truncated = %v", res.Refined, res.Truncated)
+	}
+}
+
+func TestRefineLinearCurveStopsAfterOneWave(t *testing.T) {
+	// A steep straight line fails the bracket-gap test everywhere, so
+	// every coarse cell solves its midpoint — but each midpoint confirms
+	// the secant, so refinement stops at depth 1.
+	g := grid(0, 0.3, 7)
+	res, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 1e-6, MaxDepth: 10},
+		solver(nil, func(x float64) float64 { return x }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*len(g) - 1; len(res.X) != want {
+		t.Fatalf("linear curve: len(X) = %d, want %d (one midpoint per coarse cell)", len(res.X), want)
+	}
+	for i, d := range res.Depths {
+		if d > 1 {
+			t.Fatalf("linear curve refined past depth 1: depth %d at X[%d] = %v", d, i, res.X[i])
+		}
+	}
+}
+
+func TestRefineLocalizesKink(t *testing.T) {
+	g := grid(0, 0.3, 7) // cells of width 0.05; the kink sits inside [0.15, 0.2]
+	const depth = 8
+	res, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 1e-3, MaxDepth: depth},
+		solver(nil, kink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined set must be a strict superset of the coarse grid...
+	assertSuperset(t, res.X, g)
+	// ...far smaller than the uniform equivalent...
+	uniform := (len(g)-1)*(1<<depth) + 1
+	if len(res.X) >= uniform/5 {
+		t.Fatalf("adaptive solved %d points; uniform equivalent is %d, want < 1/5", len(res.X), uniform)
+	}
+	// ...and dense near the kink: the deepest points must straddle 0.15.
+	maxDepth, lo, hi := 0, math.Inf(1), math.Inf(-1)
+	for i, d := range res.Depths {
+		if d > maxDepth {
+			maxDepth, lo, hi = d, res.X[i], res.X[i]
+		} else if d == maxDepth {
+			lo, hi = math.Min(lo, res.X[i]), math.Max(hi, res.X[i])
+		}
+	}
+	if maxDepth < 4 || maxDepth > depth {
+		t.Fatalf("deepest refinement %d, want within [4, %d] (kink drives depth until its cell is ~tolerance wide)", maxDepth, depth)
+	}
+	if hi < 0.157-0.02 || lo > 0.157+0.02 {
+		t.Fatalf("deepest points span [%v, %v], want a straddle of the kink at 0.157", lo, hi)
+	}
+	assertAscending(t, res.X)
+}
+
+func TestRefineForceMatchesUniformBisection(t *testing.T) {
+	g := grid(0, 0.3, 4)
+	const depth = 3
+	res, err := Refine(Options{Grid: g, Configs: 1, MaxDepth: depth, Force: true},
+		solver(nil, kink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uniformBisect(g, depth)
+	if len(res.X) != len(want) {
+		t.Fatalf("force: len(X) = %d, want %d", len(res.X), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(res.X[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("force X[%d] = %v (bits %#x), want %v (bits %#x)",
+				i, res.X[i], math.Float64bits(res.X[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// uniformBisect reproduces the engine's midpoint arithmetic by recursive
+// bisection, independently of its wave scheduling.
+func uniformBisect(g []float64, depth int) []float64 {
+	xs := append([]float64(nil), g...)
+	for d := 0; d < depth; d++ {
+		next := make([]float64, 0, 2*len(xs)-1)
+		for i := range xs {
+			if i > 0 {
+				next = append(next, xs[i-1]+(xs[i]-xs[i-1])/2)
+			}
+			next = append(next, xs[i])
+		}
+		xs = next
+	}
+	return xs
+}
+
+func TestRefineAdaptiveSubsetOfForceBitwise(t *testing.T) {
+	// Every adaptive point must appear in the Force (uniform) run at a
+	// bitwise-identical x with bitwise-identical values: adaptivity may
+	// only skip points, never perturb them.
+	g := grid(0, 0.3, 7)
+	const depth = 6
+	adaptive, err := Refine(Options{Grid: g, Configs: 2, Tolerance: 1e-3, MaxDepth: depth},
+		solver(nil, kink, math.Sqrt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	force, err := Refine(Options{Grid: g, Configs: 2, MaxDepth: depth, Force: true},
+		solver(nil, kink, math.Sqrt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBits := map[uint64]int{}
+	for i, x := range force.X {
+		byBits[math.Float64bits(x)] = i
+	}
+	for i, x := range adaptive.X {
+		j, ok := byBits[math.Float64bits(x)]
+		if !ok {
+			t.Fatalf("adaptive X[%d] = %v missing from force grid", i, x)
+		}
+		for c := range adaptive.Values {
+			if math.Float64bits(adaptive.Values[c][i]) != math.Float64bits(force.Values[c][j]) {
+				t.Fatalf("config %d at x = %v: adaptive %v != force %v", c, x, adaptive.Values[c][i], force.Values[c][j])
+			}
+		}
+	}
+}
+
+func TestRefineSharedAcrossConfigs(t *testing.T) {
+	// A flat curve alongside a kinked one: refinement is driven by the
+	// union, and the flat curve is solved at every refined x too (dense
+	// table, shared axis).
+	g := grid(0, 0.3, 7)
+	res, err := Refine(Options{Grid: g, Configs: 2, Tolerance: 1e-3, MaxDepth: 5},
+		solver(nil, func(float64) float64 { return 0.5 }, kink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refined == 0 {
+		t.Fatal("kinked config should have driven refinement")
+	}
+	for i, v := range res.Values[0] {
+		if v != 0.5 {
+			t.Fatalf("flat config not solved at X[%d] = %v: got %v", i, res.X[i], v)
+		}
+	}
+	if len(res.Values[1]) != len(res.X) {
+		t.Fatalf("config 1 has %d values for %d xs", len(res.Values[1]), len(res.X))
+	}
+}
+
+func TestRefineMaxPointsTruncatesDeterministically(t *testing.T) {
+	g := grid(0, 0.3, 7)
+	run := func() *Result {
+		res, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 1e-6, MaxDepth: 10, MaxPoints: 9},
+			solver(nil, kink))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Truncated {
+		t.Fatal("budget of 9 refined points should truncate a depth-10 kink refinement")
+	}
+	if a.Refined > 9 {
+		t.Fatalf("Refined = %d exceeds MaxPoints = 9", a.Refined)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("truncated refinement differs between identical runs")
+	}
+	assertAscending(t, a.X)
+	assertSuperset(t, a.X, g)
+}
+
+func TestRefineMaxDepthZeroDisablesRefinement(t *testing.T) {
+	g := grid(0, 0.3, 7)
+	calls := 0
+	res, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 0, MaxDepth: 0},
+		solver(&calls, kink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.X, g) || calls != len(g) {
+		t.Fatalf("MaxDepth 0: X = %v (calls %d), want the coarse grid only", res.X, calls)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	ok := solver(nil, kink)
+	cases := []struct {
+		name string
+		opts Options
+		sb   SolveBatch
+	}{
+		{"short grid", Options{Grid: []float64{0.1}, Configs: 1}, ok},
+		{"unsorted grid", Options{Grid: []float64{0, 0.2, 0.1}, Configs: 1}, ok},
+		{"duplicate grid", Options{Grid: []float64{0, 0.1, 0.1}, Configs: 1}, ok},
+		{"nan grid", Options{Grid: []float64{0, math.NaN()}, Configs: 1}, ok},
+		{"no configs", Options{Grid: []float64{0, 0.1}}, ok},
+		{"negative tolerance", Options{Grid: []float64{0, 0.1}, Configs: 1, Tolerance: -1}, ok},
+		{"negative depth", Options{Grid: []float64{0, 0.1}, Configs: 1, MaxDepth: -1}, ok},
+		{"nil solver", Options{Grid: []float64{0, 0.1}, Configs: 1}, nil},
+		{"short values", Options{Grid: []float64{0, 0.1}, Configs: 2}, ok},
+		{"solver error", Options{Grid: []float64{0, 0.1}, Configs: 1}, func([]float64, int) ([][]float64, error) {
+			return nil, fmt.Errorf("boom")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Refine(tc.opts, tc.sb); err == nil {
+				t.Fatalf("%s: expected error", tc.name)
+			}
+		})
+	}
+}
+
+func TestRefineWaveOrderIsAscending(t *testing.T) {
+	// The callback must see each wave strictly ascending with a constant
+	// depth — that ordering is the engine's determinism contract with the
+	// emitting layer above it.
+	g := grid(0, 0.3, 7)
+	wave := 0
+	sb := func(ps []float64, depth int) ([][]float64, error) {
+		if depth != wave {
+			return nil, fmt.Errorf("wave %d arrived with depth %d", wave, depth)
+		}
+		wave++
+		for i := 1; i < len(ps); i++ {
+			if ps[i] <= ps[i-1] {
+				return nil, fmt.Errorf("wave %d not ascending at %d: %v", depth, i, ps)
+			}
+		}
+		out := [][]float64{make([]float64, len(ps))}
+		for i, p := range ps {
+			out[0][i] = kink(p)
+		}
+		return out, nil
+	}
+	if _, err := Refine(Options{Grid: g, Configs: 1, Tolerance: 1e-3, MaxDepth: 6}, sb); err != nil {
+		t.Fatal(err)
+	}
+	if wave < 2 {
+		t.Fatalf("refinement ran only %d waves", wave)
+	}
+}
+
+func assertAscending(t *testing.T, xs []float64) {
+	t.Helper()
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("X not strictly ascending at %d: %v <= %v", i, xs[i], xs[i-1])
+		}
+	}
+}
+
+func assertSuperset(t *testing.T, xs, sub []float64) {
+	t.Helper()
+	have := map[uint64]bool{}
+	for _, x := range xs {
+		have[math.Float64bits(x)] = true
+	}
+	for _, x := range sub {
+		if !have[math.Float64bits(x)] {
+			t.Fatalf("refined grid is missing coarse point %v", x)
+		}
+	}
+}

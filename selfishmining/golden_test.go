@@ -112,3 +112,80 @@ func TestGoldenForkSweepBitwise(t *testing.T) {
 		}
 	}
 }
+
+// goldenAdaptiveX and goldenAdaptiveSeries pin a small adaptive fork
+// sweep (gamma=0.5, coarse grid {0, 0.1, 0.2, 0.3}, config 2x1, l=3,
+// tree width 3, eps=1e-3, tolerance 1e-3, max depth 2). At this coarse a
+// grid every cell legitimately proves curvature beyond the tolerance, so
+// the pinned refinement is the full depth-2 bisection — 13 x-values —
+// and the pin covers the midpoint arithmetic, the refinement decisions
+// and the solved values at once.
+var (
+	goldenAdaptiveX = []float64{
+		0, 0.025000000000000001, 0.050000000000000003, 0.075000000000000011,
+		0.10000000000000001, 0.125, 0.15000000000000002, 0.17500000000000002,
+		0.20000000000000001, 0.22500000000000001, 0.25, 0.27500000000000002,
+		0.29999999999999999,
+	}
+	goldenAdaptiveSeries = map[string][]float64{
+		"honest": {
+			0, 0.025000000000000001, 0.050000000000000003, 0.075000000000000011,
+			0.10000000000000001, 0.125, 0.15000000000000002, 0.17500000000000002,
+			0.20000000000000001, 0.22500000000000001, 0.25, 0.27500000000000002,
+			0.29999999999999999,
+		},
+		"single-tree(f=3)": {
+			0, 0.013467308905562523, 0.02897585763155645, 0.046653869825599686,
+			0.066582005540850905, 0.088787935061800383, 0.11324292240205282,
+			0.13986107624869495, 0.16850161146596046, 0.19897407235061304,
+			0.2310461186895009, 0.26445321755430612, 0.29890943722204039,
+		},
+		"ours(d=2,f=1)": {
+			0, 0.025390625, 0.0537109375, 0.0830078125, 0.1142578125,
+			0.1455078125, 0.177734375, 0.2109375, 0.2451171875, 0.279296875,
+			0.318359375, 0.3603515625, 0.40234375,
+		},
+	}
+)
+
+// TestGoldenAdaptiveForkSweepBitwise pins an adaptive sweep end to end:
+// refined x-axis and every series value, bit for bit.
+func TestGoldenAdaptiveForkSweepBitwise(t *testing.T) {
+	fig, err := Sweep(SweepOptions{
+		Gamma:      0.5,
+		PGrid:      []float64{0, 0.1, 0.2, 0.3},
+		Configs:    []AttackConfig{{Depth: 2, Forks: 1}},
+		MaxForkLen: 3,
+		TreeWidth:  3,
+		Epsilon:    1e-3,
+		Adaptive:   true,
+		Tolerance:  1e-3,
+		MaxDepth:   2,
+	})
+	if err != nil {
+		t.Fatalf("adaptive Sweep: %v", err)
+	}
+	if len(fig.X) != len(goldenAdaptiveX) {
+		t.Fatalf("got %d x-values, golden %d: %v", len(fig.X), len(goldenAdaptiveX), fig.X)
+	}
+	for i, want := range goldenAdaptiveX {
+		if math.Float64bits(fig.X[i]) != math.Float64bits(want) {
+			t.Errorf("X[%d]: %.17g, golden %.17g", i, fig.X[i], want)
+		}
+	}
+	if len(fig.Series) != len(goldenAdaptiveSeries) {
+		t.Fatalf("got %d series, golden %d", len(fig.Series), len(goldenAdaptiveSeries))
+	}
+	for _, s := range fig.Series {
+		want, ok := goldenAdaptiveSeries[s.Name]
+		if !ok {
+			t.Errorf("unexpected series %q", s.Name)
+			continue
+		}
+		for i := range want {
+			if math.Float64bits(s.Values[i]) != math.Float64bits(want[i]) {
+				t.Errorf("series %q point %d: %.17g, golden %.17g", s.Name, i, s.Values[i], want[i])
+			}
+		}
+	}
+}

@@ -22,8 +22,11 @@
 // resumed job's result is bitwise identical to an uninterrupted solve —
 // ERRev, bracket, counters, and the full strategy — even across a process
 // restart through a DiskStore; see selfishmining.Checkpoint for why.
-// Sweep jobs carry no checkpoint: a resumed sweep recomputes its grid
-// (within one process, mostly from the service's result cache).
+// Sweep jobs checkpoint per completed grid point: every point streamed
+// through OnPoint is appended to the record's sweep checkpoint, and a
+// resumed sweep (uniform or adaptive) replays those points verbatim
+// through selfishmining.SweepOptions.Resume instead of re-solving them —
+// again bitwise identical, again across restarts.
 package jobs
 
 import (
@@ -162,6 +165,20 @@ type SweepSpec struct {
 	// solved with ("" = the default deterministic Jacobi kernel; see
 	// selfishmining.KernelVariants). The figure is identical either way.
 	Kernel string `json:"kernel,omitempty"`
+	// Adaptive switches the sweep to threshold-refining bisection: PGrid
+	// becomes the coarse pass (it must be strictly increasing with at
+	// least two points), and cells that prove curvature beyond Tolerance
+	// are recursively bisected up to MaxDepth. See
+	// selfishmining.SweepOptions.Adaptive.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Tolerance is the adaptive refinement tolerance (0 = the default
+	// selfishmining.DefaultSweepTolerance, filled in at Submit).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// MaxDepth bounds the bisection depth (0 = the default
+	// selfishmining.DefaultSweepMaxDepth, filled in at Submit).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// MaxPoints, when > 0, caps the refined points the sweep may add.
+	MaxPoints int `json:"max_points,omitempty"`
 }
 
 // Normalize fills defaults (mirroring SweepOptions) and validates every
@@ -210,6 +227,35 @@ func (s *SweepSpec) Normalize() error {
 	if s.TreeWidth < 1 {
 		return fmt.Errorf("jobs: tree width %d: need >= 1", s.TreeWidth)
 	}
+	if !s.Adaptive && (s.Tolerance != 0 || s.MaxDepth != 0 || s.MaxPoints != 0) {
+		return fmt.Errorf("jobs: tolerance/max_depth/max_points require adaptive = true")
+	}
+	if s.Adaptive {
+		if len(s.PGrid) < 2 {
+			return fmt.Errorf("jobs: adaptive sweep needs a coarse grid of >= 2 points, got %d", len(s.PGrid))
+		}
+		for i := 1; i < len(s.PGrid); i++ {
+			if !(s.PGrid[i] > s.PGrid[i-1]) {
+				return fmt.Errorf("jobs: adaptive sweep grid must be strictly increasing, got p[%d] = %v after %v",
+					i, s.PGrid[i], s.PGrid[i-1])
+			}
+		}
+		if s.Tolerance < 0 || math.IsNaN(s.Tolerance) || math.IsInf(s.Tolerance, 0) {
+			return fmt.Errorf("jobs: tolerance %v: need >= 0 (0 = default)", s.Tolerance)
+		}
+		if s.Tolerance == 0 {
+			s.Tolerance = selfishmining.DefaultSweepTolerance
+		}
+		if s.MaxDepth < 0 {
+			return fmt.Errorf("jobs: max depth %d: need >= 0 (0 = default)", s.MaxDepth)
+		}
+		if s.MaxDepth == 0 {
+			s.MaxDepth = selfishmining.DefaultSweepMaxDepth
+		}
+		if s.MaxPoints < 0 {
+			return fmt.Errorf("jobs: max points %d: need >= 0 (0 = unlimited)", s.MaxPoints)
+		}
+	}
 	for _, cfg := range s.Configs {
 		for _, p := range s.PGrid {
 			if p == 0 {
@@ -239,6 +285,10 @@ func (s SweepSpec) options() selfishmining.SweepOptions {
 		TreeWidth:  s.TreeWidth,
 		Epsilon:    s.Epsilon,
 		Kernel:     s.Kernel,
+		Adaptive:   s.Adaptive,
+		Tolerance:  s.Tolerance,
+		MaxDepth:   s.MaxDepth,
+		MaxPoints:  s.MaxPoints,
 	}
 	for _, c := range s.Configs {
 		opts.Configs = append(opts.Configs, selfishmining.AttackConfig{Depth: c.Depth, Forks: c.Forks})
@@ -246,8 +296,9 @@ func (s SweepSpec) options() selfishmining.SweepOptions {
 	return opts
 }
 
-// points is the total attack-curve grid-point count (the progress
-// denominator), valid after normalize.
+// points is the total attack-curve grid-point count over the requested
+// grid (the progress denominator), valid after normalize. An adaptive
+// sweep refines beyond this coarse total, so its PointsDone may exceed it.
 func (s SweepSpec) points() int { return len(s.PGrid) * len(s.Configs) }
 
 // Request submits one job.
@@ -277,7 +328,8 @@ type Progress struct {
 	// (analyze jobs).
 	Sweeps int `json:"sweeps"`
 	// PointsDone / PointsTotal count completed attack-curve grid points
-	// (sweep jobs).
+	// (sweep jobs). PointsTotal counts the requested (coarse) grid; an
+	// adaptive sweep's PointsDone can exceed it as refinement adds points.
 	PointsDone  int `json:"points_done"`
 	PointsTotal int `json:"points_total"`
 }
@@ -404,12 +456,21 @@ type Event struct {
 }
 
 // SweepPoint is one completed grid point of a sweep job's event stream.
+// It doubles as the per-point entry of a sweep job's resume checkpoint
+// (Record.SweepCheckpoint): JSON float64 round-trips are exact, so the
+// persisted values replay bitwise.
 type SweepPoint struct {
-	Series string  `json:"series"`
-	Depth  int     `json:"d"`
-	Forks  int     `json:"f"`
+	Series string `json:"series"`
+	Depth  int    `json:"d"`
+	Forks  int    `json:"f"`
+	// PIndex is the point's index into the requested grid, or -1 for the
+	// refined midpoints of an adaptive sweep.
 	PIndex int     `json:"p_index"`
 	P      float64 `json:"p"`
-	ERRev  float64 `json:"errev"`
-	Sweeps int     `json:"sweeps"`
+	// RefineDepth is the bisection depth of an adaptive sweep's point (0
+	// for coarse-grid and uniform points). Distinct from Depth, which is
+	// the attack configuration's d.
+	RefineDepth int     `json:"refine_depth,omitempty"`
+	ERRev       float64 `json:"errev"`
+	Sweeps      int     `json:"sweeps"`
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -125,6 +126,7 @@ type job struct {
 	resumes     int
 
 	checkpoint      *selfishmining.Checkpoint
+	sweepCK         []SweepPoint       // completed sweep points, in completion order
 	cancel          context.CancelFunc // non-nil while running
 	cancelRequested bool
 
@@ -273,8 +275,11 @@ func (m *Manager) recover() error {
 			errMsg: rec.Error, errCode: rec.ErrorCode,
 			interrupted: rec.Interrupted, resumes: rec.Resumes,
 			checkpoint: ck,
-			eventCh:    make(chan struct{}),
-			heapIdx:    -1,
+			// Copy: the job appends to sweepCK as it runs, and stored
+			// records must stay immutable.
+			sweepCK: append([]SweepPoint(nil), rec.SweepCheckpoint...),
+			eventCh: make(chan struct{}),
+			heapIdx: -1,
 			// Event numbering continues where the previous process left
 			// off, so pre-restart Last-Event-ID cursors never alias into
 			// this process's events — they fall before the (empty) ring and
@@ -466,8 +471,11 @@ func (m *Manager) Cancel(id string) (*Status, error) {
 // persisted checkpoint replays Algorithm 1 from it, with a result bitwise
 // identical to an uninterrupted solve; without one (canceled while queued,
 // or a crash before any step completed) it simply runs from the start. A
-// resumed sweep recomputes its grid, reusing the service's caches within
-// one process.
+// resumed sweep replays every point of its per-point checkpoint verbatim
+// (no solves) and computes only the points the interrupted run never
+// reached — including the refined midpoints of an adaptive sweep — again
+// bitwise identical to an uninterrupted run, even across a process
+// restart through a DiskStore.
 func (m *Manager) Resume(id string) (*Status, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -625,6 +633,14 @@ func (m *Manager) worker() {
 	}
 }
 
+// sweepSeenKey identifies one attack-curve point of a sweep checkpoint:
+// the attack configuration plus the exact bit pattern of p (the bitwise
+// determinism contract is what makes exact float matching sound).
+type sweepSeenKey struct {
+	depth, forks int
+	pbits        uint64
+}
+
 // run executes one job body (no locks held) and records the outcome.
 func (m *Manager) run(ctx context.Context, j *job) {
 	if m.runGate != nil {
@@ -669,15 +685,48 @@ func (m *Manager) run(ctx context.Context, j *job) {
 		})
 	case KindSweep:
 		opts := j.sweep.options()
+		// Feed the per-point checkpoint back as a resume set, and index it
+		// so re-emitted (replayed) points are not re-appended below. The
+		// key matches selfishmining's resume lookup: attack configuration
+		// plus the exact bit pattern of p.
+		m.mu.Lock()
+		seen := make(map[sweepSeenKey]bool, len(j.sweepCK))
+		if len(j.sweepCK) > 0 {
+			resume := &selfishmining.SweepCheckpoint{
+				Points: make([]selfishmining.SweepPoint, 0, len(j.sweepCK)),
+			}
+			for _, sp := range j.sweepCK {
+				seen[sweepSeenKey{sp.Depth, sp.Forks, math.Float64bits(sp.P)}] = true
+				resume.Points = append(resume.Points, selfishmining.SweepPoint{
+					Config: selfishmining.AttackConfig{Depth: sp.Depth, Forks: sp.Forks},
+					Series: sp.Series,
+					PIndex: sp.PIndex, P: sp.P, Gamma: j.sweep.Gamma,
+					Depth: sp.RefineDepth, ERRev: sp.ERRev, Sweeps: sp.Sweeps,
+				})
+			}
+			opts.Resume = resume
+		}
+		m.mu.Unlock()
 		opts.OnPoint = func(pt selfishmining.SweepPoint) {
 			m.mu.Lock()
 			j.progress.PointsDone++
 			done := j.progress.PointsDone
-			m.emitLocked(j, Event{Type: "point", Progress: cloneProgress(j.progress), Point: &SweepPoint{
+			sp := SweepPoint{
 				Series: pt.Series, Depth: pt.Config.Depth, Forks: pt.Config.Forks,
-				PIndex: pt.PIndex, P: pt.P, ERRev: pt.ERRev, Sweeps: pt.Sweeps,
-			}})
+				PIndex: pt.PIndex, P: pt.P, RefineDepth: pt.Depth,
+				ERRev: pt.ERRev, Sweeps: pt.Sweeps,
+			}
+			m.emitLocked(j, Event{Type: "point", Progress: cloneProgress(j.progress), Point: &sp})
+			persist := func() {}
+			if k := (sweepSeenKey{sp.Depth, sp.Forks, math.Float64bits(sp.P)}); !seen[k] {
+				seen[k] = true
+				j.sweepCK = append(j.sweepCK, sp)
+				// Persist per completed point: a cancel, crash, or shutdown
+				// at any moment loses at most the points still in flight.
+				persist = m.persistFnLocked(j)
+			}
 			m.mu.Unlock()
+			persist()
 			if m.pointGate != nil {
 				m.pointGate(j.id, done)
 			}
@@ -702,6 +751,7 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 		j.state = StateDone
 		j.finished = &now
 		j.checkpoint = nil // a finished search has nothing to resume
+		j.sweepCK = nil
 		onDone()
 		m.completed++
 	case errors.Is(err, selfishmining.ErrCanceled) ||
@@ -834,7 +884,7 @@ func (m *Manager) statusLocked(j *job) *Status {
 		Progress: j.progress,
 		Result:   j.result, SweepResult: j.sweepResult,
 		Error: j.errMsg, ErrorCode: j.errCode,
-		HasCheckpoint: j.checkpoint != nil,
+		HasCheckpoint: j.checkpoint != nil || len(j.sweepCK) > 0,
 		Interrupted:   j.interrupted,
 		Resumes:       j.resumes,
 		SubmittedAt:   j.submitted,
@@ -862,6 +912,9 @@ func (m *Manager) statusLocked(j *job) *Status {
 func (m *Manager) persistFnLocked(j *job) func() {
 	rec := &Record{Status: *m.statusLocked(j), EventSeq: j.nextSeq}
 	ck := j.checkpoint // replaced wholesale, never mutated: safe to share
+	// sweepCK is append-only while the job runs, so a capacity-clamped
+	// prefix is a stable snapshot even as later points land.
+	rec.SweepCheckpoint = j.sweepCK[:len(j.sweepCK):len(j.sweepCK)]
 	j.persistSeq++
 	seq := j.persistSeq
 	return func() {

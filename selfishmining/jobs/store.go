@@ -18,6 +18,11 @@ type Record struct {
 	// Checkpoint is the persisted resume snapshot of an interrupted
 	// analyze job.
 	Checkpoint *CheckpointRecord `json:"checkpoint,omitempty"`
+	// SweepCheckpoint is the persisted resume snapshot of an interrupted
+	// sweep job: every attack-curve point completed so far, in completion
+	// order. JSON float64 round-trips exactly in Go, so the plain wire form
+	// preserves the bitwise resume guarantee without base64.
+	SweepCheckpoint []SweepPoint `json:"sweep_checkpoint,omitempty"`
 	// EventSeq is the job's event-sequence high-water mark at persist
 	// time. A recovered job continues numbering from here, so a client's
 	// pre-restart Last-Event-ID can never alias into the new process's

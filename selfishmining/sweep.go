@@ -15,6 +15,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/par"
 	"repro/internal/results"
+	adaptive "repro/internal/sweep"
 )
 
 // sweepModel canonicalizes the sweep's family name for cache keys.
@@ -48,6 +49,19 @@ type AttackConfig struct {
 // default the sweep will use.
 const DefaultSweepMaxForkLen = 4
 
+// Defaults of the adaptive refinement options (see SweepOptions.Adaptive).
+// Exported so the HTTP and CLI layers document and apply the same values
+// the sweep would substitute.
+const (
+	// DefaultSweepTolerance is the refinement tolerance substituted when
+	// an adaptive sweep leaves Tolerance unset.
+	DefaultSweepTolerance = 1e-3
+	// DefaultSweepMaxDepth is the bisection depth bound substituted when
+	// an adaptive sweep leaves MaxDepth unset: each coarse cell splits
+	// into at most 2^4 = 16 subcells.
+	DefaultSweepMaxDepth = 4
+)
+
 // Figure2Configs are the five attack configurations evaluated in the paper.
 var Figure2Configs = []AttackConfig{
 	{Depth: 1, Forks: 1},
@@ -68,7 +82,9 @@ type SweepOptions struct {
 	// Gamma is the switching probability of the sweep.
 	Gamma float64
 	// PGrid lists the adversary resource fractions (x-axis). Defaults to
-	// 0..0.3 in steps of 0.01, as in the paper.
+	// 0..0.3 in steps of 0.01, as in the paper. An adaptive sweep
+	// additionally requires the grid to be strictly increasing with at
+	// least two points — it is the coarse grid refinement starts from.
 	PGrid []float64
 	// Configs lists the attack curves to compute. Defaults to
 	// Figure2Configs for the fork family and to the family's default shape
@@ -93,6 +109,47 @@ type SweepOptions struct {
 	// solves on its own clone (private probability and value buffers).
 	// The computed figure is bitwise identical at every worker count.
 	Workers int
+
+	// Adaptive switches the sweep from the uniform grid to threshold-
+	// refining bisection: PGrid is solved as a coarse pass, then cells
+	// whose corner values disagree by more than Tolerance are recursively
+	// bisected (up to MaxDepth) wherever the midpoint proves genuine
+	// curvature — which concentrates solves around the profitability
+	// threshold instead of spreading them uniformly. The figure's X axis
+	// becomes the union of the coarse grid and every refined midpoint.
+	// Refinement decisions depend only on solved values, never on timing
+	// or caches, so adaptive figures inherit the bitwise-determinism
+	// contract: every emitted point is bit-identical to the same point of
+	// a uniform sweep. See internal/sweep for the cell tests.
+	Adaptive bool
+	// Tolerance is the adaptive refinement tolerance (default
+	// DefaultSweepTolerance). A cell is left alone once every curve moves
+	// by at most Tolerance across it, and recursion stops once midpoints
+	// sit within Tolerance of their cell's secant — so the piecewise-
+	// linear rendering of the refined curve is accurate to ~Tolerance.
+	Tolerance float64
+	// MaxDepth bounds the bisection depth of an adaptive sweep (default
+	// DefaultSweepMaxDepth); each coarse cell splits into at most
+	// 2^MaxDepth subcells.
+	MaxDepth int
+	// MaxPoints, when > 0, caps the refined (depth ≥ 1) x-values an
+	// adaptive sweep may add, truncating deterministically in ascending-p
+	// order once the budget runs out.
+	MaxPoints int
+	// Exhaustive, with Adaptive, bisects every cell to MaxDepth ignoring
+	// the tolerance tests: the uniformly refined grid with bitwise the
+	// same midpoint arithmetic as an adaptive run. It is the equal-
+	// fidelity uniform reference cmd/bench and the property tests compare
+	// adaptive runs against.
+	Exhaustive bool
+	// Resume carries completed points of an earlier identical sweep (a
+	// job checkpoint). Points found here are emitted verbatim without
+	// solving; the bitwise-determinism contract makes the resumed sweep
+	// indistinguishable from an uninterrupted one. The checkpoint must
+	// come from a sweep with the same Model, Gamma, MaxForkLen, Epsilon
+	// and Kernel — the sweep trusts its values verbatim.
+	Resume *SweepCheckpoint
+
 	// Progress, if non-nil, receives one line per completed point. Calls
 	// are serialized, but their order across points follows the parallel
 	// completion order.
@@ -103,6 +160,9 @@ type SweepOptions struct {
 	// figure. Calls are serialized but follow the parallel completion
 	// order; the values streamed are exactly the values the final figure
 	// will carry (bitwise — streaming changes delivery, never results).
+	// Adaptive sweeps instead emit deterministically: refinement proceeds
+	// in waves (one per bisection depth), and within a wave points are
+	// held back so they stream in task order — config-major, ascending p.
 	// The callback runs on sweep worker goroutines and must return
 	// promptly. Baseline series (honest, single-tree) are not streamed;
 	// they arrive with the figure.
@@ -119,17 +179,56 @@ type SweepPoint struct {
 	Config AttackConfig
 	Series string
 	// PIndex is the point's index into SweepOptions.PGrid; P is the grid
-	// value there and Gamma the sweep's switching probability.
+	// value there and Gamma the sweep's switching probability. Refined
+	// points of an adaptive sweep lie between grid entries and carry
+	// PIndex = -1.
 	PIndex int
 	P      float64
 	Gamma  float64
+	// Depth is the point's bisection depth in an adaptive sweep: 0 for
+	// coarse-grid points (and every point of a uniform sweep), 1..MaxDepth
+	// for refined midpoints.
+	Depth int
 	// ERRev is the certified lower bound at this point, bitwise equal to
 	// the final figure's value.
 	ERRev float64
 	// Sweeps reports the value-iteration sweeps the point's analysis
 	// performed when it was first solved (0 for the p = 0 shortcut; the
-	// originally recorded count when served from the result cache).
+	// originally recorded count when served from the result cache or a
+	// resume checkpoint).
 	Sweeps int
+}
+
+// SweepCheckpoint carries the completed points of an interrupted sweep so
+// an identical re-run can skip their solves (SweepOptions.Resume). The
+// jobs layer accumulates one from the OnPoint stream and persists it with
+// the job; only Config, P, ERRev and Sweeps are consulted on resume.
+type SweepCheckpoint struct {
+	Points []SweepPoint
+}
+
+// sweepResumeKey indexes a resume checkpoint by attack configuration and
+// the exact bit pattern of p — the bitwise contract is what makes exact
+// float matching sound.
+type sweepResumeKey struct {
+	depth, forks int
+	pbits        uint64
+}
+
+// resumePoints indexes a checkpoint for O(1) lookup; nil checkpoints give
+// a nil (always-missing) map.
+func resumePoints(ck *SweepCheckpoint) map[sweepResumeKey]SweepPoint {
+	if ck == nil || len(ck.Points) == 0 {
+		return nil
+	}
+	m := make(map[sweepResumeKey]SweepPoint, len(ck.Points))
+	for _, pt := range ck.Points {
+		if math.IsNaN(pt.P) {
+			continue
+		}
+		m[sweepResumeKey{pt.Config.Depth, pt.Config.Forks, math.Float64bits(pt.P)}] = pt
+	}
+	return m
 }
 
 func (o *SweepOptions) defaults() {
@@ -160,9 +259,39 @@ func (o *SweepOptions) defaults() {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 1e-4
 	}
+	if o.Adaptive {
+		if o.Tolerance <= 0 {
+			o.Tolerance = DefaultSweepTolerance
+		}
+		if o.MaxDepth <= 0 {
+			o.MaxDepth = DefaultSweepMaxDepth
+		}
+		if o.MaxPoints < 0 {
+			o.MaxPoints = 0
+		}
+	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
 	}
+}
+
+// validateAdaptive checks the adaptive-only option surface (after
+// defaults). The refinement engine re-validates; these duplicate the
+// checks a caller can get wrong, with package-appropriate messages.
+func (o *SweepOptions) validateAdaptive() error {
+	if len(o.PGrid) < 2 {
+		return fmt.Errorf("selfishmining: adaptive sweep needs a coarse grid of >= 2 points, got %d", len(o.PGrid))
+	}
+	for i := 1; i < len(o.PGrid); i++ {
+		if !(o.PGrid[i] > o.PGrid[i-1]) {
+			return fmt.Errorf("selfishmining: adaptive sweep grid must be strictly increasing, got p[%d] = %v after %v",
+				i, o.PGrid[i], o.PGrid[i-1])
+		}
+	}
+	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) {
+		return fmt.Errorf("selfishmining: adaptive tolerance = %v is not finite", o.Tolerance)
+	}
+	return nil
 }
 
 // Sweep is SweepContext under context.Background().
@@ -205,9 +334,19 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 // the nearest solved p. See the package-level SweepContext for the panel's
 // contents.
 //
+// With opts.Adaptive the x-axis is refined around the profitability
+// threshold instead of staying on the uniform grid: PGrid becomes the
+// coarse pass, and cells that prove curvature beyond opts.Tolerance are
+// recursively bisected. Refined midpoints warm-start from their just-
+// solved neighbors, so deep refinement is much cheaper per point than the
+// coarse pass.
+//
 // The figure is bitwise identical at every worker count and cache state:
 // grid points are bound-only analyses, whose certified bracket depends
-// only on exact sign decisions (see the Service determinism notes).
+// only on exact sign decisions (see the Service determinism notes). The
+// adaptive point set is likewise deterministic — refinement decisions
+// depend only on solved values — and each of its points is bit-identical
+// to the same (p, γ) point of a uniform sweep.
 //
 // ctx cancels the sweep: workers stop drawing new grid points, the point
 // being solved stops at its next value-iteration sweep boundary, and the
@@ -216,7 +355,8 @@ func (s *Service) Sweep(opts SweepOptions) (*results.Figure, error) {
 // re-run resumes from them and still produces the bitwise-identical
 // panel. SweepOptions.OnPoint streams each completed point; points
 // delivered before a cancellation are exactly the values the full panel
-// would have carried.
+// would have carried, and a checkpoint built from them can skip their
+// solves in a later run (SweepOptions.Resume).
 func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results.Figure, error) {
 	opts.defaults()
 	if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
@@ -225,13 +365,20 @@ func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results
 	if err := ValidateKernel(opts.Kernel); err != nil {
 		return nil, fmt.Errorf("selfishmining: %w", err)
 	}
+	if opts.Adaptive {
+		if err := opts.validateAdaptive(); err != nil {
+			return nil, err
+		}
+	}
 	fam, err := families.Get(opts.Model)
 	if err != nil {
 		return nil, err
 	}
 	isFork := fam.Name() == families.DefaultName
 	// Validate every (config, p) grid point up front, so one bad point
-	// cannot waste a partially solved panel.
+	// cannot waste a partially solved panel. Adaptive midpoints lie
+	// strictly between grid entries, and every family's validity region
+	// in p is an interval, so validating the grid covers them too.
 	for _, cfg := range opts.Configs {
 		for _, p := range opts.PGrid {
 			if p == 0 {
@@ -264,42 +411,31 @@ func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results
 		Title:  title,
 		XLabel: "p",
 		YLabel: "ERRev",
-		X:      opts.PGrid,
 	}
 
-	honest := make([]float64, len(opts.PGrid))
-	for i, p := range opts.PGrid {
-		v, err := baseline.HonestERRev(p)
+	if opts.Adaptive {
+		// Adaptive sweeps discover their x-axis, so the attack curves run
+		// first and the baselines follow on the refined grid.
+		res, err := s.sweepAdaptive(ctx, opts, workers, progress)
 		if err != nil {
+			return nil, s.countCancel(err)
+		}
+		fig.X = res.X
+		if err := s.addBaselines(fig, res.X, opts, workers, isFork); err != nil {
 			return nil, err
 		}
-		honest[i] = v
-	}
-	if err := fig.AddSeries("honest", honest); err != nil {
-		return nil, err
-	}
-
-	if isFork {
-		// The single-tree baseline points are independent exact chain
-		// analyses; spread them over the pool too. The baseline accompanies
-		// the fork figure only — for the singletree family it IS the curve.
-		tree := make([]float64, len(opts.PGrid))
-		treeErrs := make([]error, len(opts.PGrid))
-		par.For(len(opts.PGrid), workers, func(_, from, to int) {
-			for i := from; i < to; i++ {
-				tree[i], treeErrs[i] = baseline.SingleTreeERRev(baseline.SingleTreeParams{
-					P: opts.PGrid[i], Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
-				})
-			}
-		})
-		for _, err := range treeErrs {
-			if err != nil {
+		progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(res.X))
+		for ci, cfg := range opts.Configs {
+			if err := fig.AddSeries(attackSeriesName(opts, cfg), res.Values[ci]); err != nil {
 				return nil, err
 			}
 		}
-		if err := fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree); err != nil {
-			return nil, err
-		}
+		return fig, nil
+	}
+
+	fig.X = opts.PGrid
+	if err := s.addBaselines(fig, opts.PGrid, opts, workers, isFork); err != nil {
+		return nil, err
 	}
 	progress("baselines done (gamma=%g, %d points)", opts.Gamma, len(opts.PGrid))
 
@@ -315,17 +451,50 @@ func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results
 	return fig, nil
 }
 
-// sweepConfigs computes the attack curves of a panel with a worker pool
-// over all (configuration, p) points. Structures come from the service's
-// structure cache; the bases' own mutable buffers stay idle while workers
-// solve on clones, because a worker adopting a base would race its
-// parameter mutation against other workers cloning from it. Completed
-// points are streamed through opts.OnPoint (serialized) as they finish;
-// ctx stops workers from drawing new points and interrupts the one being
-// solved at its next sweep boundary.
-func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
-	// Resolve each (d, f, l) structure once, in parallel across configs
-	// (cache hits return immediately; misses compile).
+// addBaselines appends the honest series — and, for the fork family, the
+// single-tree baseline — to fig, evaluated over xs. Baseline points are
+// independent exact chain analyses; the single-tree points spread over a
+// pool (the honest closed form is too cheap to bother).
+func (s *Service) addBaselines(fig *results.Figure, xs []float64, opts SweepOptions, workers int, isFork bool) error {
+	honest := make([]float64, len(xs))
+	for i, p := range xs {
+		v, err := baseline.HonestERRev(p)
+		if err != nil {
+			return err
+		}
+		honest[i] = v
+	}
+	if err := fig.AddSeries("honest", honest); err != nil {
+		return err
+	}
+	if !isFork {
+		// The single-tree baseline accompanies the fork figure only — for
+		// the singletree family it IS the curve.
+		return nil
+	}
+	tree := make([]float64, len(xs))
+	treeErrs := make([]error, len(xs))
+	par.For(len(xs), workers, func(_, from, to int) {
+		for i := from; i < to; i++ {
+			tree[i], treeErrs[i] = baseline.SingleTreeERRev(baseline.SingleTreeParams{
+				P: xs[i], Gamma: opts.Gamma, MaxDepth: opts.MaxForkLen, MaxWidth: opts.TreeWidth,
+			})
+		}
+	})
+	for _, err := range treeErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return fig.AddSeries(fmt.Sprintf("single-tree(f=%d)", opts.TreeWidth), tree)
+}
+
+// sweepBases resolves each config's (d, f, l) structure once, in parallel
+// across configs (cache hits return immediately; misses compile). The
+// bases' own mutable buffers stay idle while workers solve on clones,
+// because a worker adopting a base would race its parameter mutation
+// against other workers cloning from it.
+func (s *Service) sweepBases(opts SweepOptions, workers int) ([]*core.Compiled, error) {
 	bases := make([]*core.Compiled, len(opts.Configs))
 	structErrs := make([]error, len(opts.Configs))
 	par.For(len(opts.Configs), workers, func(_, from, to int) {
@@ -340,45 +509,41 @@ func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers i
 				opts.Configs[ci].Depth, opts.Configs[ci].Forks, err)
 		}
 	}
+	return bases, nil
+}
 
-	type point struct{ ci, pi int }
-	tasks := make([]point, 0, len(opts.Configs)*len(opts.PGrid))
-	for ci := range opts.Configs {
-		for pi := range opts.PGrid {
-			tasks = append(tasks, point{ci, pi})
-		}
-	}
-	out := make([][]float64, len(opts.Configs))
-	for ci := range out {
-		out[ci] = make([]float64, len(opts.PGrid))
-	}
+// gridTask is one (configuration, p) point a sweep pool must answer.
+type gridTask struct {
+	ci     int // index into opts.Configs
+	wi     int // index into the batch's p slice (uniform sweeps: == pIndex)
+	pIndex int // index into opts.PGrid, or -1 for adaptive refined points
+	depth  int // bisection depth (0 for coarse and uniform points)
+	p      float64
+}
+
+// solveTasks answers one batch of grid points on a worker pool: from the
+// resume checkpoint when present, the p = 0 shortcut, the result cache,
+// or a fresh (warm-started, coalesced) solve. onDone runs exactly once
+// per task, serialized under one mutex, in parallel completion order; ctx
+// stops workers from drawing new points and interrupts the one being
+// solved at its next sweep boundary.
+func (s *Service) solveTasks(ctx context.Context, opts SweepOptions, bases []*core.Compiled, workers int,
+	resume map[sweepResumeKey]SweepPoint, tasks []gridTask, onDone func(ti int, errev float64, sweeps int)) error {
 	if len(tasks) == 0 {
-		return out, nil
+		return nil
 	}
 	errs := make([]error, len(tasks))
-
-	// emit serializes the OnPoint stream across workers.
-	var emitMu sync.Mutex
-	emit := func(pt SweepPoint) {
-		if opts.OnPoint == nil {
-			return
-		}
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		opts.OnPoint(pt)
+	var doneMu sync.Mutex
+	done := func(ti int, errev float64, sweeps int) {
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		onDone(ti, errev, sweeps)
 	}
-
-	poolSize := workers
-	if poolSize > len(tasks) {
-		poolSize = len(tasks)
-	}
+	poolSize := min(workers, len(tasks))
 	// Split the worker budget: the pool takes the outer (point) level; any
 	// leftover cores deepen the per-solve sweep parallelism. Neither split
 	// affects results.
-	innerWorkers := workers / poolSize
-	if innerWorkers < 1 {
-		innerWorkers = 1
-	}
+	innerWorkers := max(workers/poolSize, 1)
 	var cursor atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -406,10 +571,15 @@ func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers i
 				}
 				tk := tasks[idx]
 				cfg := opts.Configs[tk.ci]
-				p := opts.PGrid[tk.pi]
-				if p == 0 {
-					out[tk.ci][tk.pi] = 0 // no resource, no revenue; the p=0 MDP is degenerate
-					emit(SweepPoint{Config: cfg, Series: attackSeriesName(opts, cfg), PIndex: tk.pi, P: p, Gamma: opts.Gamma})
+				if tk.p == 0 {
+					done(idx, 0, 0) // no resource, no revenue; the p=0 MDP is degenerate
+					continue
+				}
+				if pt, ok := resume[sweepResumeKey{cfg.Depth, cfg.Forks, math.Float64bits(tk.p)}]; ok {
+					// Checkpointed by an earlier run of this same sweep:
+					// the bitwise contract lets the recorded value stand in
+					// for the solve verbatim.
+					done(idx, pt.ERRev, pt.Sweeps)
 					continue
 				}
 				if cloneOf != tk.ci {
@@ -417,26 +587,145 @@ func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers i
 					comp.SetWorkers(innerWorkers)
 					cloneOf = tk.ci
 				}
-				res, err := s.sweepPoint(ctx, comp, cfg, p, opts)
+				res, err := s.sweepPoint(ctx, comp, cfg, tk.p, opts)
 				if err != nil {
-					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, p, err)
+					errs[idx] = fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, tk.p, err)
 					failed.Store(true)
 					return
 				}
-				out[tk.ci][tk.pi] = res.ERRev
-				emit(SweepPoint{Config: cfg, Series: attackSeriesName(opts, cfg), PIndex: tk.pi, P: p, Gamma: opts.Gamma, ERRev: res.ERRev, Sweeps: res.Sweeps})
-				progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps)",
-					cfg.Depth, cfg.Forks, p, opts.Gamma, res.ERRev, res.Sweeps)
+				done(idx, res.ERRev, res.Sweeps)
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
+
+// sweepConfigs computes the attack curves of a uniform-grid panel with a
+// worker pool over all (configuration, p) points. Completed points are
+// streamed through opts.OnPoint (serialized) as they finish.
+func (s *Service) sweepConfigs(ctx context.Context, opts SweepOptions, workers int, progress func(string, ...any)) ([][]float64, error) {
+	bases, err := s.sweepBases(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]gridTask, 0, len(opts.Configs)*len(opts.PGrid))
+	for ci := range opts.Configs {
+		for pi, p := range opts.PGrid {
+			tasks = append(tasks, gridTask{ci: ci, wi: pi, pIndex: pi, p: p})
+		}
+	}
+	out := make([][]float64, len(opts.Configs))
+	for ci := range out {
+		out[ci] = make([]float64, len(opts.PGrid))
+	}
+	resume := resumePoints(opts.Resume)
+	err = s.solveTasks(ctx, opts, bases, workers, resume, tasks, func(ti int, errev float64, sweeps int) {
+		tk := tasks[ti]
+		cfg := opts.Configs[tk.ci]
+		out[tk.ci][tk.pIndex] = errev
+		if opts.OnPoint != nil {
+			opts.OnPoint(SweepPoint{
+				Config: cfg, Series: attackSeriesName(opts, cfg),
+				PIndex: tk.pIndex, P: tk.p, Gamma: opts.Gamma,
+				ERRev: errev, Sweeps: sweeps,
+			})
+		}
+		if tk.p != 0 {
+			progress("d=%d f=%d p=%.2f gamma=%g: ERRev=%.5f (%d sweeps)",
+				cfg.Depth, cfg.Forks, tk.p, opts.Gamma, errev, sweeps)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// sweepAdaptive computes the attack curves of an adaptive panel: the
+// refinement engine decides which points exist, wave by wave, and each
+// wave is solved over the same worker pool (and caches) uniform sweeps
+// use. Refined midpoints warm-start from their freshly solved neighbors
+// through the service's warm-start cache — the solved corners of a cell
+// are exactly the nearest-p vectors when its midpoint solves.
+//
+// Emission is deterministic: within a wave, completed points are held
+// back until every earlier task of the wave (config-major, ascending p)
+// has finished, so the OnPoint stream — and any checkpoint built from a
+// prefix of it — is reproducible point for point.
+func (s *Service) sweepAdaptive(ctx context.Context, opts SweepOptions, workers int, progress func(string, ...any)) (*adaptive.Result, error) {
+	bases, err := s.sweepBases(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	resume := resumePoints(opts.Resume)
+	solve := func(ps []float64, depth int) ([][]float64, error) {
+		tasks := make([]gridTask, 0, len(ps)*len(opts.Configs))
+		for ci := range opts.Configs {
+			for wi, p := range ps {
+				pIndex := -1
+				if depth == 0 {
+					pIndex = wi // the coarse wave IS the requested grid
+				}
+				tasks = append(tasks, gridTask{ci: ci, wi: wi, pIndex: pIndex, depth: depth, p: p})
+			}
+		}
+		vals := make([][]float64, len(opts.Configs))
+		for ci := range vals {
+			vals[ci] = make([]float64, len(ps))
+		}
+		pts := make([]SweepPoint, len(tasks))
+		completed := make([]bool, len(tasks))
+		frontier := 0
+		err := s.solveTasks(ctx, opts, bases, workers, resume, tasks, func(ti int, errev float64, sweeps int) {
+			tk := tasks[ti]
+			cfg := opts.Configs[tk.ci]
+			vals[tk.ci][tk.wi] = errev
+			pts[ti] = SweepPoint{
+				Config: cfg, Series: attackSeriesName(opts, cfg),
+				PIndex: tk.pIndex, P: tk.p, Gamma: opts.Gamma, Depth: tk.depth,
+				ERRev: errev, Sweeps: sweeps,
+			}
+			completed[ti] = true
+			for frontier < len(tasks) && completed[frontier] {
+				pt := pts[frontier]
+				if opts.OnPoint != nil {
+					opts.OnPoint(pt)
+				}
+				if pt.P != 0 {
+					progress("d=%d f=%d p=%g gamma=%g depth=%d: ERRev=%.5f (%d sweeps)",
+						pt.Config.Depth, pt.Config.Forks, pt.P, opts.Gamma, pt.Depth, pt.ERRev, pt.Sweeps)
+				}
+				frontier++
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return vals, nil
+	}
+	res, err := adaptive.Refine(adaptive.Options{
+		Grid:      opts.PGrid,
+		Configs:   len(opts.Configs),
+		Tolerance: opts.Tolerance,
+		MaxDepth:  opts.MaxDepth,
+		MaxPoints: opts.MaxPoints,
+		Force:     opts.Exhaustive,
+	}, solve)
+	if err != nil {
+		return nil, err
+	}
+	if res.Truncated {
+		progress("refinement budget exhausted after %d refined points (max %d)", res.Refined, opts.MaxPoints)
+	}
+	progress("adaptive refinement done: %d x-values (%d coarse + %d refined)",
+		len(res.X), len(opts.PGrid), res.Refined)
+	return res, nil
 }
 
 // sweepPoint answers one grid point: from the result cache when available,
