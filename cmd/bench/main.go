@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_7.json]
-//	bench -check BENCH_7.json [-min-speedup 5]
-//	bench -check fresh.json -baseline BENCH_7.json [-min-ratio 0.25]
+//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_8.json]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bench -check BENCH_8.json [-min-speedup 5] [-min-batch-speedup 2]
+//	bench -check fresh.json -baseline BENCH_8.json [-min-ratio 0.25]
 //
 // Measurement mode solves every (point, variant, workers) cell -iters times
 // through the public selfishmining API (bound-only, the sweep workload) and
@@ -31,14 +32,26 @@
 // at most 1/5 of the uniform grid's points — and whether every adaptive
 // point matched its uniform counterpart bit for bit.
 //
+// The batch cell times one fork panel twice at equal fidelity: per-point
+// (SweepOptions.BatchLanes = 0, the solo scheduler) and batched
+// (AutoBatchLanes, multi-lane solves sharing one pass over the structure
+// per sweep), cross-checking the two figures bit for bit. The recorded
+// speedup — per-point wall-clock over batched wall-clock — is the PR-8
+// headline, guarded in check mode by -min-batch-speedup.
+//
+// -cpuprofile and -memprofile write pprof profiles of a measurement run
+// (CPU for the whole matrix, heap at the end), for digging into where a
+// cell's time or allocations go; see docs/PERFORMANCE.md.
+//
 // Check mode validates an artifact (schema, required families and variants,
 // positive timings, the fork-family speedup floor, the adaptive cell's
-// point ratio and bitwise flag) and exits non-zero on violation — CI runs
-// it against the committed baseline so a missing or malformed
-// BENCH_<n>.json fails the build. With -baseline it additionally compares
-// matching cells of a fresh artifact against the committed one and fails
-// if any cell regressed below -min-ratio × the baseline throughput
-// (generous by default: shared CI runners are noisy).
+// point ratio and bitwise flag, the batch cell's speedup floor and bitwise
+// flag) and exits non-zero on violation — CI runs it against the committed
+// baseline so a missing or malformed BENCH_<n>.json fails the build. With
+// -baseline it additionally compares matching cells of a fresh artifact
+// against the committed one and fails if any cell regressed below
+// -min-ratio × the baseline throughput (generous by default: shared CI
+// runners are noisy).
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,7 +74,7 @@ import (
 
 // prNumber stamps the artifact; bump when a new PR re-baselines the
 // trajectory (the artifact file name follows it: BENCH_<pr>.json).
-const prNumber = 7
+const prNumber = 8
 
 // benchPoint is one standard test point of the matrix: the family's default
 // shape at the service-layer test chain parameters (p=0.3, γ=0.5) used since
@@ -100,6 +114,7 @@ type artifact struct {
 	Epsilon  float64         `json:"epsilon"`
 	Points   []benchPoint    `json:"points"`
 	Adaptive *adaptiveReport `json:"adaptive"`
+	Batch    *batchReport    `json:"batch"`
 	Summary  summary         `json:"summary"`
 }
 
@@ -132,6 +147,33 @@ type adaptiveReport struct {
 	UniformNsOp  int64 `json:"uniform_ns_op"`
 }
 
+// batchReport is the batched-vs-per-point sweep cell: one fork panel
+// computed twice at equal fidelity — with the solo per-point scheduler and
+// with auto-sized lane batching — timing both and cross-checking the
+// figures bit for bit.
+type batchReport struct {
+	Family string  `json:"family"`
+	Depth  int     `json:"d"`
+	Forks  int     `json:"f"`
+	Len    int     `json:"l"`
+	Gamma  float64 `json:"gamma"`
+	PMin   float64 `json:"pmin"`
+	PMax   float64 `json:"pmax"`
+	PStep  float64 `json:"pstep"`
+	// Points is the panel's grid size; Lanes the auto-sized lane count
+	// the batched run grouped solves into.
+	Points int `json:"points"`
+	Lanes  int `json:"lanes"`
+	// PerPointNsOp / BatchedNsOp are the fastest wall-clocks of the two
+	// schedulers over the -iters runs; Speedup is their ratio.
+	PerPointNsOp int64   `json:"per_point_ns_op"`
+	BatchedNsOp  int64   `json:"batched_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	// Bitwise reports that the batched figure equaled the per-point
+	// figure on every series value, bit for bit.
+	Bitwise bool `json:"bitwise"`
+}
+
 type summary struct {
 	// ForkDefaultNsOp / ForkBestNsOp are the single-core fork-family
 	// default and fastest-variant timings; Speedup is their ratio — the
@@ -140,6 +182,9 @@ type summary struct {
 	ForkBestNsOp             int64   `json:"fork_best_ns_op"`
 	ForkBestVariant          string  `json:"fork_best_variant"`
 	ForkSpeedupBestVsDefault float64 `json:"fork_speedup_best_vs_default"`
+	// BatchSweepSpeedup mirrors the batch cell's headline ratio (batched
+	// vs per-point wall-clock on the same panel at equal fidelity).
+	BatchSweepSpeedup float64 `json:"batch_sweep_speedup"`
 }
 
 const schemaV1 = "bench/v1"
@@ -180,13 +225,16 @@ func run(args []string) error {
 		check      = fs.String("check", "", "validate this artifact instead of measuring, and exit")
 		baseline   = fs.String("baseline", "", "with -check: compare matching cells against this committed artifact")
 		minSpeedup = fs.Float64("min-speedup", 5, "with -check: required fork-family speedup of the best variant over the default")
+		minBatch   = fs.Float64("min-batch-speedup", 2, "with -check: required batched-vs-per-point sweep speedup of the batch cell")
 		minRatio   = fs.Float64("min-ratio", 0.25, "with -check -baseline: fail if a cell drops below this fraction of baseline throughput")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile at the end of the measurement run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *check != "" {
-		return runCheck(*check, *baseline, *minSpeedup, *minRatio)
+		return runCheck(*check, *baseline, *minSpeedup, *minBatch, *minRatio)
 	}
 	if *iters < 1 {
 		return fmt.Errorf("-iters %d: need >= 1", *iters)
@@ -198,9 +246,31 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	art, err := measure(*iters, *eps, workers)
 	if err != nil {
 		return err
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // report steady-state retention, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -312,6 +382,11 @@ func measure(iters int, eps float64, workers []int) (*artifact, error) {
 		return nil, err
 	}
 	art.Adaptive = ad
+	bt, err := measureBatch(iters, eps)
+	if err != nil {
+		return nil, err
+	}
+	art.Batch = bt
 	s, err := summarize(art)
 	if err != nil {
 		return nil, err
@@ -379,6 +454,78 @@ func measureAdaptive(eps float64) (*adaptiveReport, error) {
 	return rep, nil
 }
 
+// measureBatch runs the batched-vs-per-point sweep cell: the paper-grid
+// fork panel at d=2, f=2, l=5 (7776 states — big enough that the attack
+// solves dominate the panel) solved once with the solo per-point
+// scheduler and once with auto-sized lane batching, each on a fresh
+// ephemeral service so neither mode rides the other's caches. The
+// single-tree baseline runs at TreeWidth 3 (like the adaptive cell) so
+// its identical cost in both modes does not dilute the ratio the cell
+// exists to measure. Both figures must agree bit for bit; the recorded
+// speedup is the fastest per-point wall-clock over the fastest batched
+// one across -iters runs.
+func measureBatch(iters int, eps float64) (*batchReport, error) {
+	rep := &batchReport{
+		Family: selfishmining.DefaultModel, Depth: 2, Forks: 2, Len: 5,
+		Gamma: 0.5, PMin: 0, PMax: 0.3, PStep: 0.01,
+	}
+	grid := results.Grid(rep.PMin, rep.PMax, rep.PStep)
+	rep.Points = len(grid)
+	lanes, err := selfishmining.BatchLaneCount(rep.Family,
+		selfishmining.AttackConfig{Depth: rep.Depth, Forks: rep.Forks}, rep.Len)
+	if err != nil {
+		return nil, err
+	}
+	rep.Lanes = lanes
+	opts := selfishmining.SweepOptions{
+		Gamma: rep.Gamma, PGrid: grid,
+		Configs:    []selfishmining.AttackConfig{{Depth: rep.Depth, Forks: rep.Forks}},
+		MaxForkLen: rep.Len, TreeWidth: 3, Epsilon: eps,
+		Workers: 1, // single-core, so the ratio isolates batching from parallelism
+	}
+	var perPointFig, batchedFig *results.Figure
+	rep.PerPointNsOp, rep.BatchedNsOp = math.MaxInt64, math.MaxInt64
+	for it := 0; it < iters; it++ {
+		start := time.Now()
+		fig, err := selfishmining.SweepContext(context.Background(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("per-point sweep: %w", err)
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < rep.PerPointNsOp {
+			rep.PerPointNsOp = ns
+		}
+		perPointFig = fig
+
+		bOpts := opts
+		bOpts.BatchLanes = selfishmining.AutoBatchLanes
+		start = time.Now()
+		bfig, err := selfishmining.SweepContext(context.Background(), bOpts)
+		if err != nil {
+			return nil, fmt.Errorf("batched sweep: %w", err)
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < rep.BatchedNsOp {
+			rep.BatchedNsOp = ns
+		}
+		batchedFig = bfig
+	}
+	rep.Speedup = float64(rep.PerPointNsOp) / float64(rep.BatchedNsOp)
+	rep.Bitwise = true
+	if len(batchedFig.Series) != len(perPointFig.Series) {
+		return nil, fmt.Errorf("batched sweep produced %d series, per-point %d", len(batchedFig.Series), len(perPointFig.Series))
+	}
+	for si, s := range batchedFig.Series {
+		for i := range s.Values {
+			if math.Float64bits(s.Values[i]) != math.Float64bits(perPointFig.Series[si].Values[i]) {
+				rep.Bitwise = false
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "batch         fork d=%d f=%d  %d points, %d lanes: %.3fms batched vs %.3fms per-point (%.2fx, bitwise %v)\n",
+		rep.Depth, rep.Forks, rep.Points, rep.Lanes,
+		float64(rep.BatchedNsOp)/1e6, float64(rep.PerPointNsOp)/1e6, rep.Speedup, rep.Bitwise)
+	return rep, nil
+}
+
 // summarize derives the headline single-core fork-family speedup from the
 // measured cells.
 func summarize(art *artifact) (*summary, error) {
@@ -402,6 +549,9 @@ func summarize(art *artifact) (*summary, error) {
 		return nil, fmt.Errorf("summary: missing single-core fork-family cells")
 	}
 	s.ForkSpeedupBestVsDefault = float64(s.ForkDefaultNsOp) / float64(s.ForkBestNsOp)
+	if art.Batch != nil {
+		s.BatchSweepSpeedup = art.Batch.Speedup
+	}
 	return &s, nil
 }
 
@@ -452,12 +602,19 @@ func loadArtifact(path string) (*artifact, error) {
 		return nil, fmt.Errorf("%s: adaptive cell has non-positive point counts (%d vs %d)",
 			path, art.Adaptive.AdaptivePoints, art.Adaptive.UniformPoints)
 	}
+	// The batch cell is optional here — artifacts before PR 8 lack it, and
+	// they stay loadable as -baseline inputs — but a nil cell fails the
+	// primary -check validation below.
+	if art.Batch != nil && (art.Batch.PerPointNsOp <= 0 || art.Batch.BatchedNsOp <= 0) {
+		return nil, fmt.Errorf("%s: batch cell has non-positive timings (%d vs %d)",
+			path, art.Batch.PerPointNsOp, art.Batch.BatchedNsOp)
+	}
 	return &art, nil
 }
 
 // runCheck validates an artifact and, with a baseline, guards against
 // regressions cell by cell.
-func runCheck(path, baselinePath string, minSpeedup, minRatio float64) error {
+func runCheck(path, baselinePath string, minSpeedup, minBatch, minRatio float64) error {
 	art, err := loadArtifact(path)
 	if err != nil {
 		return err
@@ -472,8 +629,18 @@ func runCheck(path, baselinePath string, minSpeedup, minRatio float64) error {
 	} else if !ad.Bitwise {
 		return fmt.Errorf("%s: adaptive sweep values were not bitwise equal to the uniform grid's", path)
 	}
-	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise)\n",
-		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio)
+	if art.Batch == nil {
+		return fmt.Errorf("%s: missing the batched-vs-per-point sweep cell", path)
+	}
+	if art.Batch.Speedup < minBatch {
+		return fmt.Errorf("%s: batched sweep speedup %.2fx below required %.2fx",
+			path, art.Batch.Speedup, minBatch)
+	}
+	if !art.Batch.Bitwise {
+		return fmt.Errorf("%s: batched sweep figure was not bitwise equal to the per-point figure", path)
+	}
+	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise; batch speedup %.2fx, bitwise)\n",
+		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio, art.Batch.Speedup)
 	if baselinePath == "" {
 		return nil
 	}

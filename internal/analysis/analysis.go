@@ -194,6 +194,12 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 
 	m.SetMode(core.RewardBeta)
 	res := &Result{BetaLow: 0, BetaUp: 1, StrategyERRev: math.NaN()}
+	// One workspace per search: the ~log2(1/ε) inner solves and the final
+	// strategy solve all draw their scratch vectors from it instead of
+	// allocating per solve. The warm vector returned by each solve aliases
+	// the workspace; everything escaping the search (checkpoints, the
+	// strategy) is copied, and the solvers handle the warm-start self-alias.
+	var ws solve.Workspace
 	warm := opts.InitialValues
 	if ck := opts.Resume; ck != nil {
 		if err := ck.validate(); err != nil {
@@ -218,6 +224,7 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 			InitialValues: warm,
 			Workers:       opts.Workers,
 			Variant:       opts.Kernel,
+			Workspace:     &ws,
 		})
 		if sr != nil {
 			res.Sweeps += sr.Iters
@@ -267,6 +274,7 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 		InitialValues: warm,
 		Workers:       opts.Workers,
 		Variant:       opts.Kernel,
+		Workspace:     &ws,
 	})
 	if sr != nil {
 		res.Sweeps += sr.Iters

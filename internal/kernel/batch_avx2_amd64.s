@@ -1,0 +1,173 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Dense 8-lane batched value-iteration sweep, AVX (256-bit) form.
+//
+// Bitwise contract with the scalar sweep (see batch_avx2_amd64.go):
+// elementwise VADDPD/VMULPD/VSUBPD/VCVTPS2PD only — no FMA — and every
+// conditional max/min is VCMPPD(GT_OQ=$30 / LT_OQ=$17) + VBLENDVPD,
+// which keeps Go's `if x > y { y = x }` NaN behavior (comparison with a
+// NaN is false, so the old value stays).
+//
+// Register plan (whole call):
+//   Y0,Y1   q accumulators, lanes 0-3 / 4-7
+//   Y2,Y3   per-state action maxima b
+//   Y4,Y5   chunk bracket minima lo   (live across states)
+//   Y6,Y7   chunk bracket maxima hi   (live across states)
+//   Y8      tau broadcast
+//   Y14     -inf broadcast
+//   Y9..Y13,Y15 scratch
+//   SI transStart, R8 tp, R9 probs, R10 rwd, R11 hv, R12 nx
+//   R13 state s, R14 to, BX t, CX kEnd, DX tp ptr, R15 probs ptr
+//   AX/DI scratch (packed entry decode)
+
+DATA posInf<>+0(SB)/8, $0x7FF0000000000000
+GLOBL posInf<>(SB), RODATA|NOPTR, $8
+DATA negInf<>+0(SB)/8, $0xFFF0000000000000
+GLOBL negInf<>(SB), RODATA|NOPTR, $8
+
+// sweepArgs field offsets, pinned by TestSweepArgsOffsets.
+#define A_TRANSSTART 0
+#define A_TP 8
+#define A_PROBS 16
+#define A_RWD 24
+#define A_HV 32
+#define A_NX 40
+#define A_LO 48
+#define A_HI 56
+#define A_TAU 64
+#define A_FROM 72
+#define A_TO 80
+
+// func sweep8AVX2(a *sweepArgs)
+TEXT ·sweep8AVX2(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ A_TRANSSTART(AX), SI
+	MOVQ A_TP(AX), R8
+	MOVQ A_PROBS(AX), R9
+	MOVQ A_RWD(AX), R10
+	MOVQ A_HV(AX), R11
+	MOVQ A_NX(AX), R12
+	VBROADCASTSD A_TAU(AX), Y8
+	MOVQ A_FROM(AX), R13
+	MOVQ A_TO(AX), R14
+	VBROADCASTSD posInf<>(SB), Y4
+	VMOVAPD Y4, Y5
+	VBROADCASTSD negInf<>(SB), Y14
+	VMOVAPD Y14, Y6
+	VMOVAPD Y14, Y7
+
+state_loop:
+	CMPQ R13, R14
+	JGE  store_extrema
+	MOVQ (SI)(R13*8), BX   // kStart
+	MOVQ 8(SI)(R13*8), CX  // kEnd
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VMOVAPD Y14, Y2
+	VMOVAPD Y14, Y3
+	LEAQ (R8)(BX*8), DX    // &tp[kStart]
+	MOVQ BX, AX
+	SHLQ $5, AX
+	LEAQ (R9)(AX*1), R15   // &probs[kStart*8]
+	CMPQ BX, CX
+	JGE  state_epilogue    // empty row: flush q=0 in the epilogue
+	// First transition of a state starts its span unconditionally —
+	// its new-action flag must not flush (scalar: `t > span`).
+	MOVQ (DX), AX
+	JMP  accum
+
+trans_loop:
+	CMPQ BX, CX
+	JGE  state_epilogue
+	MOVQ (DX), AX
+	TESTB $1, AX
+	JEQ  accum
+	// New action span: flush q into b, reset q.
+	VCMPPD $30, Y2, Y0, Y13
+	VBLENDVPD Y13, Y0, Y2, Y2
+	VCMPPD $30, Y3, Y1, Y13
+	VBLENDVPD Y13, Y1, Y3, Y3
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+accum:
+	// q += p * (rw + h[dst]), all 8 lanes.
+	MOVL AX, DI            // low half: rwd byte offset | flag
+	ANDQ $-64, DI
+	SHRQ $32, AX           // high half: dst byte offset
+	VCVTPS2PD (R15), Y9
+	VCVTPS2PD 16(R15), Y10
+	VMOVUPD (R10)(DI*1), Y11
+	VMOVUPD 32(R10)(DI*1), Y12
+	VADDPD (R11)(AX*1), Y11, Y11
+	VADDPD 32(R11)(AX*1), Y12, Y12
+	VMULPD Y9, Y11, Y11
+	VMULPD Y10, Y12, Y12
+	VADDPD Y11, Y0, Y0
+	VADDPD Y12, Y1, Y1
+	INCQ BX
+	ADDQ $8, DX
+	ADDQ $32, R15
+	JMP  trans_loop
+
+state_epilogue:
+	// Final flush of the last span.
+	VCMPPD $30, Y2, Y0, Y13
+	VBLENDVPD Y13, Y0, Y2, Y2
+	VCMPPD $30, Y3, Y1, Y13
+	VBLENDVPD Y13, Y1, Y3, Y3
+	// d = b - h[s]; lo = min(lo, d); hi = max(hi, d); nx[s] = h[s] + tau*d.
+	MOVQ R13, AX
+	SHLQ $6, AX
+	VMOVUPD (R11)(AX*1), Y9
+	VMOVUPD 32(R11)(AX*1), Y10
+	VSUBPD Y9, Y2, Y11
+	VSUBPD Y10, Y3, Y12
+	VCMPPD $17, Y4, Y11, Y13
+	VBLENDVPD Y13, Y11, Y4, Y4
+	VCMPPD $17, Y5, Y12, Y13
+	VBLENDVPD Y13, Y12, Y5, Y5
+	VCMPPD $30, Y6, Y11, Y13
+	VBLENDVPD Y13, Y11, Y6, Y6
+	VCMPPD $30, Y7, Y12, Y13
+	VBLENDVPD Y13, Y12, Y7, Y7
+	VMULPD Y8, Y11, Y15
+	VADDPD Y9, Y15, Y15
+	VMOVUPD Y15, (R12)(AX*1)
+	VMULPD Y8, Y12, Y15
+	VADDPD Y10, Y15, Y15
+	VMOVUPD Y15, 32(R12)(AX*1)
+	INCQ R13
+	JMP  state_loop
+
+store_extrema:
+	MOVQ a+0(FP), AX
+	MOVQ A_LO(AX), BX
+	VMOVUPD Y4, (BX)
+	VMOVUPD Y5, 32(BX)
+	MOVQ A_HI(AX), BX
+	VMOVUPD Y6, (BX)
+	VMOVUPD Y7, 32(BX)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

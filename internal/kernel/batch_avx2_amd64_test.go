@@ -1,0 +1,78 @@
+//go:build amd64
+
+package kernel
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSweepArgsOffsets pins the sweepArgs layout the assembly hard-codes.
+func TestSweepArgsOffsets(t *testing.T) {
+	var a sweepArgs
+	for _, f := range []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"transStart", unsafe.Offsetof(a.transStart), 0},
+		{"tp", unsafe.Offsetof(a.tp), 8},
+		{"probs", unsafe.Offsetof(a.probs), 16},
+		{"rwd", unsafe.Offsetof(a.rwd), 24},
+		{"hv", unsafe.Offsetof(a.hv), 32},
+		{"nx", unsafe.Offsetof(a.nx), 40},
+		{"lo", unsafe.Offsetof(a.lo), 48},
+		{"hi", unsafe.Offsetof(a.hi), 56},
+		{"tau", unsafe.Offsetof(a.tau), 64},
+		{"from", unsafe.Offsetof(a.from), 72},
+		{"to", unsafe.Offsetof(a.to), 80},
+	} {
+		if f.got != f.want {
+			t.Errorf("offsetof(sweepArgs.%s) = %d, assembly assumes %d", f.name, f.got, f.want)
+		}
+	}
+	if got, want := unsafe.Sizeof(a), uintptr(88); got != want {
+		t.Errorf("sizeof(sweepArgs) = %d, want %d", got, want)
+	}
+}
+
+// TestAsmSweepMatchesScalar runs one full solve through the assembly
+// dense sweep and through the scalar specialization (asm disabled), and
+// requires bitwise-identical results — the amd64-specific leg of the
+// batch bitwise contract. Skipped where the hardware lacks AVX2.
+func TestAsmSweepMatchesScalar(t *testing.T) {
+	if !haveAVX2 {
+		t.Skip("no AVX2")
+	}
+	c := compileRing(t, 300, 0.3)
+	lanes, betas, tols := laneFixture(denseLaneWidth)
+	run := func() ([]Result, [][]float64) {
+		b, err := NewBatch(c, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BatchMeanPayoff(t.Context(), b, betas, BatchOptions{Tol: tols})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([][]float64, denseLaneWidth)
+		for ln := range vals {
+			vals[ln] = b.Values(ln)
+		}
+		return res, vals
+	}
+	asm, asmVals := run()
+	defer func(v bool) { haveAVX2 = v }(haveAVX2)
+	haveAVX2 = false
+	scalar, scalarVals := run()
+	for ln := range asm {
+		if asm[ln] != scalar[ln] {
+			t.Errorf("lane %d: asm %+v != scalar %+v", ln, asm[ln], scalar[ln])
+		}
+		for s := range asmVals[ln] {
+			if asmVals[ln][s] != scalarVals[ln][s] {
+				t.Fatalf("lane %d state %d: asm value %v != scalar %v", ln, s, asmVals[ln][s], scalarVals[ln][s])
+			}
+		}
+	}
+}

@@ -273,6 +273,12 @@ func (c *Compiled) Gamma() float64 { return c.gamma }
 // binary search on β needs (see analysis.AnalyzeCompiled).
 func (c *Compiled) BlockRate() float64 { return c.rate(c.p, c.gamma) }
 
+// BlockRateAt evaluates the family's permanent-block-rate lower bound at
+// explicit chain parameters, without touching the instance's resolved
+// state — the batched analysis driver uses it to calibrate each lane's
+// tolerance from one shared Compiled.
+func (c *Compiled) BlockRateAt(p, gamma float64) float64 { return c.rate(p, gamma) }
+
 // Values returns a copy of the current value vector — after a solve, the
 // converged relative values. Feed it to SetValues on a Compiled over the
 // same structure (any chain parameters) to warm-start a related solve; the

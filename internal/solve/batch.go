@@ -1,0 +1,134 @@
+package solve
+
+import (
+	"context"
+
+	"repro/internal/kernel"
+)
+
+// BatchOptions tunes one batched multi-lane solve; fields mirror Options
+// lane-wise (see kernel.BatchOptions for the per-field semantics).
+type BatchOptions struct {
+	// Tol holds the per-lane gain bracket width target (len NumLanes);
+	// nil or non-positive entries default to 1e-7.
+	Tol []float64
+	// MaxIter bounds the shared sweep count; default 500000.
+	MaxIter int
+	// Damping is the aperiodicity mix shared by all lanes; default 0.95.
+	Damping float64
+	// SignOnly stops each lane once its bracket excludes zero, with the
+	// solo exact-sign semantics per lane.
+	SignOnly bool
+	// KeepValues warm-starts every lane from its current vector on the
+	// Batch (previous solve or Batch.SetValues); lanes without one start
+	// cold.
+	KeepValues bool
+}
+
+// BatchMeanPayoff solves all lanes of b in one batched value-iteration
+// loop, lane ln under reward r_{betas[ln]} — the multi-lane counterpart
+// of MeanPayoffContext on the compiled backend. The shared transition
+// structure is streamed once per sweep and applied to every live lane;
+// each lane's Result is bitwise identical to a solo Jacobi solve at that
+// lane's parameters (see kernel.Batch).
+//
+// The returned Results carry per-lane Gain/Lo/Hi/Iters/Converged;
+// converged value vectors stay on b (Batch.Values) rather than on
+// Result.Values, since the batch owns the lane-major storage. Policy
+// extraction is intentionally absent: the batch path serves sign-only
+// binary-search steps and bound-only sweeps, and single-point strategy
+// work stays on the solo kernels.
+//
+// ctx is checked once per sweep; on cancellation the partial per-lane
+// Results are returned with an error wrapping ctx.Err().
+func BatchMeanPayoff(ctx context.Context, b *kernel.Batch, betas []float64, opts BatchOptions) ([]*Result, error) {
+	krs, err := b.MeanPayoffCtx(ctx, betas, kernel.BatchOptions{
+		Tol:        opts.Tol,
+		MaxIter:    opts.MaxIter,
+		Damping:    opts.Damping,
+		SignOnly:   opts.SignOnly,
+		KeepValues: opts.KeepValues,
+	})
+	if krs == nil {
+		return nil, err
+	}
+	return wrapResults(krs), err
+}
+
+func wrapResults(krs []kernel.Result) []*Result {
+	rs := make([]*Result, len(krs))
+	for ln := range krs {
+		rs[ln] = &Result{
+			Gain:      krs[ln].Gain,
+			Lo:        krs[ln].Lo,
+			Hi:        krs[ln].Hi,
+			Iters:     krs[ln].Iters,
+			Converged: krs[ln].Converged,
+		}
+	}
+	return rs
+}
+
+// LaneSolve is one solve request inside a batched run (see BatchRun): the
+// β defining the lane's reward view and the gain bracket width target
+// (non-positive defaults to 1e-7).
+type LaneSolve struct {
+	Beta float64
+	Tol  float64
+}
+
+// BatchRunOptions tunes a batched run; fields are shared by every solve of
+// every lane (β and tolerance arrive per solve via LaneSolve).
+type BatchRunOptions struct {
+	// MaxIter bounds each individual lane solve's sweep count; default
+	// 500000.
+	MaxIter int
+	// Damping is the aperiodicity mix shared by all lanes; default 0.95.
+	Damping float64
+	// SignOnly stops each lane solve once its bracket excludes zero, with
+	// the solo exact-sign semantics.
+	SignOnly bool
+	// KeepValues warm-starts every lane's FIRST solve from its current
+	// vector on the Batch; later solves of a run always continue from the
+	// previous solve's converged vector, like solo KeepValues chaining.
+	KeepValues bool
+}
+
+// BatchRun drives each lane of b through its own stream of solves inside
+// one shared value-iteration loop: next(ln, nil) supplies lane ln's first
+// solve (or reports the lane idle), and each time a lane's solve
+// converges, next(ln, result) either supplies the lane's next solve —
+// warm-started in place from the converged vector — or retires the lane.
+// Lanes advance asynchronously, so a lane never idles between its own
+// solves waiting for slower lanes; see kernel.(*Batch).RunCtx for the
+// bitwise-equivalence contract per lane.
+//
+// The returned Results hold each lane's last solve outcome (zero Result
+// for lanes never issued a solve); converged vectors stay on b
+// (Batch.Values). On cancellation or MaxIter exhaustion the partial
+// Results return with a non-nil error.
+func BatchRun(ctx context.Context, b *kernel.Batch, opts BatchRunOptions, next func(ln int, prev *Result) (LaneSolve, bool)) ([]*Result, error) {
+	krs, err := b.RunCtx(ctx, kernel.BatchRunOptions{
+		MaxIter:    opts.MaxIter,
+		Damping:    opts.Damping,
+		SignOnly:   opts.SignOnly,
+		KeepValues: opts.KeepValues,
+	}, func(ln int, prev *kernel.Result) (kernel.LaneSolve, bool) {
+		var pr *Result
+		if prev != nil {
+			pr = &Result{
+				Gain:      prev.Gain,
+				Lo:        prev.Lo,
+				Hi:        prev.Hi,
+				Iters:     prev.Iters,
+				Converged: prev.Converged,
+			}
+		}
+		s, ok := next(ln, pr)
+		return kernel.LaneSolve{Beta: s.Beta, Tol: s.Tol}, ok
+	})
+	if krs == nil {
+		return nil, err
+	}
+	return wrapResults(krs), err
+}

@@ -31,14 +31,10 @@ func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, erro
 	if len(policy) != n {
 		return nil, fmt.Errorf("solve: policy covers %d states, model has %d", len(policy), n)
 	}
-	h := make([]float64, n)
-	if opts.InitialValues != nil {
-		if len(opts.InitialValues) != n {
-			return nil, fmt.Errorf("solve: warm-start vector has %d entries, model has %d states", len(opts.InitialValues), n)
-		}
-		copy(h, opts.InitialValues)
+	if opts.InitialValues != nil && len(opts.InitialValues) != n {
+		return nil, fmt.Errorf("solve: warm-start vector has %d entries, model has %d states", len(opts.InitialValues), n)
 	}
-	next := make([]float64, n)
+	h, next := solveVectors(opts.Workspace, n, opts.InitialValues)
 	tau := opts.Damping
 	ref := m.Initial()
 
@@ -103,13 +99,26 @@ func EvalPolicyIterative(m mdp.Model, policy []int, opts Options) (*Result, erro
 // computed strategy is certified: ERRev(σ) = gain(r_A) / gain(r_A + r_H)
 // by the renewal-reward theorem for ergodic chains.
 func GainRatio(m mdp.Model, policy []int, numFn, denFn func(s, a int, tr mdp.Transition) float64) (float64, error) {
+	return GainRatioWorkspace(m, policy, numFn, denFn, nil)
+}
+
+// GainRatioWorkspace is GainRatio with the per-state accumulators and the
+// chain's entry buffer drawn from ws (when non-nil), so a caller
+// certifying many strategies reuses one allocation. See Workspace for
+// ownership rules.
+func GainRatioWorkspace(m mdp.Model, policy []int, numFn, denFn func(s, a int, tr mdp.Transition) float64, ws *Workspace) (float64, error) {
 	if err := mdp.Policy(policy).Validate(m); err != nil {
 		return 0, err
 	}
 	n := m.NumStates()
-	numVec := make([]float64, n)
-	denVec := make([]float64, n)
+	var numVec, denVec []float64
 	var entries []linalg.Entry
+	if ws != nil {
+		numVec, denVec, entries = ws.ratioScratch(n)
+	} else {
+		numVec = make([]float64, n)
+		denVec = make([]float64, n)
+	}
 	var buf []mdp.Transition
 	for s := 0; s < n; s++ {
 		buf = m.Transitions(s, policy[s], buf[:0])
@@ -118,6 +127,9 @@ func GainRatio(m mdp.Model, policy []int, numFn, denFn func(s, a int, tr mdp.Tra
 			numVec[s] += tr.Prob * numFn(s, policy[s], tr)
 			denVec[s] += tr.Prob * denFn(s, policy[s], tr)
 		}
+	}
+	if ws != nil {
+		ws.entries = entries // keep the grown backing for the next call
 	}
 	chain, err := linalg.NewCSR(n, n, entries)
 	if err != nil {

@@ -78,6 +78,11 @@ type Options struct {
 	// Omega is the SOR over-relaxation factor in (0, 2); 0 picks the
 	// default. Ignored outside VariantSOR.
 	Omega float64
+	// Workspace, when non-nil, supplies the solver's scratch vectors so
+	// repeated solves (a binary search's inner steps) reuse one
+	// allocation. See Workspace for ownership and aliasing rules; results
+	// are bitwise identical with or without it.
+	Workspace *Workspace
 }
 
 func (o *Options) defaults() {

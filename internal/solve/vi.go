@@ -120,14 +120,10 @@ func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result,
 	default:
 		return nil, fmt.Errorf("solve: kernel variant %q requires the compiled backend", opts.Variant)
 	}
-	h := make([]float64, n)
-	if opts.InitialValues != nil {
-		if len(opts.InitialValues) != n {
-			return nil, fmt.Errorf("solve: warm-start vector has %d entries, model has %d states", len(opts.InitialValues), n)
-		}
-		copy(h, opts.InitialValues)
+	if opts.InitialValues != nil && len(opts.InitialValues) != n {
+		return nil, fmt.Errorf("solve: warm-start vector has %d entries, model has %d states", len(opts.InitialValues), n)
 	}
-	next := make([]float64, n)
+	h, next := solveVectors(opts.Workspace, n, opts.InitialValues)
 	tau := opts.Damping
 	ref := m.Initial()
 

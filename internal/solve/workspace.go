@@ -1,0 +1,77 @@
+package solve
+
+import "repro/internal/linalg"
+
+// Workspace holds the scratch vectors of the iterative solvers so a caller
+// running many related solves — e.g. the ~14 sign-only solves of one
+// Algorithm 1 binary search — allocates them once instead of per solve.
+// Pass it via Options.Workspace; the zero value is ready to use.
+//
+// A Workspace is owned by one solve at a time: it is not safe for
+// concurrent use, and a Result obtained with a workspace aliases it —
+// Result.Values points into workspace memory and is only valid until the
+// next workspace-backed solve (copy it to keep it). Options.InitialValues
+// may alias workspace memory (the typical warm-start chain feeds the
+// previous Result.Values straight back in); the solvers handle the
+// overlap.
+//
+// The workspace never changes results: the solvers' floating-point
+// sequence is identical whether the vectors are fresh or reused.
+type Workspace struct {
+	h, next  []float64
+	num, den []float64
+	entries  []linalg.Entry
+}
+
+// vectors returns the two value-iteration buffers, grown to n. Contents
+// are unspecified; the caller initializes h (warm copy or zero) and fully
+// overwrites next each sweep.
+func (w *Workspace) vectors(n int) (h, next []float64) {
+	if cap(w.h) < n {
+		w.h = make([]float64, n)
+		w.next = make([]float64, n)
+	}
+	w.h, w.next = w.h[:cap(w.h)][:n], w.next[:cap(w.next)][:n]
+	return w.h, w.next
+}
+
+// ratioScratch returns zeroed per-state accumulators and an empty entry
+// buffer for GainRatioWorkspace, grown to n states.
+func (w *Workspace) ratioScratch(n int) (num, den []float64, entries []linalg.Entry) {
+	if cap(w.num) < n {
+		w.num = make([]float64, n)
+		w.den = make([]float64, n)
+	}
+	w.num, w.den = w.num[:cap(w.num)][:n], w.den[:cap(w.den)][:n]
+	for i := range w.num {
+		w.num[i] = 0
+		w.den[i] = 0
+	}
+	return w.num, w.den, w.entries[:0]
+}
+
+// solveVectors resolves the h/next pair for one iterative solve: from the
+// workspace when the caller supplied one, freshly allocated otherwise.
+// h is initialized from iv (which may alias workspace memory — including
+// the previous solve's Result.Values — so the copy happens before any
+// clearing) or zeroed.
+func solveVectors(ws *Workspace, n int, iv []float64) (h, next []float64) {
+	if ws == nil {
+		h, next = make([]float64, n), make([]float64, n)
+		if iv != nil {
+			copy(h, iv)
+		}
+		return h, next
+	}
+	h, next = ws.vectors(n)
+	if iv != nil {
+		// iv aliasing h is a no-op copy; iv aliasing next is safe because
+		// every sweep fully overwrites next before reading it.
+		copy(h, iv)
+	} else {
+		for i := range h {
+			h[i] = 0
+		}
+	}
+	return h, next
+}

@@ -1,0 +1,143 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mdp"
+)
+
+// TestWorkspaceBitwiseIdentical replays a binary-search-shaped chain of
+// warm-started solves — each step's InitialValues is the previous step's
+// (workspace-aliased) Result.Values — once with a shared Workspace and
+// once with fresh per-solve vectors. Every step must be bitwise
+// identical: the workspace changes allocation, never arithmetic, and the
+// solvers must handle the warm vector aliasing their own scratch.
+func TestWorkspaceBitwiseIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m := randomUnichain(r, 80, 3)
+	var ws Workspace
+	var warmWS, warmFresh []float64
+	for step := 0; step < 6; step++ {
+		opts := Options{Tol: 1e-8, SignOnly: step%2 == 0, Workers: 1}
+		opts.InitialValues = warmWS
+		opts.Workspace = &ws
+		got, err := MeanPayoff(m, opts)
+		if err != nil {
+			t.Fatalf("step %d (workspace): %v", step, err)
+		}
+		opts.InitialValues = warmFresh
+		opts.Workspace = nil
+		want, err := MeanPayoff(m, opts)
+		if err != nil {
+			t.Fatalf("step %d (fresh): %v", step, err)
+		}
+		if got.Lo != want.Lo || got.Hi != want.Hi || got.Iters != want.Iters {
+			t.Fatalf("step %d: (lo=%v, hi=%v, iters=%d) != fresh (lo=%v, hi=%v, iters=%d)",
+				step, got.Lo, got.Hi, got.Iters, want.Lo, want.Hi, want.Iters)
+		}
+		for s := range want.Values {
+			if math.Float64bits(got.Values[s]) != math.Float64bits(want.Values[s]) {
+				t.Fatalf("step %d: value vector diverges at state %d", step, s)
+			}
+		}
+		// Result.Values must alias the workspace, per the documented
+		// ownership rule (that is the point of the reuse).
+		if &got.Values[0] != &ws.h[0] && &got.Values[0] != &ws.next[0] {
+			t.Fatalf("step %d: workspace-backed Result.Values does not alias the workspace", step)
+		}
+		warmWS, warmFresh = got.Values, want.Values
+	}
+}
+
+// TestWorkspacePolicyEval mirrors the bitwise check for the fixed-policy
+// evaluator.
+func TestWorkspacePolicyEval(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m := randomUnichain(r, 60, 2)
+	policy := make([]int, m.NumStates())
+	for s := range policy {
+		policy[s] = s % m.NumActions(s)
+	}
+	var ws Workspace
+	var warm []float64
+	for step := 0; step < 3; step++ {
+		got, err := EvalPolicyIterative(m, policy, Options{Tol: 1e-8, Workers: 1, InitialValues: warm, Workspace: &ws})
+		if err != nil {
+			t.Fatalf("step %d (workspace): %v", step, err)
+		}
+		want, err := EvalPolicyIterative(m, policy, Options{Tol: 1e-8, Workers: 1, InitialValues: warm})
+		if err != nil {
+			t.Fatalf("step %d (fresh): %v", step, err)
+		}
+		if got.Lo != want.Lo || got.Hi != want.Hi || got.Iters != want.Iters {
+			t.Fatalf("step %d: workspace eval diverges: %+v vs %+v", step, got, want)
+		}
+		for s := range want.Values {
+			if math.Float64bits(got.Values[s]) != math.Float64bits(want.Values[s]) {
+				t.Fatalf("step %d: value vector diverges at state %d", step, s)
+			}
+		}
+		warm = want.Values // fresh copy keeps the two chains' inputs equal
+	}
+}
+
+// TestGainRatioWorkspace: the workspace-backed ratio matches the
+// allocating path exactly and reuses its entry buffer across calls.
+func TestGainRatioWorkspace(t *testing.T) {
+	m := &mdp.Explicit{
+		Init: 0,
+		Choices: [][]mdp.Choice{
+			{{Succ: []mdp.Transition{{Dst: 1, Prob: 1, Reward: 1}}}},
+			{{Succ: []mdp.Transition{{Dst: 0, Prob: 1, Reward: 0}}}},
+		},
+	}
+	numFn := func(s, a int, tr mdp.Transition) float64 { return tr.Reward }
+	denFn := func(s, a int, tr mdp.Transition) float64 { return 1 }
+	want, err := GainRatio(m, []int{0, 0}, numFn, denFn)
+	if err != nil {
+		t.Fatalf("GainRatio: %v", err)
+	}
+	var ws Workspace
+	for i := 0; i < 3; i++ {
+		got, err := GainRatioWorkspace(m, []int{0, 0}, numFn, denFn, &ws)
+		if err != nil {
+			t.Fatalf("GainRatioWorkspace call %d: %v", i, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("call %d: ratio %v != %v", i, got, want)
+		}
+	}
+	if cap(ws.entries) == 0 {
+		t.Error("workspace did not retain the entry buffer")
+	}
+}
+
+// TestWorkspaceShrinkAndGrow: a workspace survives being reused across
+// models of different sizes (stale tail data must not leak into the
+// smaller solve).
+func TestWorkspaceShrinkAndGrow(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	big := randomUnichain(r, 90, 2)
+	small := randomUnichain(r, 30, 2)
+	var ws Workspace
+	for _, m := range []mdp.Model{big, small, big} {
+		got, err := MeanPayoff(m, Options{Tol: 1e-8, Workers: 1, Workspace: &ws})
+		if err != nil {
+			t.Fatalf("workspace solve: %v", err)
+		}
+		want, err := MeanPayoff(m, Options{Tol: 1e-8, Workers: 1})
+		if err != nil {
+			t.Fatalf("fresh solve: %v", err)
+		}
+		if got.Lo != want.Lo || got.Hi != want.Hi || got.Iters != want.Iters {
+			t.Fatalf("reused workspace diverges: %+v vs %+v", got, want)
+		}
+		for s := range want.Values {
+			if math.Float64bits(got.Values[s]) != math.Float64bits(want.Values[s]) {
+				t.Fatalf("reused workspace: value vector diverges at state %d", s)
+			}
+		}
+	}
+}

@@ -15,7 +15,7 @@ err() {
 }
 
 # --- required docs exist -------------------------------------------------
-for f in docs/ARCHITECTURE.md docs/HTTP_API.md docs/SWEEPS.md; do
+for f in docs/ARCHITECTURE.md docs/HTTP_API.md docs/SWEEPS.md docs/PERFORMANCE.md; do
   [ -f "$f" ] || err "missing $f"
 done
 
@@ -53,7 +53,7 @@ while IFS= read -r code; do
 done < <(sed -n 's/.*httpErrorCode(w, err, [^,]*, "\([a-z_]*\)").*/\1/p' cmd/serve/jobs.go)
 
 # --- the adaptive sweep surface is documented ----------------------------
-for flag in adaptive tolerance max-depth max-points; do
+for flag in adaptive tolerance max-depth max-points batch-lanes; do
   grep -qE "\"$flag\"" cmd/sweep/main.go || err "cmd/sweep no longer registers -$flag; update docs/SWEEPS.md"
   grep -qF -- "-$flag" docs/SWEEPS.md || err "flag -$flag missing from docs/SWEEPS.md"
 done

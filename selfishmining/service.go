@@ -496,10 +496,21 @@ func (s *Service) warmPut(sk structKey, gamma, p float64, comp *core.Compiled) {
 	if s.cfg.WarmCacheSize < 0 || comp.NumStates() > s.cfg.MaxCachedStates {
 		return
 	}
+	s.warmPutVec(sk, gamma, p, comp.NumStates(), comp.Values())
+}
+
+// warmPutVec retains an explicit converged value vector as a future seed —
+// the batched sweep path hands lane vectors here directly, since they live
+// on the kernel batch rather than on a Compiled. The vector must not be
+// mutated after the call (warmStore vectors are immutable once stored).
+func (s *Service) warmPutVec(sk structKey, gamma, p float64, n int, values []float64) {
+	if s.cfg.WarmCacheSize < 0 || n > s.cfg.MaxCachedStates || len(values) != n {
+		return
+	}
 	// GetOrAdd keeps two racing solves of the same neighborhood from each
 	// installing a store and losing the other's vector.
 	store, _ := s.warm.GetOrAdd(warmKey{sk, gamma}, &warmStore{})
-	store.put(p, comp.Values())
+	store.put(p, values)
 	s.warmPuts.Add(1)
 }
 

@@ -49,6 +49,12 @@ type AttackConfig struct {
 // default the sweep will use.
 const DefaultSweepMaxForkLen = 4
 
+// AutoBatchLanes, as SweepOptions.BatchLanes, sizes each batched lane
+// group automatically: the lane count is chosen so one group's per-lane
+// data (probabilities plus value vectors) fits a fixed cache budget,
+// clamped to [2, 16] lanes.
+const AutoBatchLanes = -1
+
 // Defaults of the adaptive refinement options (see SweepOptions.Adaptive).
 // Exported so the HTTP and CLI layers document and apply the same values
 // the sweep would substitute.
@@ -109,6 +115,19 @@ type SweepOptions struct {
 	// solves on its own clone (private probability and value buffers).
 	// The computed figure is bitwise identical at every worker count.
 	Workers int
+	// BatchLanes groups same-configuration grid points into multi-lane
+	// batched solves: K nearby p values ride one pass over the shared
+	// compiled structure per value-iteration sweep (kernel.Batch), which
+	// is substantially faster on memory-bound models than K separate
+	// solves. 0, the default, keeps the solo per-point path;
+	// AutoBatchLanes sizes lane groups to a cache budget from the panel's
+	// structure sizes; 1 forces the solo path; K >= 2 forces K-lane
+	// groups. Batched sweeps require the default "jacobi" kernel — the
+	// batch replicates exactly its floating-point op sequence — and
+	// compute bitwise-identical figures: batching changes scheduling,
+	// never results. OnPoint streaming, Resume checkpoints and the result
+	// cache keep their per-point semantics in either mode.
+	BatchLanes int
 
 	// Adaptive switches the sweep from the uniform grid to threshold-
 	// refining bisection: PGrid is solved as a coarse pass, then cells
@@ -365,6 +384,14 @@ func (s *Service) SweepContext(ctx context.Context, opts SweepOptions) (*results
 	if err := ValidateKernel(opts.Kernel); err != nil {
 		return nil, fmt.Errorf("selfishmining: %w", err)
 	}
+	if opts.BatchLanes < AutoBatchLanes {
+		return nil, fmt.Errorf("selfishmining: sweep BatchLanes = %d (want 0 to disable, AutoBatchLanes, or a positive lane count)", opts.BatchLanes)
+	}
+	if opts.BatchLanes != 0 {
+		if kv, _ := kernel.ParseVariant(opts.Kernel); kv != kernel.VariantJacobi {
+			return nil, fmt.Errorf("selfishmining: batched sweeps support only the default %q kernel, got %q", kernel.VariantJacobi, kv)
+		}
+	}
 	if opts.Adaptive {
 		if err := opts.validateAdaptive(); err != nil {
 			return nil, err
@@ -532,6 +559,9 @@ func (s *Service) solveTasks(ctx context.Context, opts SweepOptions, bases []*co
 	if len(tasks) == 0 {
 		return nil
 	}
+	if lanes := opts.batchLanes(bases); lanes >= 2 {
+		return s.solveTasksBatched(ctx, opts, bases, workers, lanes, resume, tasks, onDone)
+	}
 	errs := make([]error, len(tasks))
 	var doneMu sync.Mutex
 	done := func(ti int, errev float64, sweeps int) {
@@ -540,14 +570,15 @@ func (s *Service) solveTasks(ctx context.Context, opts SweepOptions, bases []*co
 		onDone(ti, errev, sweeps)
 	}
 	poolSize := min(workers, len(tasks))
-	// Split the worker budget: the pool takes the outer (point) level; any
-	// leftover cores deepen the per-solve sweep parallelism. Neither split
-	// affects results.
-	innerWorkers := max(workers/poolSize, 1)
 	var cursor atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < poolSize; w++ {
+		// Split the worker budget: the pool takes the outer (point) level;
+		// any leftover cores deepen the per-solve sweep parallelism, with
+		// the remainder spread so no core idles. Neither split affects
+		// results.
+		innerWorkers := splitWorkers(workers, poolSize, w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -604,6 +635,248 @@ func (s *Service) solveTasks(ctx context.Context, opts SweepOptions, bases []*co
 		}
 	}
 	return nil
+}
+
+// splitWorkers apportions a worker budget over a pool: slot w of poolSize
+// gets workers/poolSize cores, with the remainder spread over the first
+// workers%poolSize slots — so 8 workers over 3 slots split 3/3/2 instead
+// of stranding two cores on a uniform 2/2/2. Worker counts never change
+// results, so any split is sound; this one just wastes nothing.
+func splitWorkers(workers, poolSize, w int) int {
+	base := workers / poolSize
+	if w < workers%poolSize {
+		base++
+	}
+	return max(base, 1)
+}
+
+// batchLanes resolves the sweep's effective lane count: 0 and 1 keep the
+// solo per-point path, AutoBatchLanes is sized from the panel's compiled
+// structures, and explicit counts pass through.
+func (o *SweepOptions) batchLanes(bases []*core.Compiled) int {
+	if o.BatchLanes == AutoBatchLanes {
+		return autoBatchLanes(bases)
+	}
+	return o.BatchLanes
+}
+
+// autoBatchLanes sizes a lane group from the panel's largest structure:
+// each lane adds a float32 probability per transition and two float64
+// value-vector entries per state, and the group works best while that
+// per-lane footprint times the lane count stays cache-resident. The 8 MiB
+// budget approximates a shared L3 slice; the result is clamped to [2, 8],
+// and any budget allowing 8 or more lanes snaps to exactly 8 — the width
+// the kernel's hand-specialized dense sweep is built for (see
+// kernel.NewBatch), which holds all eight action accumulators in registers
+// and is where batching's per-lane advantage over a solo sweep comes from.
+func autoBatchLanes(bases []*core.Compiled) int {
+	const budget = 8 << 20
+	laneBytes := int64(1)
+	for _, b := range bases {
+		lb := b.NumTransitions()*4 + int64(b.NumStates())*16
+		if lb > laneBytes {
+			laneBytes = lb
+		}
+	}
+	k := budget / laneBytes
+	if k < 2 {
+		return 2
+	}
+	if k > 8 {
+		return 8
+	}
+	return int(k)
+}
+
+// BatchLaneCount reports the lane count AutoBatchLanes resolves to for one
+// attack structure — deterministic across machines, since it depends only
+// on the structure's size and a fixed cache budget. Exported so tooling
+// (cmd/bench) can stamp the effective group size into artifacts.
+func BatchLaneCount(model string, cfg AttackConfig, maxLen int) (int, error) {
+	if model == "" {
+		model = families.DefaultName
+	}
+	// Chain parameters are placeholders; lane sizing reads only the
+	// structure's state and transition counts.
+	comp, err := families.Compile(model, core.Params{
+		P: 0.1, Gamma: 0.5,
+		Depth: cfg.Depth, Forks: cfg.Forks, MaxLen: maxLen,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return autoBatchLanes([]*core.Compiled{comp}), nil
+}
+
+// sweepPointKey is the result-cache key of one (configuration, p) sweep
+// point — the same key sweepPoint builds, shared by the batched scheduler
+// (batched and solo solves are bitwise identical, so sharing entries is
+// sound).
+func (s *Service) sweepPointKey(opts SweepOptions, cfg AttackConfig, p float64) resultKey {
+	params := AttackParams{
+		Model:     sweepModel(opts),
+		Adversary: p, Switching: opts.Gamma,
+		Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: opts.MaxForkLen,
+	}
+	pointCfg := config{epsilon: opts.Epsilon, boundOnly: true, skipEval: true, kernel: opts.Kernel}
+	return s.key(params, &pointCfg)
+}
+
+// solveTasksBatched is solveTasks' multi-lane twin: points answered by the
+// p = 0 shortcut, the resume checkpoint or the result cache are emitted
+// up front, and each configuration's remaining points are solved in lane
+// groups — one batched bound-only analysis per group, streaming the shared
+// structure once per sweep for all lanes (analysis.
+// AnalyzeBatchCompiledContext). Configurations spread over a worker pool;
+// within one, groups run sequentially and stride the pending points so
+// group g+1's lanes sit one stride from group g's and warm-start from its
+// freshly solved vectors. onDone keeps the solo contract — exactly once
+// per task, serialized — and every emitted value is bitwise identical to
+// the solo path's: batching changes scheduling, never results.
+func (s *Service) solveTasksBatched(ctx context.Context, opts SweepOptions, bases []*core.Compiled, workers, lanes int,
+	resume map[sweepResumeKey]SweepPoint, tasks []gridTask, onDone func(ti int, errev float64, sweeps int)) error {
+	var doneMu sync.Mutex
+	done := func(ti int, errev float64, sweeps int) {
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		onDone(ti, errev, sweeps)
+	}
+	// Pass 1: answer every point that needs no solve; the rest queue per
+	// configuration, in task order (config-major, ascending p).
+	pending := make([][]int, len(opts.Configs))
+	for idx, tk := range tasks {
+		if err := ctx.Err(); err != nil {
+			return cancelError(err, nil)
+		}
+		cfg := opts.Configs[tk.ci]
+		if tk.p == 0 {
+			done(idx, 0, 0) // no resource, no revenue; the p=0 MDP is degenerate
+			continue
+		}
+		if pt, ok := resume[sweepResumeKey{cfg.Depth, cfg.Forks, math.Float64bits(tk.p)}]; ok {
+			done(idx, pt.ERRev, pt.Sweeps)
+			continue
+		}
+		if a, ok := s.results.Get(s.sweepPointKey(opts, cfg, tk.p)); ok {
+			s.sweepPoints.Add(1)
+			done(idx, a.ERRev, a.Sweeps)
+			continue
+		}
+		pending[tk.ci] = append(pending[tk.ci], idx)
+	}
+	work := make([]int, 0, len(pending))
+	for ci := range pending {
+		if len(pending[ci]) > 0 {
+			work = append(work, ci)
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	// Pass 2: a pool over configurations. The outer level stops at the
+	// configuration (not the point, as in solveTasks): lane groups already
+	// use the point-level parallelism budget, and a group must see its
+	// predecessor's vectors to warm-start.
+	poolSize := min(workers, len(work))
+	errs := make([]error, len(work))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < poolSize; w++ {
+		innerWorkers := splitWorkers(workers, poolSize, w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				wi := int(cursor.Add(1)) - 1
+				if wi >= len(work) {
+					return
+				}
+				ci := work[wi]
+				if err := s.solveConfigBatched(ctx, opts, bases[ci], innerWorkers, lanes, tasks, pending[ci], done); err != nil {
+					errs[wi] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveConfigBatched solves one configuration's pending points on one
+// clone of its base structure, in contiguous lane groups of at most
+// `lanes` points: group g takes the next `lanes` pending points in
+// ascending p. Neighboring p values converge at similar speeds, so the
+// lanes of a group finish their searches close together and the batch
+// stays at full width — the dense specialized sweep — for almost the
+// whole run; a spread-out group would leave its slowest lane running
+// alone in a long thin tail. Each group seeds from the previous group's
+// converged vectors (nearest p per lane, the batched analog of the warm
+// cache's nearest-p rule), which adjoins it in p. A group that
+// degenerates to one point takes the solo sweepPoint path, which also
+// coalesces it with identical in-flight requests.
+func (s *Service) solveConfigBatched(ctx context.Context, opts SweepOptions, base *core.Compiled,
+	innerWorkers, lanes int, tasks []gridTask, idxs []int, done func(ti int, errev float64, sweeps int)) error {
+	cfg := opts.Configs[tasks[idxs[0]].ci]
+	comp := base.Clone()
+	comp.SetWorkers(innerWorkers)
+	groups := (len(idxs) + lanes - 1) / lanes
+	var prevPs []float64
+	var prevVals [][]float64
+	for g := 0; g < groups; g++ {
+		group := idxs[g*lanes : min((g+1)*lanes, len(idxs))]
+		if len(group) == 1 {
+			tk := tasks[group[0]]
+			res, err := s.sweepPoint(ctx, comp, cfg, tk.p, opts)
+			if err != nil {
+				return fmt.Errorf("selfishmining: sweeping d=%d f=%d: p=%g: %w", cfg.Depth, cfg.Forks, tk.p, err)
+			}
+			done(group[0], res.ERRev, res.Sweeps)
+			continue
+		}
+		ps := make([]float64, len(group))
+		seeds := make([][]float64, len(group))
+		for i, idx := range group {
+			ps[i] = tasks[idx].p
+			seeds[i] = nearestSeed(prevPs, prevVals, ps[i])
+		}
+		as, vals, err := s.sweepBatch(ctx, comp, cfg, ps, seeds, opts, innerWorkers)
+		if err != nil {
+			return fmt.Errorf("selfishmining: sweeping d=%d f=%d (batch of %d): %w", cfg.Depth, cfg.Forks, len(group), err)
+		}
+		for i, idx := range group {
+			done(idx, as[i].ERRev, as[i].Sweeps)
+		}
+		prevPs, prevVals = ps, vals
+	}
+	return nil
+}
+
+// nearestSeed picks the previous lane group's converged vector closest in
+// p to the queried point. Seeds change sweep counts, never results (see
+// the Service determinism notes), so a nil return — first group, or a
+// previous lane without a vector — just means a colder start.
+func nearestSeed(ps []float64, vals [][]float64, p float64) []float64 {
+	best := -1
+	for i := range ps {
+		if vals[i] == nil {
+			continue
+		}
+		if best < 0 || math.Abs(ps[i]-p) < math.Abs(ps[best]-p) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return vals[best]
 }
 
 // sweepConfigs computes the attack curves of a uniform-grid panel with a
@@ -790,4 +1063,73 @@ func (s *Service) sweepPoint(ctx context.Context, comp *core.Compiled, cfg Attac
 		}
 		return a, nil
 	}
+}
+
+// sweepBatch answers one lane group of a batched sweep: len(ps) same-
+// configuration points solved in a single multi-lane bound-only analysis
+// over comp's shared structure, occupying one MaxConcurrent slot for the
+// whole group. Each lane's result is bitwise identical to the solo
+// sweepPoint solve at that (p, γ), so the lanes populate the solo path's
+// result-cache entries and warm-start neighborhoods. Unlike sweepPoint,
+// lanes are not singleflight-coalesced: the batched scheduler filters
+// cached points before grouping, and a concurrent identical sweep merely
+// duplicates work, never diverges results.
+//
+// seeds[i], when non-nil, warm-starts lane i (the caller passes the
+// previous group's vectors); other lanes fall back to the warm cache.
+// Returns the per-lane analyses plus each lane's converged value vector
+// for seeding the caller's next group.
+func (s *Service) sweepBatch(ctx context.Context, comp *core.Compiled, cfg AttackConfig, ps []float64,
+	seeds [][]float64, opts SweepOptions, workers int) ([]*Analysis, [][]float64, error) {
+	s.sweepPoints.Add(uint64(len(ps)))
+	if err := s.acquire(ctx); err != nil {
+		return nil, nil, cancelError(err, nil)
+	}
+	defer s.release()
+	sk := structKey{sweepModel(opts), cfg.Depth, cfg.Forks, opts.MaxForkLen}
+	lanes := make([]analysis.BatchLane, len(ps))
+	for i, p := range ps {
+		lanes[i] = analysis.BatchLane{P: p, Gamma: opts.Gamma}
+		if i < len(seeds) && seeds[i] != nil {
+			lanes[i].InitialValues = seeds[i]
+		} else if seed, ok := s.warmSeed(sk, opts.Gamma, p, comp.NumStates()); ok {
+			lanes[i].InitialValues = seed
+		}
+	}
+	// On hardware with the assembly dense sweep, pad a short group to the
+	// dense width by duplicating its last lane: the full-width sweep costs
+	// less than two generic per-lane passes, so burning padded lanes on
+	// duplicate work is faster than running narrow. Padding never reaches
+	// the results — duplicate lanes are sliced off below — and cannot
+	// change them anyway (lanes never interact; see kernel.Batch).
+	if kernel.DenseBatchAsm() && len(lanes) > 1 && len(lanes) < kernel.DenseBatchWidth {
+		for len(lanes) < kernel.DenseBatchWidth {
+			lanes = append(lanes, lanes[len(ps)-1])
+		}
+	}
+	s.solves.Add(uint64(len(ps)))
+	lrs, err := analysis.AnalyzeBatchCompiledContext(ctx, comp, lanes, analysis.Options{
+		Epsilon: opts.Epsilon, SkipStrategyEval: true, SkipStrategy: true, Workers: workers,
+	})
+	if err != nil {
+		return nil, nil, cancelError(err, nil)
+	}
+	out := make([]*Analysis, len(ps))
+	vals := make([][]float64, len(ps))
+	for i, lr := range lrs[:len(ps)] {
+		vals[i] = lr.Values
+		s.warmPutVec(sk, opts.Gamma, ps[i], comp.NumStates(), lr.Values)
+		params := AttackParams{
+			Model:     sweepModel(opts),
+			Adversary: ps[i], Switching: opts.Gamma,
+			Depth: cfg.Depth, Forks: cfg.Forks, MaxForkLen: opts.MaxForkLen,
+		}
+		a, err := newAnalysis(params, params.core(), &lr.Result, false, comp.NumStates())
+		if err != nil {
+			return nil, nil, err
+		}
+		s.results.Add(s.sweepPointKey(opts, cfg, ps[i]), a)
+		out[i] = a
+	}
+	return out, vals, nil
 }
