@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_8.json]
+//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_9.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	bench -check BENCH_8.json [-min-speedup 5] [-min-batch-speedup 2]
-//	bench -check fresh.json -baseline BENCH_8.json [-min-ratio 0.25]
+//	bench -check BENCH_9.json [-min-speedup 5] [-min-batch-speedup 2]
+//	      [-max-lease-overhead 50]
+//	bench -check fresh.json -baseline BENCH_9.json [-min-ratio 0.25]
 //
 // Measurement mode solves every (point, variant, workers) cell -iters times
 // through the public selfishmining API (bound-only, the sweep workload) and
@@ -39,6 +40,14 @@
 // speedup — per-point wall-clock over batched wall-clock — is the PR-8
 // headline, guarded in check mode by -min-batch-speedup.
 //
+// The lease cell prices the multi-replica write path: a batch of
+// realistic running-sweep records (31-point checkpoint each) is persisted
+// through the in-memory store, the single-replica disk snapshot, and the
+// fenced shared-directory PutLeased (directory lock + token validation
+// against the lease log + atomic snapshot). The recorded overhead —
+// leased put over plain disk put — is the per-persist price of fleet
+// coordination, guarded in check mode by -max-lease-overhead.
+//
 // -cpuprofile and -memprofile write pprof profiles of a measurement run
 // (CPU for the whole matrix, heap at the end), for digging into where a
 // cell's time or allocations go; see docs/PERFORMANCE.md.
@@ -46,7 +55,7 @@
 // Check mode validates an artifact (schema, required families and variants,
 // positive timings, the fork-family speedup floor, the adaptive cell's
 // point ratio and bitwise flag, the batch cell's speedup floor and bitwise
-// flag) and exits non-zero on violation — CI runs it against the committed
+// flag, the lease cell's overhead ceiling) and exits non-zero on violation — CI runs it against the committed
 // baseline so a missing or malformed BENCH_<n>.json fails the build. With
 // -baseline it additionally compares matching cells of a fresh artifact
 // against the committed one and fails if any cell regressed below
@@ -70,11 +79,12 @@ import (
 
 	"repro/internal/results"
 	"repro/selfishmining"
+	"repro/selfishmining/jobs"
 )
 
 // prNumber stamps the artifact; bump when a new PR re-baselines the
 // trajectory (the artifact file name follows it: BENCH_<pr>.json).
-const prNumber = 8
+const prNumber = 9
 
 // benchPoint is one standard test point of the matrix: the family's default
 // shape at the service-layer test chain parameters (p=0.3, γ=0.5) used since
@@ -115,6 +125,7 @@ type artifact struct {
 	Points   []benchPoint    `json:"points"`
 	Adaptive *adaptiveReport `json:"adaptive"`
 	Batch    *batchReport    `json:"batch"`
+	Lease    *leaseReport    `json:"lease"`
 	Summary  summary         `json:"summary"`
 }
 
@@ -174,6 +185,25 @@ type batchReport struct {
 	Bitwise bool `json:"bitwise"`
 }
 
+// leaseReport is the lease-overhead cell: one batch of realistic
+// running-sweep records persisted through each job-store write path,
+// pricing what the fenced multi-replica persist costs over the
+// single-replica disk snapshot it wraps.
+type leaseReport struct {
+	// Records is the batch size of each timed pass.
+	Records int `json:"records"`
+	// MemPutNsOp / DiskPutNsOp / DirPutLeasedNsOp are the fastest
+	// per-record wall-clocks over the -iters passes of, respectively,
+	// MemStore.Put, DiskStore.Put, and DirStore.PutLeased (directory
+	// lock + fencing-token validation + atomic snapshot).
+	MemPutNsOp       int64 `json:"mem_put_ns_op"`
+	DiskPutNsOp      int64 `json:"disk_put_ns_op"`
+	DirPutLeasedNsOp int64 `json:"dir_put_leased_ns_op"`
+	// Overhead is DirPutLeasedNsOp / DiskPutNsOp — the multiplier the
+	// fleet-coordinated write path costs per persist.
+	Overhead float64 `json:"overhead"`
+}
+
 type summary struct {
 	// ForkDefaultNsOp / ForkBestNsOp are the single-core fork-family
 	// default and fastest-variant timings; Speedup is their ratio — the
@@ -226,6 +256,7 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "with -check: compare matching cells against this committed artifact")
 		minSpeedup = fs.Float64("min-speedup", 5, "with -check: required fork-family speedup of the best variant over the default")
 		minBatch   = fs.Float64("min-batch-speedup", 2, "with -check: required batched-vs-per-point sweep speedup of the batch cell")
+		maxLease   = fs.Float64("max-lease-overhead", 50, "with -check: ceiling on the lease cell's leased-put-vs-disk-put overhead")
 		minRatio   = fs.Float64("min-ratio", 0.25, "with -check -baseline: fail if a cell drops below this fraction of baseline throughput")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile at the end of the measurement run to this file")
@@ -234,7 +265,7 @@ func run(args []string) error {
 		return err
 	}
 	if *check != "" {
-		return runCheck(*check, *baseline, *minSpeedup, *minBatch, *minRatio)
+		return runCheck(*check, *baseline, *minSpeedup, *minBatch, *maxLease, *minRatio)
 	}
 	if *iters < 1 {
 		return fmt.Errorf("-iters %d: need >= 1", *iters)
@@ -387,6 +418,11 @@ func measure(iters int, eps float64, workers []int) (*artifact, error) {
 		return nil, err
 	}
 	art.Batch = bt
+	ls, err := measureLease(iters)
+	if err != nil {
+		return nil, err
+	}
+	art.Lease = ls
 	s, err := summarize(art)
 	if err != nil {
 		return nil, err
@@ -526,6 +562,109 @@ func measureBatch(iters int, eps float64) (*batchReport, error) {
 	return rep, nil
 }
 
+// leaseBenchRecord builds one realistic running-sweep record: a paper-grid
+// spec plus a 31-point sweep checkpoint — the payload a mid-sweep persist
+// actually carries.
+func leaseBenchRecord(id string) *jobs.Record {
+	now := time.Now()
+	spec := &jobs.SweepSpec{
+		Gamma: 0.5, Len: 5, TreeWidth: 3, Epsilon: 1e-4,
+		Configs: []jobs.SweepConfig{{Depth: 2, Forks: 2}},
+	}
+	rec := &jobs.Record{Status: jobs.Status{
+		ID: id, Kind: jobs.KindSweep, State: jobs.StateRunning,
+		Sweep: spec, SubmittedAt: now, StartedAt: &now,
+	}}
+	for i := 0; i < 31; i++ {
+		p := float64(i) * 0.01
+		spec.PGrid = append(spec.PGrid, p)
+		rec.SweepCheckpoint = append(rec.SweepCheckpoint, jobs.SweepPoint{
+			Series: "fork d=2 f=2", Depth: 2, Forks: 2,
+			PIndex: i, P: p, ERRev: p * 1.25, Sweeps: 40 + i,
+		})
+	}
+	return rec
+}
+
+// measureLease times the lease-overhead cell: the same batch of records
+// persisted through MemStore.Put (the in-memory floor), DiskStore.Put
+// (the single-replica atomic snapshot), and DirStore.PutLeased (the
+// fenced fleet write: directory lock, token validation against the lease
+// log, log append, snapshot). Leases are acquired once up front — job
+// start, not per-persist — so the timed loop is exactly the steady-state
+// checkpoint path.
+func measureLease(iters int) (*leaseReport, error) {
+	const records = 64
+	rep := &leaseReport{Records: records}
+	recs := make([]*jobs.Record, records)
+	for i := range recs {
+		recs[i] = leaseBenchRecord(fmt.Sprintf("bench-%03d", i))
+	}
+	timePass := func(put func(*jobs.Record) error) (int64, error) {
+		best := int64(math.MaxInt64)
+		for it := 0; it < iters; it++ {
+			start := time.Now()
+			for _, r := range recs {
+				if err := put(r); err != nil {
+					return 0, err
+				}
+			}
+			if ns := time.Since(start).Nanoseconds() / records; ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+
+	var err error
+	mem := jobs.NewMemStore()
+	if rep.MemPutNsOp, err = timePass(mem.Put); err != nil {
+		return nil, fmt.Errorf("mem put: %w", err)
+	}
+
+	diskDir, err := os.MkdirTemp("", "bench-disk-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(diskDir)
+	disk, err := jobs.NewDiskStore(diskDir)
+	if err != nil {
+		return nil, err
+	}
+	if rep.DiskPutNsOp, err = timePass(disk.Put); err != nil {
+		return nil, fmt.Errorf("disk put: %w", err)
+	}
+
+	leaseDir, err := os.MkdirTemp("", "bench-lease-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(leaseDir)
+	dir, err := jobs.NewDirStore(leaseDir)
+	if err != nil {
+		return nil, err
+	}
+	leases := make(map[string]jobs.Lease, records)
+	for _, r := range recs {
+		l, err := dir.Acquire(r.ID, "bench", time.Hour)
+		if err != nil {
+			return nil, fmt.Errorf("acquire %s: %w", r.ID, err)
+		}
+		leases[r.ID] = l
+	}
+	if rep.DirPutLeasedNsOp, err = timePass(func(r *jobs.Record) error {
+		return dir.PutLeased(r, leases[r.ID])
+	}); err != nil {
+		return nil, fmt.Errorf("leased put: %w", err)
+	}
+
+	rep.Overhead = float64(rep.DirPutLeasedNsOp) / float64(rep.DiskPutNsOp)
+	fmt.Fprintf(os.Stderr, "lease         %d records: %.1fµs leased vs %.1fµs disk vs %.1fµs mem per put (%.2fx overhead)\n",
+		rep.Records, float64(rep.DirPutLeasedNsOp)/1e3, float64(rep.DiskPutNsOp)/1e3,
+		float64(rep.MemPutNsOp)/1e3, rep.Overhead)
+	return rep, nil
+}
+
 // summarize derives the headline single-core fork-family speedup from the
 // measured cells.
 func summarize(art *artifact) (*summary, error) {
@@ -602,19 +741,23 @@ func loadArtifact(path string) (*artifact, error) {
 		return nil, fmt.Errorf("%s: adaptive cell has non-positive point counts (%d vs %d)",
 			path, art.Adaptive.AdaptivePoints, art.Adaptive.UniformPoints)
 	}
-	// The batch cell is optional here — artifacts before PR 8 lack it, and
-	// they stay loadable as -baseline inputs — but a nil cell fails the
-	// primary -check validation below.
+	// The batch and lease cells are optional here — artifacts before PR 8
+	// (resp. PR 9) lack them, and they stay loadable as -baseline inputs —
+	// but a nil cell fails the primary -check validation below.
 	if art.Batch != nil && (art.Batch.PerPointNsOp <= 0 || art.Batch.BatchedNsOp <= 0) {
 		return nil, fmt.Errorf("%s: batch cell has non-positive timings (%d vs %d)",
 			path, art.Batch.PerPointNsOp, art.Batch.BatchedNsOp)
+	}
+	if art.Lease != nil && (art.Lease.MemPutNsOp <= 0 || art.Lease.DiskPutNsOp <= 0 || art.Lease.DirPutLeasedNsOp <= 0) {
+		return nil, fmt.Errorf("%s: lease cell has non-positive timings (%d / %d / %d)",
+			path, art.Lease.MemPutNsOp, art.Lease.DiskPutNsOp, art.Lease.DirPutLeasedNsOp)
 	}
 	return &art, nil
 }
 
 // runCheck validates an artifact and, with a baseline, guards against
 // regressions cell by cell.
-func runCheck(path, baselinePath string, minSpeedup, minBatch, minRatio float64) error {
+func runCheck(path, baselinePath string, minSpeedup, minBatch, maxLease, minRatio float64) error {
 	art, err := loadArtifact(path)
 	if err != nil {
 		return err
@@ -639,8 +782,15 @@ func runCheck(path, baselinePath string, minSpeedup, minBatch, minRatio float64)
 	if !art.Batch.Bitwise {
 		return fmt.Errorf("%s: batched sweep figure was not bitwise equal to the per-point figure", path)
 	}
-	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise; batch speedup %.2fx, bitwise)\n",
-		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio, art.Batch.Speedup)
+	if art.Lease == nil {
+		return fmt.Errorf("%s: missing the lease-overhead cell", path)
+	}
+	if art.Lease.Overhead > maxLease {
+		return fmt.Errorf("%s: leased put costs %.2fx a plain disk put (ceiling %.2fx)",
+			path, art.Lease.Overhead, maxLease)
+	}
+	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise; batch speedup %.2fx, bitwise; lease overhead %.2fx)\n",
+		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio, art.Batch.Speedup, art.Lease.Overhead)
 	if baselinePath == "" {
 		return nil
 	}

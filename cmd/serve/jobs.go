@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/selfishmining"
@@ -29,6 +30,12 @@ func jobError(w http.ResponseWriter, err error) {
 		httpErrorCode(w, err, http.StatusConflict, "not_resumable")
 	case errors.Is(err, jobs.ErrFinished):
 		httpErrorCode(w, err, http.StatusConflict, "already_finished")
+	case errors.Is(err, jobs.ErrRemote):
+		// The job is leased by another replica of the fleet; cancel it
+		// through that replica (the lease owner rides the error text).
+		httpErrorCode(w, err, http.StatusConflict, "remote_job")
+	case errors.Is(err, jobs.ErrBadCursor):
+		httpErrorCode(w, err, http.StatusBadRequest, "bad_cursor")
 	default:
 		// Everything else the manager rejects at Submit is a spec problem.
 		httpError(w, err, http.StatusBadRequest)
@@ -113,17 +120,44 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, stripStrategy(st, r.URL.Query().Get("include_strategy") == "1"))
 }
 
+// jobListResponse is the GET /v1/jobs body. NextCursor is present only
+// on a truncated page: pass it back as ?cursor= for the next page.
+type jobListResponse struct {
+	Jobs       []*jobs.Status `json:"jobs"`
+	NextCursor string         `json:"next_cursor,omitempty"`
+}
+
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	f := jobs.Filter{
-		State: jobs.State(r.URL.Query().Get("state")),
-		Kind:  jobs.Kind(r.URL.Query().Get("kind")),
+		State:  jobs.State(q.Get("state")),
+		Kind:   jobs.Kind(q.Get("kind")),
+		Cursor: q.Get("cursor"),
 	}
-	list := s.mgr.List(f)
+	// ?status= is an alias for ?state= (the JSON field is "state", but
+	// "status" is what most job APIs call it).
+	if f.State == "" {
+		f.State = jobs.State(q.Get("status"))
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpErrorCode(w, fmt.Errorf("limit %q: need a positive integer", raw),
+				http.StatusBadRequest, "bad_limit")
+			return
+		}
+		f.Limit = n
+	}
+	list, next, err := s.mgr.Page(f)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
 	out := make([]*jobs.Status, len(list))
 	for i, st := range list {
 		out[i] = stripStrategy(st, false)
 	}
-	writeJSON(w, map[string]any{"jobs": out})
+	writeJSON(w, jobListResponse{Jobs: out, NextCursor: next})
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

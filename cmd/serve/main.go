@@ -14,7 +14,8 @@
 //	POST /v1/sweep/stream  the same panel as NDJSON, one line per point
 //	POST /v1/sweep/sse     the same panel as Server-Sent Events
 //	POST /v1/jobs          submit an async analyze/sweep job -> job id
-//	GET  /v1/jobs          list retained jobs (?state=, ?kind= filters)
+//	GET  /v1/jobs          list retained jobs (?state=/?status=, ?kind=
+//	                       filters; ?limit= + ?cursor= paginate)
 //	GET  /v1/jobs/{id}     one job's snapshot (?include_strategy=1)
 //	DELETE /v1/jobs/{id}   cancel (checkpointing a running analysis)
 //	POST /v1/jobs/{id}/resume  re-enqueue a canceled/failed job
@@ -38,6 +39,17 @@
 // reconnect with Last-Event-ID to replay only what was missed (streams
 // that fall behind the per-job ring get a fresh status snapshot first).
 //
+// With -replica-id, several serve processes share one -jobs-dir as a
+// fleet: each job is executed under a lease carrying a monotonic fencing
+// token, renewed every -jobs-heartbeat, so a replica's writes are
+// rejected once its lease lapses and another replica steals the job. A
+// replica that crashes mid-sweep loses its lease after -jobs-lease-ttl;
+// a peer (polling the shared store every -jobs-poll) steals the job and
+// resumes it from the persisted checkpoint, bitwise identical to an
+// uninterrupted run. Job snapshots carry the owning replica and token;
+// GET /v1/stats adds the fleet's presence records under "replicas", and
+// DELETE on a job leased elsewhere answers 409 with code "remote_job".
+//
 // Every request is governed by its context end to end: a client that
 // disconnects cancels its in-flight solve at the next value-iteration
 // sweep boundary (and frees its concurrency slot immediately if it was
@@ -55,6 +67,8 @@
 //	      [-structure-cache N] [-warm-cache N] [-max-states N]
 //	      [-max-batch N] [-request-timeout 0] [-shutdown-timeout 10s]
 //	      [-jobs-workers 2] [-jobs-queue 1024] [-jobs-ttl 1h] [-jobs-dir DIR]
+//	      [-replica-id NAME] [-jobs-lease-ttl 15s] [-jobs-heartbeat 5s]
+//	      [-jobs-poll 2s]
 //
 // Example:
 //
@@ -113,6 +127,10 @@ type serverConfig struct {
 	jobsQueue       int
 	jobsTTL         time.Duration
 	jobsDir         string
+	replicaID       string
+	jobsLeaseTTL    time.Duration
+	jobsHeartbeat   time.Duration
+	jobsPoll        time.Duration
 }
 
 // parseFlags parses and validates; any invalid flag or combination is an
@@ -134,6 +152,10 @@ func parseFlags(args []string) (*serverConfig, error) {
 	fs.IntVar(&cfg.jobsQueue, "jobs-queue", jobs.DefaultQueueLimit, "max queued async jobs (submissions beyond answer 429)")
 	fs.DurationVar(&cfg.jobsTTL, "jobs-ttl", jobs.DefaultTTL, "retention of finished jobs before eviction (negative = keep forever)")
 	fs.StringVar(&cfg.jobsDir, "jobs-dir", "", "persist job records (and resume checkpoints) to this directory; empty = in-memory only")
+	fs.StringVar(&cfg.replicaID, "replica-id", "", "join the replica fleet sharing -jobs-dir under this name; empty = single-replica")
+	fs.DurationVar(&cfg.jobsLeaseTTL, "jobs-lease-ttl", jobs.DefaultLeaseTTL, "job lease lifetime without renewal before other replicas may steal it")
+	fs.DurationVar(&cfg.jobsHeartbeat, "jobs-heartbeat", 0, "lease renewal and presence-publish period (0 = a third of -jobs-lease-ttl)")
+	fs.DurationVar(&cfg.jobsPoll, "jobs-poll", jobs.DefaultPollInterval, "how often a replica mirrors the shared store for remote jobs")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -169,6 +191,21 @@ func parseFlags(args []string) (*serverConfig, error) {
 	}
 	if cfg.jobsTTL == 0 {
 		return nil, fmt.Errorf("-jobs-ttl 0: need a retention duration (negative = keep forever)")
+	}
+	if cfg.replicaID != "" && cfg.jobsDir == "" {
+		return nil, fmt.Errorf("-replica-id %q: multi-replica mode needs -jobs-dir (the shared store)", cfg.replicaID)
+	}
+	if cfg.jobsLeaseTTL <= 0 {
+		return nil, fmt.Errorf("-jobs-lease-ttl %v: need > 0", cfg.jobsLeaseTTL)
+	}
+	if cfg.jobsHeartbeat < 0 {
+		return nil, fmt.Errorf("-jobs-heartbeat %v: need >= 0 (0 = a third of -jobs-lease-ttl)", cfg.jobsHeartbeat)
+	}
+	if cfg.jobsHeartbeat >= cfg.jobsLeaseTTL {
+		return nil, fmt.Errorf("-jobs-heartbeat %v: must be shorter than -jobs-lease-ttl %v", cfg.jobsHeartbeat, cfg.jobsLeaseTTL)
+	}
+	if cfg.jobsPoll <= 0 {
+		return nil, fmt.Errorf("-jobs-poll %v: need > 0", cfg.jobsPoll)
 	}
 	return cfg, nil
 }
@@ -244,15 +281,27 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 	}
 }
 
-// newManager assembles the async-job manager from the flag set, with a
-// disk store when -jobs-dir is given.
+// newManager assembles the async-job manager from the flag set: a disk
+// store when -jobs-dir is given, and on top of that a lease-coordinated
+// shared directory store when -replica-id joins this process to a fleet.
 func newManager(svc *selfishmining.Service, cfg *serverConfig) (*jobs.Manager, error) {
 	jcfg := jobs.Config{
 		Workers:    cfg.jobsWorkers,
 		QueueLimit: cfg.jobsQueue,
 		TTL:        cfg.jobsTTL,
 	}
-	if cfg.jobsDir != "" {
+	switch {
+	case cfg.replicaID != "":
+		store, err := jobs.NewDirStore(cfg.jobsDir)
+		if err != nil {
+			return nil, err
+		}
+		jcfg.Store = store
+		jcfg.ReplicaID = cfg.replicaID
+		jcfg.LeaseTTL = cfg.jobsLeaseTTL
+		jcfg.Heartbeat = cfg.jobsHeartbeat
+		jcfg.PollInterval = cfg.jobsPoll
+	case cfg.jobsDir != "":
 		store, err := jobs.NewDiskStore(cfg.jobsDir)
 		if err != nil {
 			return nil, err
@@ -838,10 +887,21 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	selfishmining.ServiceStats
 	Jobs jobs.Stats `json:"jobs"`
+	// Replicas lists the fleet's presence records in multi-replica mode
+	// (absent otherwise). Each carries the peer's lease counters and load.
+	Replicas []jobs.ReplicaInfo `json:"replicas,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statsResponse{ServiceStats: s.svc.Stats(), Jobs: s.mgr.Stats()})
+	resp := statsResponse{ServiceStats: s.svc.Stats(), Jobs: s.mgr.Stats()}
+	// Presence is advisory: a replica-registry read failure must not
+	// take down the stats endpoint, so it is logged and omitted.
+	if reps, err := s.mgr.Replicas(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: replica registry: %v\n", err)
+	} else {
+		resp.Replicas = reps
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

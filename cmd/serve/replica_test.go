@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/selfishmining"
+	"repro/selfishmining/jobs"
+)
+
+func TestParseFlagsReplicaCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replica-id", "a"}, // fleet mode needs a shared -jobs-dir
+		{"-replica-id", "a", "-jobs-dir", "d", "-jobs-lease-ttl", "0s"},
+		{"-replica-id", "a", "-jobs-dir", "d", "-jobs-heartbeat", "-1s"},
+		{"-replica-id", "a", "-jobs-dir", "d", "-jobs-lease-ttl", "2s", "-jobs-heartbeat", "2s"},
+		{"-replica-id", "a", "-jobs-dir", "d", "-jobs-poll", "0s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v accepted, want non-nil error", args)
+		}
+	}
+	cfg, err := parseFlags([]string{
+		"-replica-id", "r1", "-jobs-dir", "d",
+		"-jobs-lease-ttl", "2s", "-jobs-heartbeat", "500ms", "-jobs-poll", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.replicaID != "r1" || cfg.jobsLeaseTTL != 2*time.Second ||
+		cfg.jobsHeartbeat != 500*time.Millisecond || cfg.jobsPoll != 250*time.Millisecond {
+		t.Errorf("replica flags not captured: %+v", cfg)
+	}
+	// Defaults: single-replica mode, lease timing prefilled.
+	def, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.replicaID != "" || def.jobsLeaseTTL != jobs.DefaultLeaseTTL || def.jobsPoll != jobs.DefaultPollInterval {
+		t.Errorf("unexpected lease defaults: %+v", def)
+	}
+}
+
+// TestNewManagerReplicaMode: -replica-id routes newManager onto the
+// shared directory store and threads the replica identity through.
+func TestNewManagerReplicaMode(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-replica-id", "r1", "-jobs-dir", t.TempDir(),
+		"-jobs-lease-ttl", "2s", "-jobs-heartbeat", "500ms", "-jobs-poll", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+	mgr, err := newManager(svc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	})
+	st := mgr.Stats()
+	if st.Replica != "r1" || st.Leases == nil {
+		t.Fatalf("manager stats = %+v, want replica r1 with lease counters", st)
+	}
+	reps, err := mgr.Replicas()
+	if err != nil || len(reps) != 1 || reps[0].Replica != "r1" {
+		t.Fatalf("replica registry = %+v, %v; want just r1", reps, err)
+	}
+}
+
+// replicaServer builds one HTTP server joined to the shared dir as a
+// fleet replica, with optional job-lifecycle gates. workers < 0 makes
+// the replica a mirror-only observer that never claims jobs.
+func replicaServer(t *testing.T, dir, id string, workers int, gates *jobs.Gates) *httptest.Server {
+	t.Helper()
+	store, err := jobs.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+	mgr, err := jobs.New(svc, jobs.Config{
+		Store: store, ReplicaID: id, Workers: workers,
+		LeaseTTL: time.Second, Heartbeat: 200 * time.Millisecond, PollInterval: 50 * time.Millisecond,
+		Gates: gates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	})
+	cfg, err := parseFlags([]string{"-replica-id", id, "-jobs-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc, mgr, cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCancelRemoteJobAnswers409 runs a two-replica fleet over HTTP: a
+// job running under replica A's lease cannot be canceled through
+// replica B — the DELETE answers 409 with code "remote_job" naming the
+// owner — and B's mirrored snapshot carries A's lease identity.
+func TestCancelRemoteJobAnswers409(t *testing.T) {
+	dir := t.TempDir()
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	var held bool
+	tsA := replicaServer(t, dir, "a", 1, &jobs.Gates{Run: func(id string) {
+		if !held {
+			held = true
+			close(hold)
+			<-release
+		}
+	}})
+	// B observes and proxies but never claims, so the job is
+	// deterministically A's.
+	tsB := replicaServer(t, dir, "b", -1, nil)
+
+	resp, data := postJSON(t, tsA.URL+"/v1/jobs",
+		`{"kind":"analyze","analyze":{"p":0.3,"gamma":0.5,"d":2,"f":1,"l":3}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	<-hold // replica A's worker is inside the job body, lease held
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+
+	// Wait for B's poller to mirror the running job with its lease.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data := httpDo(t, http.MethodGet, tsB.URL+"/v1/jobs/"+st.ID, "")
+		if resp.StatusCode == http.StatusOK {
+			var remote jobs.Status
+			if err := json.Unmarshal(data, &remote); err != nil {
+				t.Fatalf("bad job JSON %s: %v", data, err)
+			}
+			if remote.State == jobs.StateRunning && remote.Owner == "a" {
+				if remote.LeaseToken < 1 || remote.LeaseExpires == nil {
+					t.Fatalf("mirrored lease fields missing: %s", data)
+				}
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica b never mirrored the running job (last: %d %s)", resp.StatusCode, data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, data = httpDo(t, http.MethodDelete, tsB.URL+"/v1/jobs/"+st.ID, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("remote cancel: %d %s, want 409", resp.StatusCode, data)
+	}
+	var e struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Code != "remote_job" {
+		t.Fatalf("remote cancel body %s, want code remote_job", data)
+	}
+
+	// Release the worker; both replicas converge on done, and the
+	// fleet's stats expose both presence records.
+	released = true
+	close(release)
+	waitJobState(t, tsA.URL, st.ID, jobs.StateDone)
+	waitJobState(t, tsB.URL, st.ID, jobs.StateDone)
+
+	resp, data = httpDo(t, http.MethodGet, tsB.URL+"/v1/stats", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", resp.StatusCode, data)
+	}
+	var stats struct {
+		Jobs     jobs.Stats         `json:"jobs"`
+		Replicas []jobs.ReplicaInfo `json:"replicas"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.Replica != "b" {
+		t.Errorf("stats jobs.replica = %q, want b", stats.Jobs.Replica)
+	}
+	if len(stats.Replicas) != 2 || stats.Replicas[0].Replica != "a" || stats.Replicas[1].Replica != "b" {
+		t.Errorf("stats replicas = %+v, want a and b", stats.Replicas)
+	}
+}
+
+// TestJobListPaginationEndpoint drives ?limit=/?cursor=/?status= over
+// HTTP: pages walk the listing without gaps or duplicates, foreign
+// cursors and bad limits answer 400 with distinct codes, and ?status=
+// aliases ?state=.
+func TestJobListPaginationEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"kind":"analyze","analyze":{"p":%v,"gamma":0.5,"d":2,"f":1,"l":3}}`, 0.2+0.02*float64(i))
+		resp, data := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+		var st jobs.Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		waitJobState(t, ts.URL, st.ID, jobs.StateDone)
+	}
+
+	var full []string
+	resp, data := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs", "")
+	var whole jobListResponse
+	if err := json.Unmarshal(data, &whole); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("unpaged list: %d %s (%v)", resp.StatusCode, data, err)
+	}
+	if whole.NextCursor != "" || len(whole.Jobs) != n {
+		t.Fatalf("unpaged list = %d jobs, cursor %q; want %d jobs, no cursor", len(whole.Jobs), whole.NextCursor, n)
+	}
+	for _, st := range whole.Jobs {
+		full = append(full, st.ID)
+	}
+
+	var paged []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > n {
+			t.Fatal("pagination never terminated")
+		}
+		u := ts.URL + "/v1/jobs?limit=2"
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		resp, data := httpDo(t, http.MethodGet, u, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page: %d %s", resp.StatusCode, data)
+		}
+		var page jobListResponse
+		if err := json.Unmarshal(data, &page); err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs exceeds limit 2", len(page.Jobs))
+		}
+		for _, st := range page.Jobs {
+			paged = append(paged, st.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(paged) != len(full) {
+		t.Fatalf("paged walk saw %d jobs, want %d", len(paged), len(full))
+	}
+	for i := range full {
+		if paged[i] != full[i] {
+			t.Fatalf("paged[%d] = %s, want %s (order must match the unpaged listing)", i, paged[i], full[i])
+		}
+	}
+
+	for _, bad := range []struct{ query, code string }{
+		{"?limit=0", "bad_limit"},
+		{"?limit=x", "bad_limit"},
+		{"?limit=2&cursor=no-such-cursor!", "bad_cursor"},
+	} {
+		resp, data := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs"+bad.query, "")
+		var e struct {
+			Code string `json:"code"`
+		}
+		if resp.StatusCode != http.StatusBadRequest || json.Unmarshal(data, &e) != nil || e.Code != bad.code {
+			t.Errorf("GET /v1/jobs%s: %d %s, want 400 with code %s", bad.query, resp.StatusCode, data, bad.code)
+		}
+	}
+
+	// ?status= filters like ?state=.
+	for _, q := range []string{"?state=done", "?status=done"} {
+		resp, data := httpDo(t, http.MethodGet, ts.URL+"/v1/jobs"+q, "")
+		var out jobListResponse
+		if err := json.Unmarshal(data, &out); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s: %d %s (%v)", q, resp.StatusCode, data, err)
+		}
+		if len(out.Jobs) != n {
+			t.Errorf("GET /v1/jobs%s = %d jobs, want %d", q, len(out.Jobs), n)
+		}
+	}
+	resp, data = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs?status=queued", "")
+	var none jobListResponse
+	if err := json.Unmarshal(data, &none); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued filter: %d %s (%v)", resp.StatusCode, data, err)
+	}
+	if len(none.Jobs) != 0 {
+		t.Errorf("queued filter matched %d done jobs", len(none.Jobs))
+	}
+}

@@ -66,6 +66,27 @@ for field in refine_depth p_index; do
   grep -qF "\`$field\`" docs/HTTP_API.md || err "stream field '$field' missing from docs/HTTP_API.md"
 done
 
+# --- the multi-replica lease surface is documented ------------------------
+# The serve flags themselves are covered by the generic -h drift check
+# below; these rules pin the wire-visible lease surface. bad_limit is
+# raised through a formatted error, so the error-code scrape above never
+# sees it — pin it explicitly.
+for flag in replica-id jobs-lease-ttl jobs-heartbeat jobs-poll; do
+  grep -qF "\"$flag\"" cmd/serve/main.go || err "cmd/serve no longer registers -$flag; update docs/HTTP_API.md"
+  grep -qF -- "-$flag" docs/HTTP_API.md || err "replica flag -$flag missing from docs/HTTP_API.md"
+done
+for field in owner lease_token lease_expires; do
+  grep -qF "json:\"$field,omitempty\"" selfishmining/jobs/jobs.go || err "job status no longer carries '$field'; update docs/HTTP_API.md"
+  grep -qF "\`$field\`" docs/HTTP_API.md || err "lease field '$field' missing from docs/HTTP_API.md"
+done
+for field in replica remote_running leases replicas; do
+  grep -qF "\`$field\`" docs/HTTP_API.md || err "stats field '$field' missing from docs/HTTP_API.md"
+done
+grep -qF '`bad_limit`' docs/HTTP_API.md || err "job error code 'bad_limit' missing from docs/HTTP_API.md"
+for term in "fencing token" lease; do
+  grep -qiF "$term" docs/ARCHITECTURE.md || err "'$term' missing from docs/ARCHITECTURE.md (lease protocol section)"
+done
+
 # --- every CLI and example is referenced ---------------------------------
 for d in cmd/*/; do
   n=$(basename "$d")

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -117,8 +118,27 @@ func (c *Client) Get(ctx context.Context, id string, includeStrategy bool) (*Sta
 }
 
 // List fetches snapshots of every retained job, optionally filtered by
-// state and kind (empty = all).
+// state and kind (empty = all). The filter's pagination fields walk the
+// server page by page transparently; use Page for explicit control.
 func (c *Client) List(ctx context.Context, f Filter) ([]*Status, error) {
+	var all []*Status
+	for {
+		page, next, err := c.Page(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+		if next == "" {
+			return all, nil
+		}
+		f.Cursor = next
+	}
+}
+
+// Page fetches one page of the filtered job listing plus the cursor for
+// the next page ("" at the end). Filter.Limit caps the page size (0 =
+// everything in one page).
+func (c *Client) Page(ctx context.Context, f Filter) ([]*Status, string, error) {
 	q := url.Values{}
 	if f.State != "" {
 		q.Set("state", string(f.State))
@@ -126,17 +146,24 @@ func (c *Client) List(ctx context.Context, f Filter) ([]*Status, error) {
 	if f.Kind != "" {
 		q.Set("kind", string(f.Kind))
 	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if f.Cursor != "" {
+		q.Set("cursor", f.Cursor)
+	}
 	path := "/v1/jobs"
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
 	var out struct {
-		Jobs []*Status `json:"jobs"`
+		Jobs       []*Status `json:"jobs"`
+		NextCursor string    `json:"next_cursor"`
 	}
 	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return out.Jobs, nil
+	return out.Jobs, out.NextCursor, nil
 }
 
 // Cancel requests cancellation and returns the job's snapshot (a running

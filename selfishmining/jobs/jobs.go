@@ -434,6 +434,13 @@ type Status struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Resumes counts how many times the job was re-queued via Resume.
 	Resumes int `json:"resumes,omitempty"`
+	// Owner, LeaseToken and LeaseExpires describe the lease on a job
+	// running against a shared LeaseStore: which replica holds it, its
+	// monotonic fencing token, and when the lease lapses absent a
+	// heartbeat renewal. Empty outside multi-replica mode.
+	Owner        string     `json:"owner,omitempty"`
+	LeaseToken   uint64     `json:"lease_token,omitempty"`
+	LeaseExpires *time.Time `json:"lease_expires,omitempty"`
 	// SubmittedAt / StartedAt / FinishedAt timestamp the lifecycle (the
 	// pointers are nil until the job reaches the respective state).
 	SubmittedAt time.Time  `json:"submitted_at"`

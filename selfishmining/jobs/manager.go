@@ -4,11 +4,15 @@ import (
 	"container/heap"
 	"context"
 	"crypto/rand"
+	"encoding/base64"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +26,11 @@ const (
 	DefaultTTL         = time.Hour
 	DefaultMaxFinished = 4096
 	DefaultEventBuffer = 256
+	// DefaultLeaseTTL and DefaultPollInterval tune multi-replica mode
+	// (Config.ReplicaID over a LeaseStore); the heartbeat defaults to a
+	// third of the lease TTL.
+	DefaultLeaseTTL     = 15 * time.Second
+	DefaultPollInterval = 2 * time.Second
 )
 
 // Config tunes a Manager. The zero value gives serving defaults; see each
@@ -50,6 +59,24 @@ type Config struct {
 	// Gates installs deterministic lifecycle hooks for tests (nil in
 	// production). See Gates.
 	Gates *Gates
+
+	// ReplicaID names this manager among the replicas sharing a
+	// LeaseStore, enabling multi-replica mode: workers lease jobs
+	// before running them (fenced writes, heartbeat renewal), a poller
+	// mirrors the shared store and steals expired leases, and the
+	// replica publishes presence records for /v1/stats. Required when
+	// Store implements LeaseStore; ignored otherwise.
+	ReplicaID string
+	// LeaseTTL is how long a job lease lives without renewal before
+	// other replicas may steal it (default 15s). Safety never depends
+	// on it — fencing tokens do — only failover latency.
+	LeaseTTL time.Duration
+	// Heartbeat is the lease-renewal (and presence-publish) period
+	// (default LeaseTTL/3). It must be shorter than LeaseTTL.
+	Heartbeat time.Duration
+	// PollInterval is how often the replica re-reads the shared store
+	// for jobs submitted, advanced, or abandoned elsewhere (default 2s).
+	PollInterval time.Duration
 }
 
 // Gates are deterministic lifecycle hooks that let tests pin a job at an
@@ -87,6 +114,15 @@ func (c *Config) defaults() {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = DefaultEventBuffer
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 3
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = DefaultPollInterval
+	}
 }
 
 // Sentinel errors of the job API.
@@ -101,6 +137,9 @@ var (
 	ErrNotResumable = errors.New("jobs: job is not resumable")
 	// ErrFinished: Cancel on a job that already reached a terminal state.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrRemote: Cancel on a job currently leased by another replica
+	// (multi-replica mode); cancel it on its owning replica.
+	ErrRemote = errors.New("jobs: job is running on another replica")
 )
 
 // job is the manager-internal record. Immutable identity fields are set
@@ -129,6 +168,21 @@ type job struct {
 	sweepCK         []SweepPoint       // completed sweep points, in completion order
 	cancel          context.CancelFunc // non-nil while running
 	cancelRequested bool
+
+	// Multi-replica state (all zero outside shared-LeaseStore mode).
+	// lease is held from a worker's successful Acquire until finish;
+	// while it is non-nil (or claiming is set) the poller leaves the
+	// job alone — this replica's view is authoritative. leaseLost marks
+	// a lease stolen or renewal-failed mid-run: the job body is being
+	// canceled and nothing more may be persisted under the old token.
+	lease     *Lease
+	claiming  bool
+	leaseLost bool
+	// remoteOwner/remoteToken/remoteExpires mirror another replica's
+	// lease for status display while the job runs elsewhere.
+	remoteOwner   string
+	remoteToken   uint64
+	remoteExpires time.Time
 
 	events   []Event
 	firstSeq int64
@@ -195,10 +249,18 @@ type Manager struct {
 	wg        sync.WaitGroup
 	seq       int64 // submit-order tiebreak, spans recovered and new jobs
 
+	// ls is non-nil in multi-replica mode (Config.Store implements
+	// LeaseStore); replicaStart timestamps this replica's presence.
+	ls           LeaseStore
+	replicaStart time.Time
+
 	// Process-lifetime counters (guarded by mu; snapshot via Stats).
 	submitted, started, completed, failed uint64
 	canceled, resumed, evicted            uint64
 	interruptedCount                      uint64
+	// Lease-protocol counters (multi-replica mode).
+	leasesAcquired, leasesRenewed, leasesReleased uint64
+	leasesStolen, leasesLost, staleWrites         uint64
 
 	// Test-only gates (installed via Config.Gates, or set directly by
 	// in-package tests), set before any Submit and never changed: runGate
@@ -223,13 +285,24 @@ func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("jobs: New needs a selfishmining.Service")
 	}
 	cfg.defaults()
+	ls, _ := cfg.Store.(LeaseStore)
+	if ls != nil {
+		if cfg.ReplicaID == "" {
+			return nil, fmt.Errorf("jobs: a shared LeaseStore needs Config.ReplicaID")
+		}
+		if cfg.Heartbeat >= cfg.LeaseTTL {
+			return nil, fmt.Errorf("jobs: heartbeat %v must be shorter than the lease TTL %v", cfg.Heartbeat, cfg.LeaseTTL)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		svc:       svc,
-		cfg:       cfg,
-		jobs:      make(map[string]*job),
-		baseCtx:   ctx,
-		cancelAll: cancel,
+		svc:          svc,
+		cfg:          cfg,
+		ls:           ls,
+		replicaStart: time.Now(),
+		jobs:         make(map[string]*job),
+		baseCtx:      ctx,
+		cancelAll:    cancel,
 	}
 	if g := cfg.Gates; g != nil {
 		m.runGate, m.progressGate, m.pointGate = g.Run, g.Progress, g.Point
@@ -245,72 +318,110 @@ func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
 	}
 	m.wg.Add(1)
 	go m.janitor()
+	if m.ls != nil {
+		m.publishReplica()
+		m.wg.Add(2)
+		go m.heartbeat()
+		go m.poll()
+	}
 	return m, nil
 }
 
-// recover loads every stored record into the live index.
+// recover loads every stored record into the live index. In
+// multi-replica mode, records running under another replica's live
+// lease stay remote (the poller watches them); records whose lease
+// lapsed — or that our own previous process held before crashing — are
+// re-queued as interrupted steal candidates.
 func (m *Manager) recover() error {
 	recs, err := m.cfg.Store.List()
 	if err != nil {
 		return fmt.Errorf("jobs: recovering store: %w", err)
 	}
+	var leases map[string]Lease
+	if m.ls != nil {
+		if leases, err = m.ls.Leases(); err != nil {
+			return fmt.Errorf("jobs: recovering leases: %w", err)
+		}
+	}
 	sort.Slice(recs, func(i, k int) bool { return recs[i].SubmittedAt.Before(recs[k].SubmittedAt) })
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, rec := range recs {
-		ck, err := rec.Checkpoint.decode()
-		if err != nil {
-			// A checkpoint that fails to decode costs the warm resume, not
-			// the job: it re-runs cold with the identical result.
-			ck = nil
-		}
-		m.seq++
-		j := &job{
-			id: rec.ID, kind: rec.Kind, priority: rec.Priority, seq: m.seq,
-			analyze: rec.Analyze, sweep: rec.Sweep,
-			state: rec.State, submitted: rec.SubmittedAt,
-			started: rec.StartedAt, finished: rec.FinishedAt,
-			progress: rec.Progress,
-			result:   rec.Result, sweepResult: rec.SweepResult,
-			errMsg: rec.Error, errCode: rec.ErrorCode,
-			interrupted: rec.Interrupted, resumes: rec.Resumes,
-			checkpoint: ck,
-			// Copy: the job appends to sweepCK as it runs, and stored
-			// records must stay immutable.
-			sweepCK: append([]SweepPoint(nil), rec.SweepCheckpoint...),
-			eventCh: make(chan struct{}),
-			heapIdx: -1,
-			// Event numbering continues where the previous process left
-			// off, so pre-restart Last-Event-ID cursors never alias into
-			// this process's events — they fall before the (empty) ring and
-			// are made whole with a status snapshot.
-			firstSeq: rec.EventSeq,
-			nextSeq:  rec.EventSeq,
-		}
+		j := m.indexRecordLocked(rec)
 		if j.state == StateRunning {
-			// The previous process died mid-run; whatever checkpoint made it
-			// to disk is the resume point.
-			j.state = StateQueued
-			j.interrupted = true
-			j.started = nil
+			if l, ok := leases[j.id]; ok && l.Owner != m.cfg.ReplicaID && !l.Expired(now) {
+				// Running on a live replica right now: index read-only.
+				j.remoteOwner, j.remoteToken, j.remoteExpires = l.Owner, l.Token, l.Expires
+			} else {
+				// The owning process died mid-run (single-replica mode, our
+				// own pre-crash lease, or an expired foreign lease); whatever
+				// checkpoint made it to the store is the resume point.
+				if l, ok := leases[j.id]; ok && l.Owner != m.cfg.ReplicaID {
+					m.leasesStolen++
+				}
+				j.state = StateQueued
+				j.interrupted = true
+				j.started = nil
+			}
 		}
 		if j.state == StateQueued && j.interrupted {
 			// Re-queued across a restart — by the crash path above or by a
 			// previous graceful shutdown — lands in this process's counter.
 			m.interruptedCount++
 		}
-		m.jobs[j.id] = j
 		if j.state == StateQueued {
 			heap.Push(&m.queue, j)
 		}
 		// Every live job carries at least one event (the event ring is
 		// process-local), so event streams have a well-defined replay start.
 		m.emitStatusLocked(j)
-		// Startup runs single-threaded; writing inline under the lock is
-		// harmless here.
-		m.persistFnLocked(j)()
+		if m.ls == nil {
+			// Startup runs single-threaded; writing inline under the lock is
+			// harmless here. Replicas sharing a store skip the re-persist:
+			// their copy is not authoritative (the crash-conversion above is
+			// a local decision until a worker's Acquire makes it real).
+			m.persistFnLocked(j)()
+		}
 	}
 	return nil
+}
+
+// indexRecordLocked builds the in-memory job for a stored record and
+// adds it to the live index; queue membership and lease display are the
+// caller's decisions.
+func (m *Manager) indexRecordLocked(rec *Record) *job {
+	ck, err := rec.Checkpoint.decode()
+	if err != nil {
+		// A checkpoint that fails to decode costs the warm resume, not
+		// the job: it re-runs cold with the identical result.
+		ck = nil
+	}
+	m.seq++
+	j := &job{
+		id: rec.ID, kind: rec.Kind, priority: rec.Priority, seq: m.seq,
+		analyze: rec.Analyze, sweep: rec.Sweep,
+		state: rec.State, submitted: rec.SubmittedAt,
+		started: rec.StartedAt, finished: rec.FinishedAt,
+		progress: rec.Progress,
+		result:   rec.Result, sweepResult: rec.SweepResult,
+		errMsg: rec.Error, errCode: rec.ErrorCode,
+		interrupted: rec.Interrupted, resumes: rec.Resumes,
+		checkpoint: ck,
+		// Copy: the job appends to sweepCK as it runs, and stored
+		// records must stay immutable.
+		sweepCK: append([]SweepPoint(nil), rec.SweepCheckpoint...),
+		eventCh: make(chan struct{}),
+		heapIdx: -1,
+		// Event numbering continues where the previous process left
+		// off, so pre-restart Last-Event-ID cursors never alias into
+		// this process's events — they fall before the (empty) ring and
+		// are made whole with a status snapshot.
+		firstSeq: rec.EventSeq,
+		nextSeq:  rec.EventSeq,
+	}
+	m.jobs[j.id] = j
+	return j
 }
 
 // newID generates a collision-resistant job id.
@@ -393,18 +504,68 @@ func (m *Manager) Get(id string) (*Status, error) {
 	return m.statusLocked(j), nil
 }
 
-// Filter narrows List.
+// Filter narrows List and Page.
 type Filter struct {
 	// State / Kind keep only matching jobs when non-empty.
 	State State
 	Kind  Kind
+	// Limit caps the snapshots Page returns (0 = no cap).
+	Limit int
+	// Cursor resumes a paged listing where the previous page's
+	// NextCursor left off ("" = from the start). Cursors are opaque;
+	// Page rejects ones it did not issue with ErrBadCursor.
+	Cursor string
 }
 
+// ErrBadCursor: Page was handed a cursor it did not issue.
+var ErrBadCursor = errors.New("jobs: malformed list cursor")
+
 // List returns snapshots of every retained job (newest submission first),
-// optionally filtered.
+// optionally filtered. Filter's pagination fields are ignored — use Page.
 func (m *Manager) List(f Filter) []*Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.listLocked(f)
+}
+
+// Page returns one page of the filtered listing plus the cursor for the
+// next page ("" when this page reaches the end). The ordering is the
+// stable List ordering — newest submission first, ID as tiebreak — and
+// cursors key on (submitted_at, id), so a page boundary survives jobs
+// being submitted or evicted between calls.
+func (m *Manager) Page(f Filter) ([]*Status, string, error) {
+	after, ok := decodeCursor(f.Cursor)
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q", ErrBadCursor, f.Cursor)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	all := m.listLocked(f)
+	start := 0
+	if f.Cursor != "" {
+		// The first item strictly after the cursor position in the
+		// (SubmittedAt desc, ID desc) ordering.
+		for start < len(all) {
+			st := all[start]
+			if st.SubmittedAt.Before(after.submitted) ||
+				(st.SubmittedAt.Equal(after.submitted) && st.ID < after.id) {
+				break
+			}
+			start++
+		}
+	}
+	all = all[start:]
+	next := ""
+	if f.Limit > 0 && len(all) > f.Limit {
+		all = all[:f.Limit]
+		last := all[len(all)-1]
+		next = encodeCursor(cursorPos{submitted: last.SubmittedAt, id: last.ID})
+	}
+	return all, next, nil
+}
+
+// listLocked builds the sorted, filtered listing.
+func (m *Manager) listLocked(f Filter) []*Status {
 	out := make([]*Status, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		if f.State != "" && j.state != f.State {
@@ -422,6 +583,39 @@ func (m *Manager) List(f Filter) []*Status {
 		return out[i].ID > out[k].ID
 	})
 	return out
+}
+
+// cursorPos is a page boundary: the last returned item's position in
+// the stable listing order.
+type cursorPos struct {
+	submitted time.Time
+	id        string
+}
+
+// encodeCursor packs the position into an opaque URL-safe token.
+func encodeCursor(p cursorPos) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%d|%s", p.submitted.UnixNano(), p.id)))
+}
+
+// decodeCursor unpacks a cursor ("" decodes to the zero position).
+func decodeCursor(s string) (cursorPos, bool) {
+	if s == "" {
+		return cursorPos{}, true
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursorPos{}, false
+	}
+	nanos, id, ok := strings.Cut(string(raw), "|")
+	if !ok || id == "" {
+		return cursorPos{}, false
+	}
+	n, err := strconv.ParseInt(nanos, 10, 64)
+	if err != nil {
+		return cursorPos{}, false
+	}
+	return cursorPos{submitted: time.Unix(0, n), id: id}, true
 }
 
 // Cancel stops a job: a queued job is canceled immediately; a running job
@@ -451,6 +645,12 @@ func (m *Manager) Cancel(id string) (*Status, error) {
 		m.emitStatusLocked(j)
 		persist = m.persistFnLocked(j)
 	case StateRunning:
+		if m.ls != nil && j.lease == nil && !j.claiming {
+			// Leased by another replica: its context is out of our reach.
+			owner := j.remoteOwner
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s is leased by %q", ErrRemote, id, owner)
+		}
 		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
@@ -609,6 +809,9 @@ func (m *Manager) worker() {
 			return
 		}
 		j := heap.Pop(&m.queue).(*job)
+		if m.ls != nil && !m.claimLocked(j) {
+			continue
+		}
 		now := time.Now()
 		j.state = StateRunning
 		j.started = &now
@@ -631,6 +834,94 @@ func (m *Manager) worker() {
 
 		m.mu.Lock()
 	}
+}
+
+// claimLocked acquires the shared-store lease for a just-popped job,
+// releasing m.mu around the store I/O (claiming keeps the poller away
+// meanwhile). It returns false when the job must not run here — the
+// lease is held elsewhere, the store failed, or the job was canceled
+// while we acquired — leaving the job off the local queue; the poller
+// re-evaluates it on its next pass. On success the freshest stored
+// snapshot is adopted before running: a stolen job resumes from the
+// previous owner's last fenced write, which the store's locking
+// guarantees is final once our Acquire bumped the token.
+func (m *Manager) claimLocked(j *job) bool {
+	j.claiming = true
+	m.mu.Unlock()
+	lease, err := m.ls.Acquire(j.id, m.cfg.ReplicaID, m.cfg.LeaseTTL)
+	var fresh *Record
+	if err == nil {
+		if rec, ok, gerr := m.ls.Get(j.id); gerr == nil && ok {
+			fresh = rec
+		}
+	}
+	m.mu.Lock()
+	j.claiming = false
+	if err != nil {
+		return false
+	}
+	release := func() {
+		m.mu.Unlock()
+		_ = m.ls.Release(lease)
+		m.mu.Lock()
+	}
+	if j.state != StateQueued {
+		// Canceled (or otherwise moved on) while we were acquiring.
+		release()
+		return false
+	}
+	if fresh != nil && fresh.State.Terminal() {
+		// Another replica finished the job after our local copy went
+		// stale; adopt its outcome instead of re-running.
+		if m.adoptRecordLocked(j, fresh) {
+			m.emitStatusLocked(j)
+		}
+		release()
+		return false
+	}
+	m.leasesAcquired++
+	j.lease = &lease
+	j.leaseLost = false
+	j.remoteOwner, j.remoteToken = "", 0
+	j.remoteExpires = time.Time{}
+	if fresh != nil {
+		// Adopt checkpoints only — lifecycle fields are about to be
+		// rewritten by the run itself.
+		if ck, err := fresh.Checkpoint.decode(); err == nil && ck != nil {
+			j.checkpoint = ck
+		}
+		if len(fresh.SweepCheckpoint) > len(j.sweepCK) {
+			j.sweepCK = append([]SweepPoint(nil), fresh.SweepCheckpoint...)
+		}
+		if fresh.Resumes > j.resumes {
+			j.resumes = fresh.Resumes
+		}
+		if fresh.Interrupted {
+			j.interrupted = true
+		}
+	}
+	return true
+}
+
+// adoptRecordLocked replaces the job's mutable state with another
+// replica's persisted snapshot, reporting whether the lifecycle state
+// changed. Only jobs this replica does not lease are adopted — the
+// store is authoritative for them.
+func (m *Manager) adoptRecordLocked(j *job, rec *Record) (stateChanged bool) {
+	stateChanged = j.state != rec.State
+	j.state = rec.State
+	j.priority = rec.Priority
+	j.progress = rec.Progress
+	j.result, j.sweepResult = rec.Result, rec.SweepResult
+	j.errMsg, j.errCode = rec.Error, rec.ErrorCode
+	j.interrupted = rec.Interrupted
+	j.resumes = rec.Resumes
+	j.started, j.finished = rec.StartedAt, rec.FinishedAt
+	if ck, err := rec.Checkpoint.decode(); err == nil {
+		j.checkpoint = ck
+	}
+	j.sweepCK = append([]SweepPoint(nil), rec.SweepCheckpoint...)
+	return stateChanged
 }
 
 // sweepSeenKey identifies one attack-curve point of a sweep checkpoint:
@@ -746,6 +1037,21 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 	m.mu.Lock()
 	j.cancel = nil
 	now := time.Now()
+	if j.leaseLost {
+		// The lease was stolen or its renewal failed mid-run: the job
+		// belongs to another replica now and our fencing token is dead,
+		// so nothing we computed may be persisted or released. Surrender
+		// the local copy — back to queued, off our heap — and let the
+		// poller adopt the store's authoritative state on its next pass.
+		j.lease = nil
+		j.leaseLost = false
+		j.state = StateQueued
+		j.started = nil
+		j.interrupted = true
+		m.emitStatusLocked(j)
+		m.mu.Unlock()
+		return
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -781,8 +1087,24 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 	}
 	m.emitStatusLocked(j)
 	persist := m.persistFnLocked(j)
+	var release *Lease
+	if j.lease != nil {
+		// The final snapshot above still writes under the lease's fence;
+		// only then is the lease released so another replica can claim
+		// (Resume, or the post-shutdown re-queue) and read that snapshot.
+		l := *j.lease
+		release = &l
+		j.lease = nil
+	}
 	m.mu.Unlock()
 	persist()
+	if release != nil {
+		if m.ls.Release(*release) == nil {
+			m.mu.Lock()
+			m.leasesReleased++
+			m.mu.Unlock()
+		}
+	}
 }
 
 // janitor evicts expired jobs periodically.
@@ -813,6 +1135,254 @@ func (m *Manager) janitor() {
 			return
 		}
 	}
+}
+
+// heartbeat renews this replica's held leases and republishes its
+// presence record every Config.Heartbeat (multi-replica mode only).
+func (m *Manager) heartbeat() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			m.renewLeases()
+			m.publishReplica()
+		case <-m.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// renewLeases extends every held lease by the configured TTL. A renewal
+// rejected with ErrLeaseLost means the job was stolen (our process
+// stalled past the TTL): the job body is canceled and its writes are
+// fenced from here on. Other store errors are retried on the next beat
+// — the lease stays valid until its TTL actually lapses.
+func (m *Manager) renewLeases() {
+	m.mu.Lock()
+	held := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.lease != nil && !j.leaseLost {
+			held = append(held, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range held {
+		m.mu.Lock()
+		if j.lease == nil || j.leaseLost {
+			m.mu.Unlock()
+			continue
+		}
+		l := *j.lease
+		m.mu.Unlock()
+		nl, err := m.ls.Renew(l, m.cfg.LeaseTTL)
+		m.mu.Lock()
+		if j.lease != nil && j.lease.Token == l.Token {
+			switch {
+			case err == nil:
+				j.lease = &nl
+				m.leasesRenewed++
+			case errors.Is(err, ErrLeaseLost):
+				m.noteLeaseLostLocked(j)
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// noteLeaseLostLocked marks a running job's lease as lost and cancels
+// its body; finish surrenders the job without persisting.
+func (m *Manager) noteLeaseLostLocked(j *job) {
+	if j.leaseLost {
+		return
+	}
+	j.leaseLost = true
+	m.leasesLost++
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
+// publishReplica upserts this replica's presence record (best effort).
+func (m *Manager) publishReplica() {
+	m.mu.Lock()
+	info := ReplicaInfo{
+		Replica:    m.cfg.ReplicaID,
+		PID:        os.Getpid(),
+		StartedAt:  m.replicaStart,
+		UpdatedAt:  time.Now(),
+		QueueDepth: len(m.queue),
+		Leases: LeaseStats{
+			Acquired: m.leasesAcquired, Renewed: m.leasesRenewed,
+			Released: m.leasesReleased, Stolen: m.leasesStolen,
+			Lost: m.leasesLost, StaleWrites: m.staleWrites,
+		},
+	}
+	for _, j := range m.jobs {
+		if j.state == StateRunning && j.lease != nil {
+			info.Running++
+		}
+	}
+	m.mu.Unlock()
+	_ = m.ls.PublishReplica(info)
+}
+
+// poll mirrors the shared store every Config.PollInterval: jobs
+// submitted on other replicas join the local index and queue, remote
+// progress and terminal transitions are adopted (feeding local event
+// streams), expired leases are stolen, and records evicted elsewhere
+// are dropped (multi-replica mode only).
+func (m *Manager) poll() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			m.pollOnce()
+		case <-m.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// pollOnce is one mirror pass over the shared store.
+func (m *Manager) pollOnce() {
+	recs, err := m.ls.List()
+	if err != nil {
+		return
+	}
+	leases, err := m.ls.Leases()
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	wake := 0
+	seen := make(map[string]struct{}, len(recs))
+	for _, rec := range recs {
+		seen[rec.ID] = struct{}{}
+		j, ok := m.jobs[rec.ID]
+		if !ok {
+			// A job first seen through the store (submitted elsewhere).
+			j = m.indexRecordLocked(rec)
+			if j.state == StateRunning {
+				if l, lok := leases[j.id]; lok && l.Owner != m.cfg.ReplicaID && !l.Expired(now) {
+					j.remoteOwner, j.remoteToken, j.remoteExpires = l.Owner, l.Token, l.Expires
+				} else {
+					m.stealLocked(j, leases[j.id])
+				}
+			}
+			if j.state == StateQueued && j.heapIdx < 0 {
+				heap.Push(&m.queue, j)
+				wake++
+			}
+			m.emitStatusLocked(j)
+			continue
+		}
+		if j.lease != nil || j.claiming {
+			continue // ours right now: our fenced writes are authoritative
+		}
+		m.refreshLocked(j, rec, leases, now, &wake)
+	}
+	for id, j := range m.jobs {
+		if _, ok := seen[id]; ok || j.lease != nil || j.claiming {
+			continue
+		}
+		// Gone from the store. Terminal jobs were evicted by another
+		// replica's janitor; a running record can vanish only after
+		// finishing (then evicting) elsewhere, so absent a live lease it
+		// is gone too. Locally queued jobs are kept: their Put may still
+		// be in flight.
+		_, live := leases[id]
+		if j.state.Terminal() || (j.state == StateRunning && !live) {
+			if j.heapIdx >= 0 {
+				heap.Remove(&m.queue, j.heapIdx)
+			}
+			m.dropLocked(j)
+		}
+	}
+	for ; wake > 0; wake-- {
+		m.cond.Signal()
+	}
+}
+
+// refreshLocked folds another replica's persisted snapshot into the
+// local copy of a job this replica does not lease, then fixes up queue
+// membership and lease display for the adopted state.
+func (m *Manager) refreshLocked(j *job, rec *Record, leases map[string]Lease, now time.Time, wake *int) {
+	if rec.State == StateRunning && j.state == StateQueued && j.heapIdx >= 0 {
+		if l, ok := leases[j.id]; !ok || l.Expired(now) {
+			// The record is the dead owner's last write and we already
+			// queued the job as a steal candidate — keep our view.
+			return
+		}
+	}
+	changed := j.state != rec.State || j.progress != rec.Progress ||
+		j.errMsg != rec.Error || j.resumes != rec.Resumes ||
+		j.interrupted != rec.Interrupted || len(j.sweepCK) != len(rec.SweepCheckpoint)
+	stateChanged, progressChanged := j.state != rec.State, j.progress != rec.Progress
+	if changed {
+		m.adoptRecordLocked(j, rec)
+	}
+	switch j.state {
+	case StateQueued:
+		j.remoteOwner, j.remoteToken = "", 0
+		j.remoteExpires = time.Time{}
+		if j.heapIdx < 0 {
+			heap.Push(&m.queue, j)
+			*wake++
+		}
+	case StateRunning:
+		if l, ok := leases[j.id]; ok && !l.Expired(now) {
+			// Claimed (or still held) elsewhere: mirror the lease and make
+			// sure we are not also racing to run it.
+			if j.heapIdx >= 0 {
+				heap.Remove(&m.queue, j.heapIdx)
+			}
+			j.remoteOwner, j.remoteToken, j.remoteExpires = l.Owner, l.Token, l.Expires
+		} else if j.heapIdx < 0 {
+			// The lease lapsed: steal. The worker's Acquire is the real
+			// claim; replicas racing here converge on one winner.
+			m.stealLocked(j, leases[j.id])
+			heap.Push(&m.queue, j)
+			*wake++
+			stateChanged = true
+		}
+	default: // terminal
+		j.remoteOwner, j.remoteToken = "", 0
+		j.remoteExpires = time.Time{}
+		if j.heapIdx >= 0 {
+			heap.Remove(&m.queue, j.heapIdx)
+		}
+	}
+	if stateChanged {
+		m.emitStatusLocked(j)
+	} else if progressChanged {
+		m.emitLocked(j, Event{Type: "progress", Progress: cloneProgress(j.progress)})
+	}
+}
+
+// stealLocked converts a running record whose lease lapsed into a
+// locally queued, interrupted steal candidate. Only a worker's Acquire
+// makes the steal real — it bumps the fencing token, so however many
+// replicas convert concurrently, exactly one becomes the new owner and
+// the old owner's unfinished writes are rejected.
+func (m *Manager) stealLocked(j *job, l Lease) {
+	j.state = StateQueued
+	j.started = nil
+	j.interrupted = true
+	m.interruptedCount++
+	if l.Owner != "" && l.Owner != m.cfg.ReplicaID {
+		m.leasesStolen++
+	}
+	j.remoteOwner, j.remoteToken = "", 0
+	j.remoteExpires = time.Time{}
 }
 
 // evictLocked applies the retention policy — finished jobs past TTL go,
@@ -897,6 +1467,17 @@ func (m *Manager) statusLocked(j *job) *Status {
 		t := *j.finished
 		st.FinishedAt = &t
 	}
+	if j.lease != nil {
+		st.Owner = j.lease.Owner
+		st.LeaseToken = j.lease.Token
+		t := j.lease.Expires
+		st.LeaseExpires = &t
+	} else if j.remoteOwner != "" {
+		st.Owner = j.remoteOwner
+		st.LeaseToken = j.remoteToken
+		t := j.remoteExpires
+		st.LeaseExpires = &t
+	}
 	return st
 }
 
@@ -917,6 +1498,14 @@ func (m *Manager) persistFnLocked(j *job) func() {
 	rec.SweepCheckpoint = j.sweepCK[:len(j.sweepCK):len(j.sweepCK)]
 	j.persistSeq++
 	seq := j.persistSeq
+	// Snapshot the lease with the record: the write must be fenced by
+	// the token the job held when this state was current, not whatever
+	// it holds when the write finally runs.
+	var lease *Lease
+	if j.lease != nil && !j.leaseLost {
+		l := *j.lease
+		lease = &l
+	}
 	return func() {
 		j.persistMu.Lock()
 		defer j.persistMu.Unlock()
@@ -924,8 +1513,29 @@ func (m *Manager) persistFnLocked(j *job) func() {
 			return // a newer snapshot already landed
 		}
 		rec.Checkpoint = encodeCheckpoint(ck)
-		_ = m.cfg.Store.Put(rec)
+		var err error
+		if lease != nil {
+			err = m.ls.PutLeased(rec, *lease)
+		} else {
+			err = m.cfg.Store.Put(rec)
+		}
 		j.persisted = seq
+		if err == nil || m.ls == nil {
+			return
+		}
+		if errors.Is(err, ErrStaleToken) {
+			// Fenced out: the job was stolen. Stop the body; persist
+			// nothing further under this token.
+			m.mu.Lock()
+			m.staleWrites++
+			if lease != nil && j.lease != nil && j.lease.Token == lease.Token {
+				m.noteLeaseLostLocked(j)
+			}
+			m.mu.Unlock()
+		}
+		// ErrLeaseHeld on an unleased write: another replica's live
+		// lease owns the record — its fenced snapshots are newer than
+		// ours, so dropping this write is exactly right.
 	}
 }
 
@@ -942,10 +1552,18 @@ type Stats struct {
 	Evicted     uint64 `json:"evicted"`
 	Interrupted uint64 `json:"interrupted"`
 	// QueueDepth and Running are current gauges; Retained counts every
-	// job still indexed (any state).
+	// job still indexed (any state). In multi-replica mode QueueDepth
+	// counts this replica's local queue (replicas race to claim, so
+	// shared queued jobs appear in several replicas' depths).
 	QueueDepth int `json:"queue_depth"`
 	Running    int `json:"running"`
 	Retained   int `json:"retained"`
+	// Replica identifies this manager in multi-replica mode (empty
+	// otherwise); RemoteRunning gauges jobs running on other replicas;
+	// Leases counts this replica's lease-protocol events.
+	Replica       string      `json:"replica,omitempty"`
+	RemoteRunning int         `json:"remote_running,omitempty"`
+	Leases        *LeaseStats `json:"leases,omitempty"`
 }
 
 // Stats snapshots the counters.
@@ -959,9 +1577,31 @@ func (m *Manager) Stats() Stats {
 		QueueDepth: len(m.queue), Retained: len(m.jobs),
 	}
 	for _, j := range m.jobs {
-		if j.state == StateRunning {
+		if j.state != StateRunning {
+			continue
+		}
+		if m.ls != nil && j.lease == nil {
+			st.RemoteRunning++
+		} else {
 			st.Running++
 		}
 	}
+	if m.ls != nil {
+		st.Replica = m.cfg.ReplicaID
+		st.Leases = &LeaseStats{
+			Acquired: m.leasesAcquired, Renewed: m.leasesRenewed,
+			Released: m.leasesReleased, Stolen: m.leasesStolen,
+			Lost: m.leasesLost, StaleWrites: m.staleWrites,
+		}
+	}
 	return st
+}
+
+// Replicas lists the presence records of every replica sharing this
+// manager's store (nil outside multi-replica mode).
+func (m *Manager) Replicas() ([]ReplicaInfo, error) {
+	if m.ls == nil {
+		return nil, nil
+	}
+	return m.ls.Replicas()
 }

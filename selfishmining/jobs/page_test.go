@@ -1,0 +1,179 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+)
+
+// pagedManager builds a manager with no workers, so submitted jobs stay
+// queued and the listing is deterministic.
+func pagedManager(t *testing.T, n int) (*Manager, []string) {
+	t.Helper()
+	m := newTestManager(t, Config{Workers: -1})
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		spec := smallSpec
+		st, err := m.Submit(Request{Kind: KindAnalyze, Analyze: &spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	return m, ids
+}
+
+// collectPages walks the full listing in pages of limit.
+func collectPages(t *testing.T, m *Manager, f Filter, limit int) ([]string, int) {
+	t.Helper()
+	f.Limit = limit
+	f.Cursor = ""
+	var ids []string
+	pages := 0
+	for {
+		page, next, err := m.Page(f)
+		if err != nil {
+			t.Fatalf("Page(cursor %q): %v", f.Cursor, err)
+		}
+		pages++
+		if len(page) > limit {
+			t.Fatalf("page of %d items exceeds limit %d", len(page), limit)
+		}
+		for _, st := range page {
+			ids = append(ids, st.ID)
+		}
+		if next == "" {
+			return ids, pages
+		}
+		if len(page) < limit {
+			t.Fatalf("short page (%d < %d) still returned a cursor", len(page), limit)
+		}
+		f.Cursor = next
+	}
+}
+
+func idsOf(sts []*Status) []string {
+	out := make([]string, len(sts))
+	for i, st := range sts {
+		out[i] = st.ID
+	}
+	return out
+}
+
+func equalIDs(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d ids, want %d (%v vs %v)", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: id[%d] = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPageWalksFullListing: pages of every size reproduce List exactly,
+// in the same stable order, with no duplicates or gaps.
+func TestPageWalksFullListing(t *testing.T) {
+	m, _ := pagedManager(t, 7)
+	full := idsOf(m.List(Filter{}))
+	if len(full) != 7 {
+		t.Fatalf("listing has %d jobs, want 7", len(full))
+	}
+	for _, limit := range []int{1, 2, 3, 7, 50} {
+		got, pages := collectPages(t, m, Filter{}, limit)
+		equalIDs(t, "paged listing", full, got)
+		wantPages := (len(full) + limit - 1) / limit
+		if limit >= len(full) {
+			wantPages = 1
+		}
+		if pages != wantPages {
+			t.Errorf("limit %d took %d pages, want %d", limit, pages, wantPages)
+		}
+	}
+	// Limit 0 means unpaged: everything, no cursor.
+	all, next, err := m.Page(Filter{})
+	if err != nil || next != "" {
+		t.Fatalf("unpaged Page: next %q, err %v", next, err)
+	}
+	equalIDs(t, "unpaged listing", full, idsOf(all))
+}
+
+// TestPageRejectsForeignCursors: cursors the manager did not issue fail
+// with ErrBadCursor, never a silent wrong page.
+func TestPageRejectsForeignCursors(t *testing.T) {
+	m, _ := pagedManager(t, 2)
+	for _, cursor := range []string{"not base64!", "bm9wZQ", "MTIzNDU", "fDEyMw"} {
+		if _, _, err := m.Page(Filter{Limit: 1, Cursor: cursor}); !errors.Is(err, ErrBadCursor) {
+			t.Errorf("cursor %q: err %v, want ErrBadCursor", cursor, err)
+		}
+	}
+}
+
+// TestPageBoundarySurvivesChanges: a cursor stays valid when jobs are
+// submitted after it was issued (they sort newer than the boundary and
+// must not shift it) and when the boundary job itself leaves the
+// filtered listing.
+func TestPageBoundarySurvivesChanges(t *testing.T) {
+	m, _ := pagedManager(t, 6)
+	before := idsOf(m.List(Filter{}))
+
+	page1, cursor, err := m.Page(Filter{Limit: 2})
+	if err != nil || cursor == "" {
+		t.Fatalf("first page: cursor %q, err %v", cursor, err)
+	}
+	// A submission between pages lands at the head of the listing, not
+	// inside the remaining pages.
+	spec := smallSpec
+	if _, err := m.Submit(Request{Kind: KindAnalyze, Analyze: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	rest, _, err := m.Page(Filter{Limit: 10, Cursor: cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1) != 2 {
+		t.Fatalf("first page has %d items, want 2", len(page1))
+	}
+	equalIDs(t, "pages after submission", before[2:], idsOf(rest))
+
+	// Cancel the boundary job: it drops out of the queued-only listing,
+	// and the cursor keyed on it still resumes at the right spot.
+	queued, qCursor, err := m.Page(Filter{State: StateQueued, Limit: 3})
+	if err != nil || qCursor == "" {
+		t.Fatalf("queued page: cursor %q, err %v", qCursor, err)
+	}
+	boundary := queued[len(queued)-1].ID
+	wantRest := idsOf(m.List(Filter{State: StateQueued}))[3:]
+	if _, err := m.Cancel(boundary); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := m.Page(Filter{State: StateQueued, Limit: 10, Cursor: qCursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIDs(t, "page past a vanished boundary", wantRest, idsOf(after))
+}
+
+// TestPageFilters: state and kind filters compose with pagination.
+func TestPageFilters(t *testing.T) {
+	m, ids := pagedManager(t, 5)
+	if _, err := m.Cancel(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collectPages(t, m, Filter{State: StateQueued}, 2)
+	equalIDs(t, "queued pages", idsOf(m.List(Filter{State: StateQueued})), got)
+	if len(got) != 3 {
+		t.Fatalf("queued listing has %d jobs, want 3", len(got))
+	}
+	canceled, _ := collectPages(t, m, Filter{State: StateCanceled}, 1)
+	if len(canceled) != 2 {
+		t.Fatalf("canceled listing has %d jobs, want 2", len(canceled))
+	}
+	none, next, err := m.Page(Filter{Kind: KindSweep, Limit: 4})
+	if err != nil || next != "" || len(none) != 0 {
+		t.Fatalf("sweep page = %d items, next %q, err %v; want empty", len(none), next, err)
+	}
+}

@@ -86,6 +86,71 @@ func (r *CheckpointRecord) decode() (*selfishmining.Checkpoint, error) {
 	return ck, nil
 }
 
+// Clone returns a deep copy of the record: no slice or pointer is
+// shared with the original, so mutating one side can never corrupt the
+// other. Stores use it to enforce their immutability contract.
+func (r *Record) Clone() *Record {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Status = *r.Status.clone()
+	if r.Checkpoint != nil {
+		ck := *r.Checkpoint
+		c.Checkpoint = &ck
+	}
+	if r.SweepCheckpoint != nil {
+		c.SweepCheckpoint = append([]SweepPoint(nil), r.SweepCheckpoint...)
+	}
+	return &c
+}
+
+// clone deep-copies a status snapshot (specs, results, timestamps).
+func (s *Status) clone() *Status {
+	c := *s
+	if s.Analyze != nil {
+		a := *s.Analyze
+		c.Analyze = &a
+	}
+	if s.Sweep != nil {
+		sw := *s.Sweep
+		sw.PGrid = append([]float64(nil), s.Sweep.PGrid...)
+		sw.Configs = append([]SweepConfig(nil), s.Sweep.Configs...)
+		c.Sweep = &sw
+	}
+	if s.Result != nil {
+		res := *s.Result
+		res.Strategy = append([]int(nil), s.Result.Strategy...)
+		if s.Result.StrategyERRev != nil {
+			v := *s.Result.StrategyERRev
+			res.StrategyERRev = &v
+		}
+		c.Result = &res
+	}
+	if s.SweepResult != nil {
+		sr := *s.SweepResult
+		sr.X = append([]float64(nil), s.SweepResult.X...)
+		sr.Series = make([]SweepSeries, len(s.SweepResult.Series))
+		for i, ser := range s.SweepResult.Series {
+			sr.Series[i] = SweepSeries{Name: ser.Name, Values: append([]float64(nil), ser.Values...)}
+		}
+		c.SweepResult = &sr
+	}
+	if s.StartedAt != nil {
+		t := *s.StartedAt
+		c.StartedAt = &t
+	}
+	if s.FinishedAt != nil {
+		t := *s.FinishedAt
+		c.FinishedAt = &t
+	}
+	if s.LeaseExpires != nil {
+		t := *s.LeaseExpires
+		c.LeaseExpires = &t
+	}
+	return &c
+}
+
 // Store persists job records. The Manager writes a fresh snapshot on
 // every lifecycle transition and reads everything back at startup;
 // implementations must treat stored records as immutable. All methods
@@ -114,18 +179,22 @@ func NewMemStore() *MemStore {
 	return &MemStore{recs: make(map[string]*Record)}
 }
 
+// Put stores a deep copy, so later caller-side mutation of rec cannot
+// reach the stored record.
 func (s *MemStore) Put(rec *Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.recs[rec.ID] = rec
+	s.recs[rec.ID] = rec.Clone()
 	return nil
 }
 
+// Get returns a deep copy — the stored record stays immutable no matter
+// what the caller does with the result.
 func (s *MemStore) Get(id string) (*Record, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.recs[id]
-	return rec, ok, nil
+	return rec.Clone(), ok, nil
 }
 
 func (s *MemStore) Delete(id string) error {
@@ -135,12 +204,13 @@ func (s *MemStore) Delete(id string) error {
 	return nil
 }
 
+// List returns deep copies (see Get).
 func (s *MemStore) List() ([]*Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*Record, 0, len(s.recs))
 	for _, rec := range s.recs {
-		out = append(out, rec)
+		out = append(out, rec.Clone())
 	}
 	return out, nil
 }

@@ -1,0 +1,174 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mutationTestRecord builds a record exercising every shared-slice and
+// pointer field of Status plus both checkpoint kinds.
+func mutationTestRecord(id string) *Record {
+	started := time.Now()
+	strategyER := 0.25
+	spec := smallSpec
+	return &Record{
+		Status: Status{
+			ID: id, Kind: KindSweep, State: StateDone,
+			Analyze: &spec,
+			Sweep: &SweepSpec{
+				Gamma: 0.5, PGrid: []float64{0, 0.1, 0.2},
+				Configs: []SweepConfig{{Depth: 2, Forks: 1}},
+				Len:     3, Epsilon: 1e-3,
+			},
+			Result: &AnalyzeResult{ERRev: 0.3, Strategy: []int{1, 2, 3}, StrategyERRev: &strategyER},
+			SweepResult: &SweepResult{
+				X:      []float64{0, 0.1, 0.2},
+				Series: []SweepSeries{{Name: "attack", Values: []float64{0.1, 0.2, 0.3}}},
+			},
+			SubmittedAt: started, StartedAt: &started,
+		},
+		Checkpoint:      &CheckpointRecord{BetaLow: 0.1, BetaUp: 0.2, NumValues: 0},
+		SweepCheckpoint: []SweepPoint{{P: 0.1}},
+	}
+}
+
+// TestStoreImmutability pins the Store contract on every implementation:
+// stored records share no mutable state with the caller. Mutating the
+// record after Put, or mutating what Get/List returned, must never reach
+// the store.
+func TestStoreImmutability(t *testing.T) {
+	stores := map[string]Store{"mem": NewMemStore()}
+	if ds, err := NewDiskStore(t.TempDir()); err == nil {
+		stores["disk"] = ds
+	} else {
+		t.Fatal(err)
+	}
+	if rs, err := NewDirStore(t.TempDir()); err == nil {
+		stores["dir"] = rs
+	} else {
+		t.Fatal(err)
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			rec := mutationTestRecord("j1")
+			if err := s.Put(rec); err != nil {
+				t.Fatal(err)
+			}
+			// Scribble over everything the caller still holds.
+			rec.State = StateFailed
+			rec.Sweep.PGrid[0] = 99
+			rec.Result.Strategy[0] = -1
+			*rec.Result.StrategyERRev = 99
+			rec.SweepResult.X[0] = 99
+			rec.SweepResult.Series[0].Values[0] = 99
+			rec.Checkpoint.BetaLow = 99
+			rec.SweepCheckpoint[0].P = 99
+			rec.StartedAt.Add(time.Hour)
+
+			assertPristine := func(got *Record, how string) {
+				t.Helper()
+				switch {
+				case got.State != StateDone:
+					t.Errorf("%s: state mutated to %s", how, got.State)
+				case got.Sweep.PGrid[0] != 0:
+					t.Errorf("%s: PGrid mutated to %v", how, got.Sweep.PGrid[0])
+				case got.Result.Strategy[0] != 1:
+					t.Errorf("%s: strategy mutated to %d", how, got.Result.Strategy[0])
+				case *got.Result.StrategyERRev != 0.25:
+					t.Errorf("%s: strategy ERRev mutated to %v", how, *got.Result.StrategyERRev)
+				case got.SweepResult.X[0] != 0 || got.SweepResult.Series[0].Values[0] != 0.1:
+					t.Errorf("%s: sweep result mutated", how)
+				case got.Checkpoint.BetaLow != 0.1:
+					t.Errorf("%s: checkpoint mutated to %v", how, got.Checkpoint.BetaLow)
+				case got.SweepCheckpoint[0].P != 0.1:
+					t.Errorf("%s: sweep checkpoint mutated to %v", how, got.SweepCheckpoint[0].P)
+				}
+			}
+			got, ok, err := s.Get("j1")
+			if err != nil || !ok {
+				t.Fatalf("Get = %v, %v", ok, err)
+			}
+			assertPristine(got, "after caller mutation")
+
+			// Mutating what Get handed out must not poison later reads.
+			got.Sweep.PGrid[0] = 77
+			got.Result.Strategy[0] = 77
+			again, _, err := s.Get("j1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPristine(again, "after reader mutation")
+
+			// Same for List.
+			all, err := s.List()
+			if err != nil || len(all) != 1 {
+				t.Fatalf("List = %d records, %v", len(all), err)
+			}
+			all[0].SweepResult.X[0] = 55
+			final, _, err := s.Get("j1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPristine(final, "after list mutation")
+		})
+	}
+}
+
+// TestDiskStoreConcurrentAccess hammers one DiskStore with interleaved
+// Put/Get/Delete/List from many goroutines under -race: no torn reads,
+// no panics, and every record that survives still parses.
+func TestDiskStoreConcurrentAccess(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := fmt.Sprintf("own-%d", w)
+			for i := 0; i < rounds; i++ {
+				shared := fmt.Sprintf("shared-%d", i%3)
+				for _, id := range []string{own, shared} {
+					if err := s.Put(mutationTestRecord(id)); err != nil {
+						t.Errorf("Put(%s): %v", id, err)
+					}
+				}
+				if rec, ok, err := s.Get(shared); err != nil {
+					t.Errorf("Get(%s): %v", shared, err)
+				} else if ok && rec.ID != shared {
+					t.Errorf("Get(%s) returned record %s", shared, rec.ID)
+				}
+				if i%5 == 0 {
+					if err := s.Delete(shared); err != nil {
+						t.Errorf("Delete(%s): %v", shared, err)
+					}
+				}
+				if _, err := s.List(); err != nil {
+					t.Errorf("List: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.CorruptFiles(); n != 0 {
+		t.Errorf("%d snapshots quarantined as corrupt under concurrent access", n)
+	}
+	all, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range all {
+		if rec.ID == "" || rec.Sweep == nil {
+			t.Errorf("surviving record lost fields: %+v", rec.Status)
+		}
+	}
+	if len(all) < workers {
+		t.Errorf("only %d records survived, want at least the %d per-worker ids", len(all), workers)
+	}
+}
