@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_9.json]
+//	bench [-iters 3] [-workers 1] [-eps 1e-4] [-o BENCH_10.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	bench -check BENCH_9.json [-min-speedup 5] [-min-batch-speedup 2]
-//	      [-max-lease-overhead 50]
-//	bench -check fresh.json -baseline BENCH_9.json [-min-ratio 0.25]
+//	bench -check BENCH_10.json [-min-speedup 5] [-min-batch-speedup 2]
+//	      [-max-lease-overhead 50] [-max-obs-overhead 10]
+//	bench -check fresh.json -baseline BENCH_10.json [-min-ratio 0.25]
 //
 // Measurement mode solves every (point, variant, workers) cell -iters times
 // through the public selfishmining API (bound-only, the sweep workload) and
@@ -48,6 +48,15 @@
 // leased put over plain disk put — is the per-persist price of fleet
 // coordination, guarded in check mode by -max-lease-overhead.
 //
+// The obs cell prices the default-on observability hooks: the fork-family
+// default solve timed with the process-wide instrumentation switch on
+// (obs.SetEnabled(true), how the binary ships) and off, cross-checking the
+// certified bounds bit for bit. The recorded overhead percentage — how
+// much slower the instrumented solve is — is the cost every caller pays
+// for /metrics, guarded in check mode by -max-obs-overhead (the committed
+// artifact must show under 1%; hooks fire only at sweep and phase
+// boundaries, never inside the value-iteration inner loop).
+//
 // -cpuprofile and -memprofile write pprof profiles of a measurement run
 // (CPU for the whole matrix, heap at the end), for digging into where a
 // cell's time or allocations go; see docs/PERFORMANCE.md.
@@ -80,11 +89,12 @@ import (
 	"repro/internal/results"
 	"repro/selfishmining"
 	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
 )
 
 // prNumber stamps the artifact; bump when a new PR re-baselines the
 // trajectory (the artifact file name follows it: BENCH_<pr>.json).
-const prNumber = 9
+const prNumber = 10
 
 // benchPoint is one standard test point of the matrix: the family's default
 // shape at the service-layer test chain parameters (p=0.3, γ=0.5) used since
@@ -126,6 +136,7 @@ type artifact struct {
 	Adaptive *adaptiveReport `json:"adaptive"`
 	Batch    *batchReport    `json:"batch"`
 	Lease    *leaseReport    `json:"lease"`
+	Obs      *obsReport      `json:"obs"`
 	Summary  summary         `json:"summary"`
 }
 
@@ -204,6 +215,28 @@ type leaseReport struct {
 	Overhead float64 `json:"overhead"`
 }
 
+// obsReport is the instrumentation-overhead cell: the fork-family default
+// solve timed with the observability hooks on (as the binary ships) and
+// off, cross-checking the certified bounds bit for bit.
+type obsReport struct {
+	Family string  `json:"family"`
+	Depth  int     `json:"d"`
+	Forks  int     `json:"f"`
+	Len    int     `json:"l"`
+	P      float64 `json:"p"`
+	Gamma  float64 `json:"gamma"`
+	// HooksOnNsOp / HooksOffNsOp are the fastest wall-clocks of the -iters
+	// runs with instrumentation enabled (the default) and disabled.
+	HooksOnNsOp  int64 `json:"hooks_on_ns_op"`
+	HooksOffNsOp int64 `json:"hooks_off_ns_op"`
+	// OverheadPct is (on − off) / off × 100 — how much the default-on
+	// hooks slow the solve. Negative values are timer noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Bitwise reports that both runs certified the identical ERRev bits:
+	// instrumentation must never perturb the numerics.
+	Bitwise bool `json:"bitwise"`
+}
+
 type summary struct {
 	// ForkDefaultNsOp / ForkBestNsOp are the single-core fork-family
 	// default and fastest-variant timings; Speedup is their ratio — the
@@ -257,6 +290,7 @@ func run(args []string) error {
 		minSpeedup = fs.Float64("min-speedup", 5, "with -check: required fork-family speedup of the best variant over the default")
 		minBatch   = fs.Float64("min-batch-speedup", 2, "with -check: required batched-vs-per-point sweep speedup of the batch cell")
 		maxLease   = fs.Float64("max-lease-overhead", 50, "with -check: ceiling on the lease cell's leased-put-vs-disk-put overhead")
+		maxObs     = fs.Float64("max-obs-overhead", 10, "with -check: ceiling (percent) on the obs cell's hooks-on-vs-off solve overhead")
 		minRatio   = fs.Float64("min-ratio", 0.25, "with -check -baseline: fail if a cell drops below this fraction of baseline throughput")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile at the end of the measurement run to this file")
@@ -265,7 +299,7 @@ func run(args []string) error {
 		return err
 	}
 	if *check != "" {
-		return runCheck(*check, *baseline, *minSpeedup, *minBatch, *maxLease, *minRatio)
+		return runCheck(*check, *baseline, *minSpeedup, *minBatch, *maxLease, *maxObs, *minRatio)
 	}
 	if *iters < 1 {
 		return fmt.Errorf("-iters %d: need >= 1", *iters)
@@ -423,6 +457,11 @@ func measure(iters int, eps float64, workers []int) (*artifact, error) {
 		return nil, err
 	}
 	art.Lease = ls
+	ob, err := measureObs(iters, eps)
+	if err != nil {
+		return nil, err
+	}
+	art.Obs = ob
 	s, err := summarize(art)
 	if err != nil {
 		return nil, err
@@ -665,6 +704,61 @@ func measureLease(iters int) (*leaseReport, error) {
 	return rep, nil
 }
 
+// measureObs times the instrumentation-overhead cell: the fork-family
+// default solve (single core, exactly the matrix's headline cell) with
+// the process-wide observability switch on — the shipped default — and
+// off. Hooks fire only at compile, sweep and phase boundaries, so the
+// measured overhead is the whole price of default-on /metrics; both runs
+// must certify the identical ERRev bits, because instrumentation sits
+// outside the numerics by construction.
+func measureObs(iters int, eps float64) (*obsReport, error) {
+	m := selfishmining.Models()[0]
+	for _, cand := range selfishmining.Models() {
+		if cand.Name == selfishmining.DefaultModel {
+			m = cand
+		}
+	}
+	rep := &obsReport{
+		Family: m.Name,
+		Depth:  m.DefaultDepth, Forks: m.DefaultForks, Len: m.DefaultMaxForkLen,
+		P: 0.3, Gamma: 0.5,
+	}
+	pt := benchPoint{
+		Family: rep.Family, Depth: rep.Depth, Forks: rep.Forks, Len: rep.Len,
+		P: rep.P, Gamma: rep.Gamma,
+	}
+	timePass := func(enabled bool) (int64, float64, error) {
+		obs.SetEnabled(enabled)
+		defer obs.SetEnabled(true)
+		best, errev := int64(math.MaxInt64), math.NaN()
+		for it := 0; it < iters; it++ {
+			res, d, err := solveCell(pt, "default", 1, eps)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ns := d.Nanoseconds(); ns < best {
+				best = ns
+			}
+			errev = res.ERRev
+		}
+		return best, errev, nil
+	}
+	on, onERRev, err := timePass(true)
+	if err != nil {
+		return nil, fmt.Errorf("obs cell (hooks on): %w", err)
+	}
+	off, offERRev, err := timePass(false)
+	if err != nil {
+		return nil, fmt.Errorf("obs cell (hooks off): %w", err)
+	}
+	rep.HooksOnNsOp, rep.HooksOffNsOp = on, off
+	rep.OverheadPct = (float64(on) - float64(off)) / float64(off) * 100
+	rep.Bitwise = math.Float64bits(onERRev) == math.Float64bits(offERRev)
+	fmt.Fprintf(os.Stderr, "obs           fork d=%d f=%d  %.3fms hooks-on vs %.3fms hooks-off (%+.2f%% overhead, bitwise %v)\n",
+		rep.Depth, rep.Forks, float64(on)/1e6, float64(off)/1e6, rep.OverheadPct, rep.Bitwise)
+	return rep, nil
+}
+
 // summarize derives the headline single-core fork-family speedup from the
 // measured cells.
 func summarize(art *artifact) (*summary, error) {
@@ -752,12 +846,16 @@ func loadArtifact(path string) (*artifact, error) {
 		return nil, fmt.Errorf("%s: lease cell has non-positive timings (%d / %d / %d)",
 			path, art.Lease.MemPutNsOp, art.Lease.DiskPutNsOp, art.Lease.DirPutLeasedNsOp)
 	}
+	if art.Obs != nil && (art.Obs.HooksOnNsOp <= 0 || art.Obs.HooksOffNsOp <= 0) {
+		return nil, fmt.Errorf("%s: obs cell has non-positive timings (%d / %d)",
+			path, art.Obs.HooksOnNsOp, art.Obs.HooksOffNsOp)
+	}
 	return &art, nil
 }
 
 // runCheck validates an artifact and, with a baseline, guards against
 // regressions cell by cell.
-func runCheck(path, baselinePath string, minSpeedup, minBatch, maxLease, minRatio float64) error {
+func runCheck(path, baselinePath string, minSpeedup, minBatch, maxLease, maxObs, minRatio float64) error {
 	art, err := loadArtifact(path)
 	if err != nil {
 		return err
@@ -789,8 +887,18 @@ func runCheck(path, baselinePath string, minSpeedup, minBatch, maxLease, minRati
 		return fmt.Errorf("%s: leased put costs %.2fx a plain disk put (ceiling %.2fx)",
 			path, art.Lease.Overhead, maxLease)
 	}
-	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise; batch speedup %.2fx, bitwise; lease overhead %.2fx)\n",
-		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio, art.Batch.Speedup, art.Lease.Overhead)
+	if art.Obs == nil {
+		return fmt.Errorf("%s: missing the instrumentation-overhead cell", path)
+	}
+	if art.Obs.OverheadPct > maxObs {
+		return fmt.Errorf("%s: observability hooks cost %.2f%% on the fork default solve (ceiling %.2f%%)",
+			path, art.Obs.OverheadPct, maxObs)
+	}
+	if !art.Obs.Bitwise {
+		return fmt.Errorf("%s: hooks-on and hooks-off solves certified different ERRev bits", path)
+	}
+	fmt.Printf("%s: ok (fork speedup %.2fx via %s; adaptive/uniform point ratio %.3f, bitwise; batch speedup %.2fx, bitwise; lease overhead %.2fx; obs overhead %+.2f%%, bitwise)\n",
+		path, art.Summary.ForkSpeedupBestVsDefault, art.Summary.ForkBestVariant, art.Adaptive.PointRatio, art.Batch.Speedup, art.Lease.Overhead, art.Obs.OverheadPct)
 	if baselinePath == "" {
 		return nil
 	}

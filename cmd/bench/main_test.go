@@ -48,6 +48,11 @@ func testArtifact() *artifact {
 			MemPutNsOp: 5e3, DiskPutNsOp: 60e3, DirPutLeasedNsOp: 300e3,
 			Overhead: 5,
 		},
+		Obs: &obsReport{
+			Family: "fork", Depth: 1, Forks: 1, Len: 4, P: 0.3, Gamma: 0.5,
+			HooksOnNsOp: 301e6, HooksOffNsOp: 300e6,
+			OverheadPct: 1.0 / 3, Bitwise: true,
+		},
 	}
 	s, err := summarize(art)
 	if err != nil {
@@ -83,11 +88,11 @@ func TestSummarize(t *testing.T) {
 
 func TestCheckValidArtifact(t *testing.T) {
 	path := writeArtifact(t, testArtifact())
-	if err := runCheck(path, "", 5, 2, 50, 0.25); err != nil {
+	if err := runCheck(path, "", 5, 2, 50, 10, 0.25); err != nil {
 		t.Fatalf("check of a valid artifact: %v", err)
 	}
 	// Self-comparison is the identity: every cell at exactly 1.0x.
-	if err := runCheck(path, path, 5, 2, 50, 0.25); err != nil {
+	if err := runCheck(path, path, 5, 2, 50, 10, 0.25); err != nil {
 		t.Fatalf("self-baseline check: %v", err)
 	}
 }
@@ -110,12 +115,15 @@ func TestCheckRejectsMalformed(t *testing.T) {
 		{"batch not bitwise", func(a *artifact) { a.Batch.Bitwise = false }, "bitwise"},
 		{"missing lease cell", func(a *artifact) { a.Lease = nil }, "lease-overhead"},
 		{"lease zero timing", func(a *artifact) { a.Lease.DiskPutNsOp = 0 }, "non-positive timings"},
+		{"missing obs cell", func(a *artifact) { a.Obs = nil }, "instrumentation-overhead"},
+		{"obs zero timing", func(a *artifact) { a.Obs.HooksOffNsOp = 0 }, "non-positive timings"},
+		{"obs not bitwise", func(a *artifact) { a.Obs.Bitwise = false }, "bitwise"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			art := testArtifact()
 			tc.mutate(art)
-			err := runCheck(writeArtifact(t, art), "", 5, 2, 50, 0.25)
+			err := runCheck(writeArtifact(t, art), "", 5, 2, 50, 10, 0.25)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}
@@ -124,7 +132,7 @@ func TestCheckRejectsMalformed(t *testing.T) {
 }
 
 func TestCheckMissingFileFails(t *testing.T) {
-	if err := runCheck(filepath.Join(t.TempDir(), "absent.json"), "", 5, 2, 50, 0.25); err == nil {
+	if err := runCheck(filepath.Join(t.TempDir(), "absent.json"), "", 5, 2, 50, 10, 0.25); err == nil {
 		t.Fatal("check of a missing artifact succeeded")
 	}
 }
@@ -132,11 +140,11 @@ func TestCheckMissingFileFails(t *testing.T) {
 func TestCheckSpeedupFloor(t *testing.T) {
 	art := testArtifact()
 	path := writeArtifact(t, art)
-	if err := runCheck(path, "", 100, 2, 50, 0.25); err == nil || !strings.Contains(err.Error(), "below required") {
+	if err := runCheck(path, "", 100, 2, 50, 10, 0.25); err == nil || !strings.Contains(err.Error(), "below required") {
 		t.Fatalf("err = %v, want speedup-floor violation", err)
 	}
 	// The batch cell has its own floor: 3x measured, 100x demanded.
-	if err := runCheck(path, "", 5, 100, 50, 0.25); err == nil || !strings.Contains(err.Error(), "batched sweep speedup") {
+	if err := runCheck(path, "", 5, 100, 50, 10, 0.25); err == nil || !strings.Contains(err.Error(), "batched sweep speedup") {
 		t.Fatalf("err = %v, want batch-speedup-floor violation", err)
 	}
 }
@@ -144,8 +152,17 @@ func TestCheckSpeedupFloor(t *testing.T) {
 func TestCheckLeaseOverheadCeiling(t *testing.T) {
 	// The lease cell's guard is a ceiling: 5x measured passes 50x, fails 2x.
 	path := writeArtifact(t, testArtifact())
-	if err := runCheck(path, "", 5, 2, 2, 0.25); err == nil || !strings.Contains(err.Error(), "leased put costs") {
+	if err := runCheck(path, "", 5, 2, 2, 10, 0.25); err == nil || !strings.Contains(err.Error(), "leased put costs") {
 		t.Fatalf("err = %v, want lease-overhead-ceiling violation", err)
+	}
+}
+
+func TestCheckObsOverheadCeiling(t *testing.T) {
+	// The obs cell's guard is a ceiling in percent: 0.33% measured passes
+	// the default 10%, fails 0.1%.
+	path := writeArtifact(t, testArtifact())
+	if err := runCheck(path, "", 5, 2, 50, 0.1, 0.25); err == nil || !strings.Contains(err.Error(), "observability hooks cost") {
+		t.Fatalf("err = %v, want obs-overhead-ceiling violation", err)
 	}
 }
 
@@ -153,12 +170,12 @@ func TestCheckAdaptiveRatioCeiling(t *testing.T) {
 	art := testArtifact()
 	art.Adaptive.AdaptivePoints = art.Adaptive.UniformPoints
 	art.Adaptive.PointRatio = 1
-	if err := runCheck(writeArtifact(t, art), "", 1, 2, 50, 0.25); err == nil || !strings.Contains(err.Error(), "ratio") {
+	if err := runCheck(writeArtifact(t, art), "", 1, 2, 50, 10, 0.25); err == nil || !strings.Contains(err.Error(), "ratio") {
 		t.Fatalf("err = %v, want adaptive-ratio violation", err)
 	}
 	art = testArtifact()
 	art.Adaptive.Bitwise = false
-	if err := runCheck(writeArtifact(t, art), "", 1, 2, 50, 0.25); err == nil || !strings.Contains(err.Error(), "bitwise") {
+	if err := runCheck(writeArtifact(t, art), "", 1, 2, 50, 10, 0.25); err == nil || !strings.Contains(err.Error(), "bitwise") {
 		t.Fatalf("err = %v, want bitwise violation", err)
 	}
 }
@@ -171,11 +188,11 @@ func TestCheckRegressionGuard(t *testing.T) {
 	slow.Points[0].Runs[1].NsOp *= 10 // 0.1x of baseline throughput
 	slowPath := writeArtifact(t, slow)
 
-	if err := runCheck(slowPath, basePath, 1, 2, 50, 0.25); err == nil || !strings.Contains(err.Error(), "regressed") {
+	if err := runCheck(slowPath, basePath, 1, 2, 50, 10, 0.25); err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("err = %v, want a regression failure", err)
 	}
 	// The same drop passes under a forgiving enough ratio.
-	if err := runCheck(slowPath, basePath, 1, 2, 50, 0.05); err != nil {
+	if err := runCheck(slowPath, basePath, 1, 2, 50, 10, 0.05); err != nil {
 		t.Fatalf("generous ratio still failed: %v", err)
 	}
 }
@@ -192,16 +209,17 @@ func TestParseWorkers(t *testing.T) {
 	}
 }
 
-// TestCommittedArtifactValid pins the committed repo-root BENCH_9.json to
+// TestCommittedArtifactValid pins the committed repo-root BENCH_10.json to
 // the checker's contract: schema, families, cells, the acceptance speedup
 // floor, the adaptive cell's point-ratio ceiling, the batch cell's
-// speedup floor, and the lease cell's overhead ceiling.
+// speedup floor, the lease cell's overhead ceiling, and the obs cell's
+// sub-1% instrumentation overhead.
 func TestCommittedArtifactValid(t *testing.T) {
-	path := filepath.Join("..", "..", "BENCH_9.json")
+	path := filepath.Join("..", "..", "BENCH_10.json")
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("committed artifact missing: %v", err)
 	}
-	if err := runCheck(path, "", 5, 2, 50, 0.25); err != nil {
+	if err := runCheck(path, "", 5, 2, 50, 1, 0.25); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/selfishmining"
 	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
 )
 
 // jobError maps the job manager's error taxonomy onto HTTP statuses plus
@@ -18,27 +19,27 @@ import (
 // already reached done/failed is benign for a client that merely wants
 // the job to not be running, and the code lets it treat the 409 as
 // success instead of string-matching the error text.
-func jobError(w http.ResponseWriter, err error) {
+func (s *server) jobError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):
-		httpErrorCode(w, err, http.StatusNotFound, "not_found")
+		s.httpErrorCode(w, r, err, http.StatusNotFound, "not_found")
 	case errors.Is(err, jobs.ErrQueueFull):
-		httpErrorCode(w, err, http.StatusTooManyRequests, "queue_full")
+		s.httpErrorCode(w, r, err, http.StatusTooManyRequests, "queue_full")
 	case errors.Is(err, jobs.ErrClosed):
-		httpErrorCode(w, err, http.StatusServiceUnavailable, "shutting_down")
+		s.httpErrorCode(w, r, err, http.StatusServiceUnavailable, "shutting_down")
 	case errors.Is(err, jobs.ErrNotResumable):
-		httpErrorCode(w, err, http.StatusConflict, "not_resumable")
+		s.httpErrorCode(w, r, err, http.StatusConflict, "not_resumable")
 	case errors.Is(err, jobs.ErrFinished):
-		httpErrorCode(w, err, http.StatusConflict, "already_finished")
+		s.httpErrorCode(w, r, err, http.StatusConflict, "already_finished")
 	case errors.Is(err, jobs.ErrRemote):
 		// The job is leased by another replica of the fleet; cancel it
 		// through that replica (the lease owner rides the error text).
-		httpErrorCode(w, err, http.StatusConflict, "remote_job")
+		s.httpErrorCode(w, r, err, http.StatusConflict, "remote_job")
 	case errors.Is(err, jobs.ErrBadCursor):
-		httpErrorCode(w, err, http.StatusBadRequest, "bad_cursor")
+		s.httpErrorCode(w, r, err, http.StatusBadRequest, "bad_cursor")
 	default:
 		// Everything else the manager rejects at Submit is a spec problem.
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 	}
 }
 
@@ -80,22 +81,26 @@ func (s *server) checkJobRequest(req *jobs.Request) error {
 // snapshot; the solve proceeds on the server's job workers.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobs.Request
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if err := s.checkJobRequest(&req); err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
+	// Tag the job with the submitting request's id: the job's lifecycle
+	// logs and status snapshots then correlate back to this access-log
+	// line, long after the HTTP request has completed.
+	req.RequestID = obs.RequestIDFrom(r.Context())
 	st, err := s.mgr.Submit(req)
 	if err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	writeJSONBody(w, st)
+	s.writeJSONBody(w, r, st)
 }
 
 // stripStrategy removes the O(states) strategy payload from a snapshot
@@ -114,10 +119,10 @@ func stripStrategy(st *jobs.Status, include bool) *jobs.Status {
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
-	writeJSON(w, stripStrategy(st, r.URL.Query().Get("include_strategy") == "1"))
+	s.writeJSON(w, r, stripStrategy(st, r.URL.Query().Get("include_strategy") == "1"))
 }
 
 // jobListResponse is the GET /v1/jobs body. NextCursor is present only
@@ -142,7 +147,7 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 {
-			httpErrorCode(w, fmt.Errorf("limit %q: need a positive integer", raw),
+			s.httpErrorCode(w, r, fmt.Errorf("limit %q: need a positive integer", raw),
 				http.StatusBadRequest, "bad_limit")
 			return
 		}
@@ -150,32 +155,32 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	}
 	list, next, err := s.mgr.Page(f)
 	if err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
 	out := make([]*jobs.Status, len(list))
 	for i, st := range list {
 		out[i] = stripStrategy(st, false)
 	}
-	writeJSON(w, jobListResponse{Jobs: out, NextCursor: next})
+	s.writeJSON(w, r, jobListResponse{Jobs: out, NextCursor: next})
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Cancel(r.PathValue("id"))
 	if err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
-	writeJSON(w, stripStrategy(st, false))
+	s.writeJSON(w, r, stripStrategy(st, false))
 }
 
 func (s *server) handleJobResume(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Resume(r.PathValue("id"))
 	if err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
-	writeJSON(w, stripStrategy(st, false))
+	s.writeJSON(w, r, stripStrategy(st, false))
 }
 
 // sseKeepAlive bounds how long an idle event stream goes without traffic:
@@ -193,7 +198,7 @@ const sseKeepAlive = 15 * time.Second
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := s.mgr.Get(id); err != nil {
-		jobError(w, err)
+		s.jobError(w, r, err)
 		return
 	}
 	after := jobs.LastEventID(r)
@@ -207,13 +212,16 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		case err == nil:
 		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 			// Idle interval, client still there: keep the stream warm.
-			if sse.Comment("keep-alive") != nil {
+			if werr := sse.Comment("keep-alive"); werr != nil {
+				s.streamWriteError(r, "sse", fmt.Errorf("keep-alive: %w", werr))
 				return
 			}
 			continue
 		case errors.Is(err, jobs.ErrNotFound):
 			// Evicted mid-stream.
-			_ = sse.Send(-1, "error", map[string]string{"error": err.Error()})
+			if werr := sse.Send(-1, "error", map[string]string{"error": err.Error()}); werr != nil {
+				s.streamWriteError(r, "sse", fmt.Errorf("eviction notice: %w", werr))
+			}
 			return
 		default:
 			return // client gone or server shutting down
@@ -226,7 +234,8 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if payload.Status != nil {
 				payload.Status = stripStrategy(payload.Status, false)
 			}
-			if sse.Send(ev.Seq, ev.Type, payload) != nil {
+			if werr := sse.Send(ev.Seq, ev.Type, payload); werr != nil {
+				s.streamWriteError(r, "sse", fmt.Errorf("event %d: %w", ev.Seq, werr))
 				return
 			}
 			after = ev.Seq
@@ -242,12 +251,12 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // restarts the sweep request.
 func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	opts, err := s.buildSweepOptions(req)
 	if err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
@@ -255,6 +264,15 @@ func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
 
 	sse := jobs.NewSSEWriter(w)
 	var points int64
+	// As in the NDJSON stream: a dead client fails every later write, so
+	// the first failure is counted and logged once, the rest stay quiet.
+	var dropped bool
+	drop := func(err error) {
+		if !dropped {
+			dropped = true
+			s.streamWriteError(r, "sse", err)
+		}
+	}
 	opts.OnPoint = func(pt selfishmining.SweepPoint) {
 		line := pointLine{
 			Type:   "point",
@@ -263,14 +281,19 @@ func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
 			PIndex: pt.PIndex, P: pt.P, RefineDepth: pt.Depth,
 			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
 		}
-		_ = sse.Send(points, "point", line) // client gone → ctx stops the sweep
+		// A failed write means the client is gone → ctx stops the sweep.
+		if werr := sse.Send(points, "point", line); werr != nil {
+			drop(fmt.Errorf("point event: %w", werr))
+		}
 		points++
 	}
 	start := time.Now()
 	fig, err := s.svc.SweepContext(ctx, opts)
 	if err != nil {
 		_, code := solveStatus(err)
-		_ = sse.Send(points, "error", errorLine{Type: "error", Error: err.Error(), Code: code})
+		if werr := sse.Send(points, "error", errorLine{Type: "error", Error: err.Error(), Code: code}); werr != nil {
+			drop(fmt.Errorf("error event: %w", werr))
+		}
 		return
 	}
 	sum := summaryLine{
@@ -283,5 +306,7 @@ func (s *server) handleSweepSSE(w http.ResponseWriter, r *http.Request) {
 	for _, series := range fig.Series {
 		sum.AllSeries = append(sum.AllSeries, wireSeries{Name: series.Name, Values: series.Values})
 	}
-	_ = sse.Send(points, "summary", sum)
+	if werr := sse.Send(points, "summary", sum); werr != nil {
+		drop(fmt.Errorf("summary event: %w", werr))
+	}
 }

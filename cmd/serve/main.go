@@ -23,6 +23,8 @@
 //	GET  /v1/models        registered attack-model families
 //	GET  /v1/stats         cache, coalescing, cancellation and job counters
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness (job store, workers, lease heartbeat)
+//	GET  /metrics          Prometheus text exposition (see docs/OBSERVABILITY.md)
 //
 // Analyze, batch and sweep requests accept a "model" field selecting the
 // attack-model family (default "fork", the paper's model); GET /v1/models
@@ -61,6 +63,16 @@
 // terminal summary (or error) line; disconnecting mid-stream stops the
 // remaining grid work.
 //
+// Observability: every request carries a request id (the client's
+// X-Request-ID header, or a generated one, echoed back in the response
+// header) that threads through structured logs and submitted job records;
+// GET /metrics exposes the process's metric registry in Prometheus text
+// format and GET /readyz reports readiness with the failing dependency
+// named in the 503 body. -log-level and -log-format shape the structured
+// logs on stderr; -pprof-addr serves net/http/pprof profiles on a separate
+// listener kept off the public address. See docs/OBSERVABILITY.md for the
+// metric catalog and log schema.
+//
 // Usage:
 //
 //	serve [-addr :8080] [-workers N] [-max-concurrent N] [-result-cache N]
@@ -68,7 +80,8 @@
 //	      [-max-batch N] [-request-timeout 0] [-shutdown-timeout 10s]
 //	      [-jobs-workers 2] [-jobs-queue 1024] [-jobs-ttl 1h] [-jobs-dir DIR]
 //	      [-replica-id NAME] [-jobs-lease-ttl 15s] [-jobs-heartbeat 5s]
-//	      [-jobs-poll 2s]
+//	      [-jobs-poll 2s] [-log-level info] [-log-format text]
+//	      [-pprof-addr ADDR]
 //
 // Example:
 //
@@ -89,9 +102,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -102,6 +117,7 @@ import (
 	"repro/internal/results"
 	"repro/selfishmining"
 	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
 )
 
 func main() {
@@ -131,6 +147,13 @@ type serverConfig struct {
 	jobsLeaseTTL    time.Duration
 	jobsHeartbeat   time.Duration
 	jobsPoll        time.Duration
+	logFormat       string
+	logLevel        slog.Level
+	pprofAddr       string
+
+	// logger overrides the flag-derived stderr logger when non-nil
+	// (in-process tests inject a buffer or a discard here).
+	logger *slog.Logger
 }
 
 // parseFlags parses and validates; any invalid flag or combination is an
@@ -156,6 +179,9 @@ func parseFlags(args []string) (*serverConfig, error) {
 	fs.DurationVar(&cfg.jobsLeaseTTL, "jobs-lease-ttl", jobs.DefaultLeaseTTL, "job lease lifetime without renewal before other replicas may steal it")
 	fs.DurationVar(&cfg.jobsHeartbeat, "jobs-heartbeat", 0, "lease renewal and presence-publish period (0 = a third of -jobs-lease-ttl)")
 	fs.DurationVar(&cfg.jobsPoll, "jobs-poll", jobs.DefaultPollInterval, "how often a replica mirrors the shared store for remote jobs")
+	logLevel := fs.String("log-level", "info", "structured-log threshold: debug, info, warn, or error")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured-log encoding on stderr: text or json")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate listen address; empty = disabled")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -207,6 +233,14 @@ func parseFlags(args []string) (*serverConfig, error) {
 	if cfg.jobsPoll <= 0 {
 		return nil, fmt.Errorf("-jobs-poll %v: need > 0", cfg.jobsPoll)
 	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return nil, fmt.Errorf("-log-level %q: need debug, info, warn, or error", *logLevel)
+	}
+	cfg.logLevel = lvl
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		return nil, fmt.Errorf("-log-format %q: need text or json", cfg.logFormat)
+	}
 	return cfg, nil
 }
 
@@ -231,6 +265,14 @@ func run(args []string) error {
 // shutdown-under-load test, which needs a real socket and a real signal
 // path).
 func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error {
+	logger := cfg.logger
+	if logger == nil {
+		l, err := obs.NewLogger(os.Stderr, cfg.logLevel, cfg.logFormat)
+		if err != nil {
+			return err
+		}
+		logger = l
+	}
 	svc := selfishmining.NewService(selfishmining.ServiceConfig{
 		ResultCacheSize:    cfg.resultCache,
 		StructureCacheSize: cfg.structureCache,
@@ -238,14 +280,14 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 		Workers:            cfg.workers,
 		MaxConcurrent:      cfg.maxConcurrent,
 	})
-	mgr, err := newManager(svc, cfg)
+	mgr, err := newManager(svc, cfg, logger)
 	if err != nil {
 		return err
 	}
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	srv := &http.Server{
-		Handler:           newServer(svc, mgr, cfg),
+		Handler:           newServer(svc, mgr, cfg, logger),
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
@@ -253,10 +295,19 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 	if err != nil {
 		return err
 	}
+	if cfg.pprofAddr != "" {
+		// Profiles ride their own listener so the debug surface is never
+		// reachable through the public address.
+		psrv, perr := servePprof(cfg.pprofAddr, logger)
+		if perr != nil {
+			return perr
+		}
+		defer psrv.Close()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (max-concurrent=%d, result-cache=%d)\n",
-		ln.Addr(), cfg.maxConcurrent, cfg.resultCache)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"max_concurrent", cfg.maxConcurrent, "result_cache", cfg.resultCache)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -265,7 +316,8 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 	case err := <-errCh:
 		return err
 	case s := <-stop:
-		fmt.Fprintf(os.Stderr, "serve: %v, checkpointing jobs, canceling in-flight solves and draining for up to %v\n", s, cfg.shutdownTimeout)
+		logger.Info("shutting down: checkpointing jobs, canceling in-flight solves",
+			"signal", s.String(), "drain_budget", cfg.shutdownTimeout.String())
 		// Order matters: cancel the HTTP base context first so SSE streams
 		// and synchronous solves unblock, then close the manager — running
 		// jobs stop at their next deterministic checkpoint and are
@@ -275,20 +327,44 @@ func serve(cfg *serverConfig, stop <-chan os.Signal, ready chan<- string) error 
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := mgr.Close(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "serve: job shutdown: %v\n", err)
+			logger.Error("job shutdown incomplete", "error", err.Error())
 		}
 		return srv.Shutdown(ctx)
 	}
 }
 
+// servePprof starts the net/http/pprof mux on its own listener. Only the
+// pprof routes are mounted — the debug listener exposes nothing else.
+func servePprof(addr string, logger *slog.Logger) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof-addr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof listener failed", "error", err.Error())
+		}
+	}()
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	return srv, nil
+}
+
 // newManager assembles the async-job manager from the flag set: a disk
 // store when -jobs-dir is given, and on top of that a lease-coordinated
 // shared directory store when -replica-id joins this process to a fleet.
-func newManager(svc *selfishmining.Service, cfg *serverConfig) (*jobs.Manager, error) {
+func newManager(svc *selfishmining.Service, cfg *serverConfig, logger *slog.Logger) (*jobs.Manager, error) {
 	jcfg := jobs.Config{
 		Workers:    cfg.jobsWorkers,
 		QueueLimit: cfg.jobsQueue,
 		TTL:        cfg.jobsTTL,
+		Logger:     logger,
 	}
 	switch {
 	case cfg.replicaID != "":
@@ -312,30 +388,61 @@ func newManager(svc *selfishmining.Service, cfg *serverConfig) (*jobs.Manager, e
 }
 
 // server routes HTTP requests onto a selfishmining.Service and its async
-// job manager.
+// job manager. Every route is registered through handle (see obs.go), so
+// request IDs, per-route metrics, and access logs apply uniformly; reg is
+// the per-server registry carrying this server's collectors, merged with
+// the shared default registry on /metrics.
 type server struct {
 	svc *selfishmining.Service
 	mgr *jobs.Manager
 	cfg *serverConfig
 	mux *http.ServeMux
+	log *slog.Logger
+	reg *obs.Registry
+
+	httpRequests *obs.CounterVec   // route, method, code
+	httpDuration *obs.HistogramVec // route
+	httpInFlight *obs.Gauge
+	streamErrs   *obs.CounterVec // stream: json, ndjson, sse
 }
 
-func newServer(svc *selfishmining.Service, mgr *jobs.Manager, cfg *serverConfig) http.Handler {
-	s := &server{svc: svc, mgr: mgr, cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/sweep/stream", s.handleSweepStream)
-	s.mux.HandleFunc("POST /v1/sweep/sse", s.handleSweepSSE)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+func newServer(svc *selfishmining.Service, mgr *jobs.Manager, cfg *serverConfig, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	reg := obs.NewRegistry()
+	svc.RegisterMetrics(reg)
+	mgr.RegisterMetrics(reg)
+	s := &server{
+		svc: svc, mgr: mgr, cfg: cfg, mux: http.NewServeMux(),
+		log: logger, reg: reg,
+		httpRequests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"route", "method", "code"),
+		httpDuration: reg.HistogramVec("http_request_duration_seconds",
+			"HTTP request latency, by route.", obs.DefBuckets(), "route"),
+		httpInFlight: reg.Gauge("http_requests_in_flight",
+			"HTTP requests currently being served."),
+		streamErrs: reg.CounterVec("stream_write_errors_total",
+			"Response-stream write/encode failures, by stream framing "+
+				"(json, ndjson, sse).", "stream"),
+	}
+	s.handle("POST /v1/analyze", s.handleAnalyze)
+	s.handle("POST /v1/analyze/batch", s.handleBatch)
+	s.handle("POST /v1/sweep", s.handleSweep)
+	s.handle("POST /v1/sweep/stream", s.handleSweepStream)
+	s.handle("POST /v1/sweep/sse", s.handleSweepSSE)
+	s.handle("POST /v1/jobs", s.handleJobSubmit)
+	s.handle("GET /v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle("POST /v1/jobs/{id}/resume", s.handleJobResume)
+	s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.handle("GET /v1/models", s.handleModels)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /metrics", obs.Handler(s.reg, obs.Default()).ServeHTTP)
 	return s
 }
 
@@ -470,20 +577,20 @@ func (s *server) requestCtx(r *http.Request, timeoutMs int) (context.Context, co
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.TimeoutMs < 0 {
-		httpError(w, fmt.Errorf("timeout_ms %d: need >= 0", req.TimeoutMs), http.StatusBadRequest)
+		s.httpError(w, r, fmt.Errorf("timeout_ms %d: need >= 0", req.TimeoutMs), http.StatusBadRequest)
 		return
 	}
 	p := req.params()
 	if err := s.checkParams(p); err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	if err := selfishmining.ValidateKernel(req.Kernel); err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
@@ -493,14 +600,14 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The request was well-formed; a failure here is the solver's or
 		// the context's (matching the batch endpoint's classification).
-		solveError(w, err)
+		s.solveError(w, r, err)
 		return
 	}
 	resp := buildResponse(req, res)
 	resp.Cached = info.Cached
 	resp.Coalesced = info.Coalesced
 	resp.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 type batchRequest struct {
@@ -516,15 +623,15 @@ type batchResponse struct {
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
-		httpError(w, fmt.Errorf("empty batch"), http.StatusBadRequest)
+		s.httpError(w, r, fmt.Errorf("empty batch"), http.StatusBadRequest)
 		return
 	}
 	if len(req.Requests) > s.cfg.maxBatch {
-		httpError(w, fmt.Errorf("batch of %d exceeds limit %d (-max-batch)", len(req.Requests), s.cfg.maxBatch), http.StatusBadRequest)
+		s.httpError(w, r, fmt.Errorf("batch of %d exceeds limit %d (-max-batch)", len(req.Requests), s.cfg.maxBatch), http.StatusBadRequest)
 		return
 	}
 	// Validate everything up front so a bad entry cannot waste the batch's
@@ -533,22 +640,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, ar := range req.Requests {
 		params[i] = ar.params()
 		if err := s.checkParams(params[i]); err != nil {
-			httpError(w, fmt.Errorf("request %d: %w", i, err), http.StatusBadRequest)
+			s.httpError(w, r, fmt.Errorf("request %d: %w", i, err), http.StatusBadRequest)
 			return
 		}
 		if ar.Epsilon != req.Requests[0].Epsilon || ar.SkipEval != req.Requests[0].SkipEval ||
 			ar.BoundOnly != req.Requests[0].BoundOnly || ar.TimeoutMs != req.Requests[0].TimeoutMs ||
 			ar.Kernel != req.Requests[0].Kernel {
-			httpError(w, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only, kernel, timeout_ms)", i), http.StatusBadRequest)
+			s.httpError(w, r, fmt.Errorf("request %d: batch options must match request 0 (epsilon, skip_eval, bound_only, kernel, timeout_ms)", i), http.StatusBadRequest)
 			return
 		}
 	}
 	if err := selfishmining.ValidateKernel(req.Requests[0].Kernel); err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	if req.Requests[0].TimeoutMs < 0 {
-		httpError(w, fmt.Errorf("timeout_ms %d: need >= 0", req.Requests[0].TimeoutMs), http.StatusBadRequest)
+		s.httpError(w, r, fmt.Errorf("timeout_ms %d: need >= 0", req.Requests[0].TimeoutMs), http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.Requests[0].TimeoutMs)
@@ -556,7 +663,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	analyses, err := s.svc.AnalyzeBatchContext(ctx, params, req.Requests[0].options()...)
 	if err != nil {
-		solveError(w, err)
+		s.solveError(w, r, err)
 		return
 	}
 	resp := batchResponse{
@@ -566,7 +673,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range analyses {
 		resp.Results[i] = buildResponse(req.Requests[i], res)
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 // sweepRequest is the wire form of one Figure-2 panel request (buffered or
@@ -734,12 +841,12 @@ func (s *server) buildSweepOptions(req sweepRequest) (selfishmining.SweepOptions
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	opts, err := s.buildSweepOptions(req)
 	if err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
@@ -747,7 +854,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	fig, err := s.svc.SweepContext(ctx, opts)
 	if err != nil {
-		solveError(w, err)
+		s.solveError(w, r, err)
 		return
 	}
 	resp := sweepResponse{
@@ -758,7 +865,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, series := range fig.Series {
 		resp.Series = append(resp.Series, wireSeries{Name: series.Name, Values: series.Values})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 // The NDJSON lines of /v1/sweep/stream: a "point" per completed grid point
@@ -811,12 +918,12 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req sweepRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	opts, err := s.buildSweepOptions(req)
 	if err != nil {
-		httpError(w, err, http.StatusBadRequest)
+		s.httpError(w, r, err, http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
@@ -827,6 +934,15 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
 	var points int
+	// A broken pipe keeps failing for every later write; report the first
+	// failure once (counted + logged) instead of a line of noise per point.
+	var dropped bool
+	drop := func(err error) {
+		if !dropped {
+			dropped = true
+			s.streamWriteError(r, "ndjson", err)
+		}
+	}
 	// OnPoint calls are serialized by the sweep and stop before
 	// SweepContext returns, so enc is never written concurrently.
 	opts.OnPoint = func(pt selfishmining.SweepPoint) {
@@ -839,7 +955,9 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 			ERRev: pt.ERRev, Sweeps: pt.Sweeps,
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client gone; the ctx cancellation stops the sweep
+			// Client gone; the ctx cancellation stops the sweep.
+			drop(fmt.Errorf("encoding point line: %w", err))
+			return
 		}
 		if fl != nil {
 			fl.Flush()
@@ -852,7 +970,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		// terminal line — not the HTTP status — carries the outcome.
 		_, code := solveStatus(err)
 		if encErr := enc.Encode(errorLine{Type: "error", Error: err.Error(), Code: code}); encErr != nil {
-			fmt.Fprintf(os.Stderr, "serve: encoding stream error line: %v\n", encErr)
+			drop(fmt.Errorf("encoding stream error line: %w", encErr))
 		}
 		return
 	}
@@ -867,7 +985,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		sum.AllSeries = append(sum.AllSeries, wireSeries{Name: series.Name, Values: series.Values})
 	}
 	if err := enc.Encode(sum); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: encoding stream summary: %v\n", err)
+		drop(fmt.Errorf("encoding stream summary: %w", err))
 	}
 }
 
@@ -875,7 +993,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 // attack-model family with its parameter semantics and default shape, plus
 // the kernel variant names the solve endpoints accept.
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, r, map[string]any{
 		"default": selfishmining.DefaultModel,
 		"models":  selfishmining.Models(),
 		"kernels": selfishmining.KernelVariants(),
@@ -897,15 +1015,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Presence is advisory: a replica-registry read failure must not
 	// take down the stats endpoint, so it is logged and omitted.
 	if reps, err := s.mgr.Replicas(); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: replica registry: %v\n", err)
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "replica registry read failed",
+			slog.String("error", err.Error()))
 	} else {
 		resp.Replicas = reps
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]bool{"ok": true})
+	s.writeJSON(w, r, map[string]bool{"ok": true})
 }
 
 // maxBodyBytes bounds request bodies before any decoding: a full-sized
@@ -915,30 +1034,14 @@ const maxBodyBytes = 4 << 20
 
 // decodeJSON parses the body strictly (unknown fields are errors, catching
 // typos like "gama"), writing a 400 and returning false on failure.
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, fmt.Errorf("bad request body: %w", err), http.StatusBadRequest)
+		s.httpError(w, r, fmt.Errorf("bad request body: %w", err), http.StatusBadRequest)
 		return false
 	}
 	return true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	writeJSONBody(w, v)
-}
-
-// writeJSONBody encodes v for callers that already committed status and
-// headers (like the 202 job-submit response).
-func writeJSONBody(w http.ResponseWriter, v any) {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		// Headers are already out; nothing more to do than log.
-		fmt.Fprintf(os.Stderr, "serve: encoding response: %v\n", err)
-	}
 }
 
 // statusClientClosedRequest is the de-facto standard (nginx) status for a
@@ -962,26 +1065,18 @@ func solveStatus(err error) (status int, code string) {
 // solveError writes a post-validation failure with its cancellation
 // taxonomy (the request was well-formed; the solve failed or was
 // interrupted).
-func solveError(w http.ResponseWriter, err error) {
+func (s *server) solveError(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := solveStatus(err)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	body := map[string]string{"error": err.Error()}
-	if code != "" {
-		body["code"] = code
-	}
-	if encErr := json.NewEncoder(w).Encode(body); encErr != nil {
-		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", encErr)
-	}
+	s.httpErrorCode(w, r, err, status, code)
 }
 
-func httpError(w http.ResponseWriter, err error, code int) {
-	httpErrorCode(w, err, code, "")
+func (s *server) httpError(w http.ResponseWriter, r *http.Request, err error, code int) {
+	s.httpErrorCode(w, r, err, code, "")
 }
 
 // httpErrorCode writes an error body with an optional machine-readable
 // "code" field (the job endpoints' error taxonomy; empty omits it).
-func httpErrorCode(w http.ResponseWriter, err error, status int, code string) {
+func (s *server) httpErrorCode(w http.ResponseWriter, r *http.Request, err error, status int, code string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	body := map[string]string{"error": err.Error()}
@@ -989,6 +1084,6 @@ func httpErrorCode(w http.ResponseWriter, err error, status int, code string) {
 		body["code"] = code
 	}
 	if encErr := json.NewEncoder(w).Encode(body); encErr != nil {
-		fmt.Fprintf(os.Stderr, "serve: encoding error response: %v\n", encErr)
+		s.streamWriteError(r, "json", fmt.Errorf("encoding error response: %w", encErr))
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/selfishmining"
 	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
 )
 
 func testServer(t *testing.T, flags ...string) (*httptest.Server, *selfishmining.Service) {
@@ -54,7 +55,7 @@ func testServerGates(t *testing.T, gates *jobs.Gates, flags ...string) (*httptes
 		defer cancel()
 		_ = mgr.Close(ctx)
 	})
-	ts := httptest.NewServer(newServer(svc, mgr, cfg))
+	ts := httptest.NewServer(newServer(svc, mgr, cfg, obs.Discard()))
 	t.Cleanup(ts.Close)
 	return ts, svc
 }

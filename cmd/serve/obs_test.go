@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/selfishmining"
+	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
+)
+
+// TestRequestIDEchoAndPropagation: the middleware accepts a caller's
+// X-Request-ID, echoes it on the response, and the id submitted with a
+// job rides the job's status snapshots for its whole lifetime.
+func TestRequestIDEchoAndPropagation(t *testing.T) {
+	ts, _ := testServer(t)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(`{"kind":"analyze","analyze":{"p":0.26,"gamma":0.5,"d":2,"f":1,"l":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "req-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "req-test-42" {
+		t.Fatalf("X-Request-ID echo = %q, want req-test-42", got)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID != "req-test-42" {
+		t.Fatalf("job status request_id = %q, want req-test-42", st.RequestID)
+	}
+	// The id survives the job's whole lifetime, not just the 202 snapshot.
+	done := waitJobState(t, ts.URL, st.ID, jobs.StateDone)
+	if done.RequestID != "req-test-42" {
+		t.Fatalf("terminal status request_id = %q, want req-test-42", done.RequestID)
+	}
+
+	// A request without the header gets a generated id.
+	resp2, _ := postJSON(t, ts.URL+"/v1/analyze", `{"p":0.26,"gamma":0.5,"d":2,"f":1,"l":3}`)
+	if got := resp2.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Fatalf("generated X-Request-ID = %q, want 16 hex chars", got)
+	}
+}
+
+// TestMetricsEndpoint drives a few endpoints and then asserts the /metrics
+// exposition carries the cross-layer series the observability contract
+// promises: HTTP, service caches, solver phases, and jobs.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Generate traffic: a solve (twice, for a cache hit), a model listing,
+	// and a job round-trip.
+	body := `{"p":0.26,"gamma":0.5,"d":2,"f":1,"l":3}`
+	for i := 0; i < 2; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/analyze", body); resp.StatusCode != 200 {
+			t.Fatalf("analyze status = %d", resp.StatusCode)
+		}
+	}
+	resp, out := httpDo(t, "GET", ts.URL+"/v1/models", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("models status = %d: %s", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/jobs", `{"kind":"analyze","analyze":{"p":0.26,"gamma":0.5,"d":2,"f":1,"l":3}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, out)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, ts.URL, st.ID, jobs.StateDone)
+
+	resp, text := httpDo(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	for _, series := range []string{
+		"http_requests_total",
+		"http_request_duration_seconds_bucket",
+		"http_requests_in_flight",
+		"cache_hits_total",
+		"cache_misses_total",
+		"service_solves_total",
+		"kernel_solves_total",
+		"kernel_solve_seconds_bucket",
+		"kernel_compile_seconds_bucket",
+		"analysis_runs_total",
+		"jobs_submitted_total",
+		"jobs_completed_total",
+		"jobs_queue_wait_seconds_bucket",
+		"jobs_run_seconds_bucket",
+		"jobs_terminal_seconds_bucket",
+	} {
+		if !strings.Contains(string(text), series) {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+	// The route label must be the full mux pattern, and the two analyze
+	// requests must both have landed on it.
+	if !strings.Contains(string(text),
+		`http_requests_total{route="POST /v1/analyze",method="POST",code="200"} 2`) {
+		t.Errorf("/metrics missing the analyze route sample")
+	}
+}
+
+// TestReadyz: 200 while the manager runs; 503 naming the manager once it
+// is shut down.
+func TestReadyz(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, body := httpDo(t, "GET", ts.URL+"/readyz", "")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("readyz = %d %s, want 200 ok", resp.StatusCode, body)
+	}
+}
+
+// TestReadyzAfterShutdown builds the server around a manager already
+// closed, so /readyz must answer 503 and name the manager dependency.
+func TestReadyzAfterShutdown(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+	mgr, err := jobs.New(svc, jobs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc, mgr, cfg, obs.Discard()))
+	t.Cleanup(ts.Close)
+
+	resp, body := httpDo(t, "GET", ts.URL+"/readyz", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close = %d, want 503", resp.StatusCode)
+	}
+	var out readyzResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OK || out.Dependency != "manager" {
+		t.Fatalf("readyz body = %+v, want ok=false dependency=manager", out)
+	}
+}
+
+// TestReadyzStoreUnhealthy: a disk store whose directory vanished flips
+// readiness to 503 with dependency "store".
+func TestReadyzStoreUnhealthy(t *testing.T) {
+	dir := t.TempDir() + "/jobs"
+	store, err := jobs.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
+	mgr, err := jobs.New(svc, jobs.Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	})
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc, mgr, cfg, obs.Discard()))
+	t.Cleanup(ts.Close)
+
+	if resp, body := httpDo(t, "GET", ts.URL+"/readyz", ""); resp.StatusCode != 200 {
+		t.Fatalf("readyz with healthy store = %d %s, want 200", resp.StatusCode, body)
+	}
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := httpDo(t, "GET", ts.URL+"/readyz", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with missing store dir = %d, want 503", resp.StatusCode)
+	}
+	var out readyzResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dependency != "store" {
+		t.Fatalf("readyz dependency = %q (%s), want store", out.Dependency, body)
+	}
+}

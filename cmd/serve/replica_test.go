@@ -12,6 +12,7 @@ import (
 
 	"repro/selfishmining"
 	"repro/selfishmining/jobs"
+	"repro/selfishmining/obs"
 )
 
 func TestParseFlagsReplicaCombos(t *testing.T) {
@@ -58,7 +59,7 @@ func TestNewManagerReplicaMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc := selfishmining.NewService(selfishmining.ServiceConfig{})
-	mgr, err := newManager(svc, cfg)
+	mgr, err := newManager(svc, cfg, obs.Discard())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func replicaServer(t *testing.T, dir, id string, workers int, gates *jobs.Gates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc, mgr, cfg))
+	ts := httptest.NewServer(newServer(svc, mgr, cfg, obs.Discard()))
 	t.Cleanup(ts.Close)
 	return ts
 }

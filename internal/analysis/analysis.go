@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -179,6 +180,9 @@ func Analyze(m *core.Model, opts Options) (*Result, error) {
 // (never-fired) context was attached.
 func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	opts.defaults()
+	analysisRuns.With(backendGeneric).Inc()
+	sp := obs.StartSpan(analysisSeconds.With(backendGeneric))
+	defer sp.End()
 	start := time.Now()
 	params := m.Params()
 
@@ -234,6 +238,7 @@ func AnalyzeContext(ctx context.Context, m *core.Model, opts Options) (*Result, 
 			return res, fmt.Errorf("analysis: solving MP*_beta at beta=%v: %w", beta, err)
 		}
 		res.Iterations++
+		analysisSteps.With(backendGeneric).Inc()
 		if sr.Hi < 0 {
 			res.BetaUp = beta
 		} else {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/solve"
 )
 
@@ -64,6 +65,9 @@ type LaneResult struct {
 // far) return with an error wrapping ctx.Err().
 func AnalyzeBatchCompiledContext(ctx context.Context, c *kernel.Compiled, lanes []BatchLane, opts Options) ([]*LaneResult, error) {
 	opts.defaults()
+	analysisRuns.With(backendBatch).Inc()
+	sp := obs.StartSpan(analysisSeconds.With(backendBatch))
+	defer sp.End()
 	start := time.Now()
 	if len(lanes) == 0 {
 		return nil, fmt.Errorf("analysis: batched analysis needs at least one lane")
@@ -127,6 +131,7 @@ func AnalyzeBatchCompiledContext(ctx context.Context, c *kernel.Compiled, lanes 
 		if prev != nil {
 			r.Sweeps += prev.Iters
 			r.Iterations++
+			analysisSteps.With(backendBatch).Inc()
 			if prev.Hi < 0 {
 				r.BetaUp = betas[ln]
 			} else {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // AnalyzeCompiled runs Algorithm 1 against a compiled model of any
@@ -45,6 +46,9 @@ func AnalyzeCompiled(c *kernel.Compiled, opts Options) (*Result, error) {
 // context attached; Options.Progress observes each step's bracket.
 func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Options) (*Result, error) {
 	opts.defaults()
+	analysisRuns.With(backendCompiled).Inc()
+	sp := obs.StartSpan(analysisSeconds.With(backendCompiled))
+	defer sp.End()
 	start := time.Now()
 	if opts.Workers > 0 {
 		c.SetWorkers(opts.Workers)
@@ -139,6 +143,7 @@ func AnalyzeCompiledContext(ctx context.Context, c *kernel.Compiled, opts Option
 		}
 		warm = true
 		res.Iterations++
+		analysisSteps.With(backendCompiled).Inc()
 		if sr.Hi < 0 {
 			res.BetaUp = beta
 		} else {

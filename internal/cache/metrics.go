@@ -1,0 +1,29 @@
+package cache
+
+import "repro/internal/obs"
+
+// RegisterLRU wires one named LRU into a metrics registry as scrape-time
+// collector series: the shared cache_* families gain a series labeled with
+// this cache's name, refreshed from Stats() on every exposition. Counters
+// are mirrored with Store rather than incremented in Get/Add, so the
+// cache's hot path carries no extra instrumentation.
+func RegisterLRU[K comparable, V any](r *obs.Registry, name string, c *LRU[K, V]) {
+	hits := r.CounterVec("cache_hits_total",
+		"LRU cache lookup hits, by cache.", "cache").With(name)
+	misses := r.CounterVec("cache_misses_total",
+		"LRU cache lookup misses, by cache.", "cache").With(name)
+	evictions := r.CounterVec("cache_evictions_total",
+		"LRU cache entries displaced by inserts on a full cache, by cache.", "cache").With(name)
+	entries := r.GaugeVec("cache_entries",
+		"Current LRU cache entry count, by cache.", "cache").With(name)
+	capacity := r.GaugeVec("cache_capacity",
+		"Maximum LRU cache entry count, by cache.", "cache").With(name)
+	r.OnCollect(func() {
+		st := c.Stats()
+		hits.Store(st.Hits)
+		misses.Store(st.Misses)
+		evictions.Store(st.Evictions)
+		entries.Set(float64(st.Len))
+		capacity.Set(float64(st.Cap))
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -377,6 +378,10 @@ func (b *Batch) installSolve(ln int, s LaneSolve, iter int, r *Result) {
 // lanes never issued a solve). On cancellation or a lane exhausting
 // MaxIter, partial results return with a non-nil error.
 func (b *Batch) RunCtx(ctx context.Context, opts BatchRunOptions, src func(ln int, prev *Result) (LaneSolve, bool)) ([]Result, error) {
+	sp := obs.StartSpan(batchRunSeconds)
+	defer sp.End()
+	batchRunsTotal.Inc()
+	batchLanesTotal.Add(uint64(b.k))
 	k := b.k
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 500000

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -146,6 +147,8 @@ func (c *Compiled) Clone() *Compiled {
 // should free everything that bound does not need once Compile returns
 // (see families.Compile).
 func Compile(src Source, p, gamma float64) (*Compiled, error) {
+	sp := obs.StartSpan(compileSeconds)
+	defer func() { sp.End(); compilesTotal.Inc() }()
 	laws := src.Laws()
 	if len(laws) == 0 || len(laws) > MaxLaws {
 		return nil, fmt.Errorf("kernel: law table has %d entries, need 1..%d", len(laws), MaxLaws)
@@ -486,6 +489,19 @@ func (c *Compiled) MeanPayoff(beta float64, opts Options) (*Result, error) {
 // Iters) is returned alongside an error wrapping ctx.Err().
 func (c *Compiled) MeanPayoffCtx(ctx context.Context, beta float64, opts Options) (*Result, error) {
 	opts.defaults()
+	variant := opts.Variant.String()
+	sp := obs.StartSpan(solveSeconds.With(variant))
+	res, err := c.meanPayoffCtx(ctx, beta, opts)
+	sp.End()
+	solvesTotal.With(variant).Inc()
+	if res != nil {
+		solveSweeps.With(variant).Add(uint64(res.Iters))
+	}
+	return res, err
+}
+
+// meanPayoffCtx is MeanPayoffCtx behind the phase instruments.
+func (c *Compiled) meanPayoffCtx(ctx context.Context, beta float64, opts Options) (*Result, error) {
 	if opts.Variant != VariantJacobi {
 		return c.meanPayoffFast(ctx, beta, opts)
 	}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Context keys for the two IDs the system threads through its layers: a
+// per-HTTP-request ID (accepted from or issued to the client as
+// X-Request-ID) and a per-job ID. The ctx-aware slog handler injects both
+// into every log record emitted under that context, and the jobs layer
+// persists the request ID on the job record so async work stays traceable
+// back to the submit call.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota + 1
+	ctxJobID
+)
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithJobID returns a context carrying the job ID.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxJobID, id)
+}
+
+// JobIDFrom returns the job ID carried by ctx, or "".
+func JobIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxJobID).(string)
+	return id
+}
+
+// NewID returns a fresh 16-hex-character random ID for requests that
+// arrive without one.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of outside a broken platform;
+		// a constant fallback keeps logging usable rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the service logger: slog in text or json format at the
+// given level, wrapped so request/job IDs riding the context land on every
+// record as request_id / job_id attributes.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	ho := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, ho)
+	case "json":
+		h = slog.NewJSONHandler(w, ho)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(ctxHandler{h}), nil
+}
+
+// Discard returns a logger that drops every record; the nil-logger
+// default for libraries (jobs.Manager) whose caller did not wire one.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ctxHandler injects the context-carried IDs into each record before
+// delegating. WithAttrs/WithGroup re-wrap so derived loggers keep the
+// behavior.
+type ctxHandler struct{ inner slog.Handler }
+
+func (h ctxHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RequestIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	if id := JobIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("job_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{h.inner.WithGroup(name)}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLoggerCtxIDs: request/job IDs riding the context land on every
+// record, in both formats, and derived (With) loggers keep the behavior.
+func TestLoggerCtxIDs(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithJobID(WithRequestID(context.Background(), "req-1"), "job-7")
+	lg.With("route", "/v1/jobs").InfoContext(ctx, "accepted", "status", 202)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, b.String())
+	}
+	for k, want := range map[string]any{
+		"msg": "accepted", "request_id": "req-1", "job_id": "job-7",
+		"route": "/v1/jobs", "status": float64(202),
+	} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+
+	b.Reset()
+	lg.Info("no ids") // background ctx: no request_id/job_id keys
+	if s := b.String(); strings.Contains(s, "request_id") || strings.Contains(s, "job_id") {
+		t.Errorf("IDs injected without ctx: %s", s)
+	}
+
+	text, err := NewLogger(&b, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	text.InfoContext(WithRequestID(context.Background(), "r2"), "hello")
+	if !strings.Contains(b.String(), "request_id=r2") {
+		t.Errorf("text format missing request_id: %s", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted junk")
+	}
+	if _, err := NewLogger(&strings.Builder{}, slog.LevelInfo, "xml"); err == nil {
+		t.Error("NewLogger accepted junk format")
+	}
+}
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("NewID lengths: %q %q", a, b)
+	}
+	if a == b {
+		t.Error("NewID returned duplicates")
+	}
+}

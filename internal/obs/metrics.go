@@ -1,0 +1,554 @@
+// Package obs is the repository's zero-dependency observability core: a
+// metrics registry (atomic counters, gauges, fixed-bucket histograms) with
+// Prometheus text exposition, structured logging on log/slog with
+// per-request/per-job IDs carried in contexts, and span-style phase timers
+// for the solver hot path.
+//
+// Design constraints, in order:
+//
+//   - No dependencies beyond the standard library.
+//   - Instrument updates are safe for concurrent use and cheap enough to
+//     leave on in production: one atomic op (plus one atomic enabled-flag
+//     load) per Inc/Add/Observe, no allocation after the instrument is
+//     created.
+//   - Instrumentation never fires inside a value-iteration sweep or a
+//     bisection step — only at their boundaries, the same contract PR 4
+//     established for context checks — so bitwise determinism of solver
+//     results is untouchable by construction.
+//   - Registration is idempotent: asking a registry for an instrument that
+//     already exists returns the existing one (and panics on a type or
+//     label mismatch, which is always a programming error). This lets
+//     package-level instruments live on the shared Default registry while
+//     tests boot any number of servers.
+//
+// The global enabled switch (SetEnabled) exists for one consumer: the
+// cmd/bench instrumentation-overhead cell, which times the solver with
+// hooks on versus off to prove the default-on cost is under 1%.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every mutating instrument update. Default on; cmd/bench
+// flips it off for the overhead-comparison cell. Collector-style Store/Set
+// calls are not gated so scrape-time snapshots keep working regardless.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns instrument updates on or off process-wide. Off means
+// Inc/Add/Observe and span timers become no-ops (scrape-time Store/Set
+// still apply). It exists for overhead measurement, not operation.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Enabled reports whether instrument updates are currently recorded.
+func Enabled() bool { return enabled.Load() }
+
+// metric family types, as exposed on the # TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// A Registry owns a set of named metric families and renders them in
+// Prometheus text exposition format. The zero value is not usable; use
+// NewRegistry or the process-wide Default.
+type Registry struct {
+	mu       sync.Mutex
+	fams     map[string]*family
+	collects []func()
+}
+
+// family is one named metric: a fixed type, help string, label schema and
+// (for histograms) bucket layout, holding either a single unlabeled
+// instrument or a vec of labeled children.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64
+
+	single any // *Counter | *Gauge | *Histogram when len(labels) == 0
+	vec    any // *CounterVec | *GaugeVec | *HistogramVec otherwise
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry package-level instruments (solver
+// phases, job latencies) register on. Servers typically expose it merged
+// with their own per-server registry via Handler.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns the family for name, creating it on first use, and
+// panics if a same-named family was registered with a different shape —
+// always a programming error, never an operational condition.
+func (r *Registry) lookup(name, help, typ string, buckets []float64, labelNames []string, mk func(*family)) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labelNames) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type, label set, or buckets", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labelNames, buckets: buckets}
+	mk(f) // under r.mu, so the instrument exists before any lookup returns it
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the unlabeled counter named name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, typeCounter, nil, nil, func(f *family) { f.single = &Counter{} })
+	return f.single.(*Counter)
+}
+
+// Gauge returns the unlabeled gauge named name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, typeGauge, nil, nil, func(f *family) { f.single = &Gauge{} })
+	return f.single.(*Gauge)
+}
+
+// Histogram returns the unlabeled fixed-bucket histogram named name,
+// creating it if needed. buckets must be sorted ascending; a +Inf bucket
+// is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.lookup(name, help, typeHistogram, buckets, nil, func(f *family) { f.single = newHistogram(f.buckets) })
+	return f.single.(*Histogram)
+}
+
+// CounterVec returns the labeled counter family named name.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	f := r.lookup(name, help, typeCounter, nil, labelNames, func(f *family) {
+		f.vec = &CounterVec{labels: labelNames, m: make(map[string]*Counter)}
+	})
+	return f.vec.(*CounterVec)
+}
+
+// GaugeVec returns the labeled gauge family named name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	f := r.lookup(name, help, typeGauge, nil, labelNames, func(f *family) {
+		f.vec = &GaugeVec{labels: labelNames, m: make(map[string]*Gauge)}
+	})
+	return f.vec.(*GaugeVec)
+}
+
+// HistogramVec returns the labeled histogram family named name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	f := r.lookup(name, help, typeHistogram, buckets, labelNames, func(f *family) {
+		f.vec = &HistogramVec{labels: labelNames, buckets: f.buckets, m: make(map[string]*Histogram)}
+	})
+	return f.vec.(*HistogramVec)
+}
+
+// OnCollect registers fn to run at the start of every exposition, before
+// series are rendered. Collectors copy externally-tracked snapshots (e.g.
+// Service.Stats()) into registry instruments with Store/Set, so scrapes
+// see current values without double-counting in the hot path.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.collects = append(r.collects, fn)
+	r.mu.Unlock()
+}
+
+// --- instruments ---------------------------------------------------------
+
+// A Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use; a nil Counter is a valid no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Store overwrites the counter with a snapshot value. For scrape-time
+// collectors mirroring counters tracked elsewhere; not gated by the
+// enabled switch.
+func (c *Counter) Store(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a float64 that can go up and down. A nil Gauge is a valid
+// no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge. Not gated by the enabled switch (collectors
+// use it at scrape time).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// A Histogram counts observations into fixed buckets (cumulative at
+// exposition, per-bucket internally) and tracks their sum. A nil Histogram
+// is a valid no-op.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; the last slot is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic("obs: histogram buckets must be sorted strictly ascending")
+		}
+	}
+	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// --- labeled vecs --------------------------------------------------------
+
+const labelSep = "\x00"
+
+// A CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// registered label name, in order), creating it on first use. The child
+// is cached; callers on hot paths should hold onto it.
+func (v *CounterVec) With(vals ...string) *Counter {
+	key := v.key(vals)
+	v.mu.RLock()
+	c := v.m[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[key]; c == nil {
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) key(vals []string) string {
+	if len(vals) != len(v.labels) {
+		panic(fmt.Sprintf("obs: vec expects %d label values, got %d", len(v.labels), len(vals)))
+	}
+	return strings.Join(vals, labelSep)
+}
+
+// A GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	if len(vals) != len(v.labels) {
+		panic(fmt.Sprintf("obs: vec expects %d label values, got %d", len(v.labels), len(vals)))
+	}
+	key := strings.Join(vals, labelSep)
+	v.mu.RLock()
+	g := v.m[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.m[key]; g == nil {
+		g = &Gauge{}
+		v.m[key] = g
+	}
+	return g
+}
+
+// A HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	labels  []string
+	buckets []float64
+	mu      sync.RWMutex
+	m       map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if len(vals) != len(v.labels) {
+		panic(fmt.Sprintf("obs: vec expects %d label values, got %d", len(v.labels), len(vals)))
+	}
+	key := strings.Join(vals, labelSep)
+	v.mu.RLock()
+	h := v.m[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[key]; h == nil {
+		h = newHistogram(v.buckets)
+		v.m[key] = h
+	}
+	return h
+}
+
+// --- exposition ----------------------------------------------------------
+
+// WriteProm renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series within a family sorted
+// by label values, HELP/TYPE lines first. Collectors registered with
+// OnCollect run before rendering.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	collects := append([]func(){}, r.collects...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	for _, fn := range collects {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	io.WriteString(w, b.String())
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if len(f.labels) == 0 {
+		if f.single == nil {
+			return
+		}
+		switch m := f.single.(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatValue(float64(m.Value())))
+		case *Gauge:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatValue(m.Value()))
+		case *Histogram:
+			writeHistogram(b, f.name, "", m)
+		}
+		return
+	}
+	switch v := f.vec.(type) {
+	case *CounterVec:
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		for _, k := range keys {
+			fmt.Fprintf(b, "%s{%s} %s\n", f.name, renderLabels(f.labels, k), formatValue(float64(v.m[k].Value())))
+		}
+		v.mu.RUnlock()
+	case *GaugeVec:
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		for _, k := range keys {
+			fmt.Fprintf(b, "%s{%s} %s\n", f.name, renderLabels(f.labels, k), formatValue(v.m[k].Value()))
+		}
+		v.mu.RUnlock()
+	case *HistogramVec:
+		v.mu.RLock()
+		keys := sortedKeys(v.m)
+		for _, k := range keys {
+			writeHistogram(b, f.name, renderLabels(f.labels, k), v.m[k])
+		}
+		v.mu.RUnlock()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(labels, `le="`+formatValue(up)+`"`), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(labels, `le="+Inf"`), h.Count())
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(h.Sum()))
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatValue(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.Count())
+	}
+}
+
+func joinLabels(labels, le string) string {
+	if labels == "" {
+		return le
+	}
+	return labels + "," + le
+}
+
+func renderLabels(names []string, key string) string {
+	vals := strings.Split(key, labelSep)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + `="` + escapeLabel(vals[i]) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler returns an http.Handler that serves the merged exposition of
+// regs in order — typically a per-server registry (HTTP, service, jobs
+// collectors) followed by Default() (solver-phase instruments).
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			reg.WriteProm(w)
+		}
+	})
+}
+
+// DefBuckets is the default latency bucket layout in seconds, spanning
+// 100µs to ~100s — wide enough for both per-sweep HTTP handlers and
+// multi-minute batch jobs.
+func DefBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+}

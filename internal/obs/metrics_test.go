@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text format byte-for-byte on a
+// small fixed registry: HELP/TYPE lines, family ordering by name, series
+// ordering by label values, cumulative histogram buckets with the
+// implicit +Inf, and label escaping.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_total", "last family by name")
+	c.Add(7)
+	v := r.CounterVec("requests_total", "requests", "route", "code")
+	v.With("/v1/analyze", "200").Add(3)
+	v.With("/v1/analyze", "400").Inc()
+	v.With("/metrics", "200").Inc()
+	g := r.Gauge("in_flight", "now")
+	g.Set(2.5)
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(10)
+	e := r.CounterVec("escaped_total", `help with \ backslash`, "path")
+	e.With("a\"b\\c\nd").Inc()
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	want := `# HELP escaped_total help with \\ backslash
+# TYPE escaped_total counter
+escaped_total{path="a\"b\\c\nd"} 1
+# HELP in_flight now
+# TYPE in_flight gauge
+in_flight 2.5
+# HELP latency_seconds latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 11.05
+latency_seconds_count 4
+# HELP requests_total requests
+# TYPE requests_total counter
+requests_total{route="/metrics",code="200"} 1
+requests_total{route="/v1/analyze",code="200"} 3
+requests_total{route="/v1/analyze",code="400"} 1
+# HELP zz_total last family by name
+# TYPE zz_total counter
+zz_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestIdempotentRegistration: re-asking for an instrument returns the same
+// one (shared Default-registry instruments depend on this), and a shape
+// mismatch panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "h")
+	b := r.Counter("c_total", "h")
+	if a != b {
+		t.Fatal("same-name counter not shared")
+	}
+	h1 := r.HistogramVec("h_seconds", "h", []float64{1, 2}, "variant")
+	h2 := r.HistogramVec("h_seconds", "h", []float64{1, 2}, "variant")
+	if h1 != h2 {
+		t.Fatal("same-shape histogram vec not shared")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type mismatch did not panic")
+			}
+		}()
+		r.Gauge("c_total", "h")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bucket mismatch did not panic")
+			}
+		}()
+		r.HistogramVec("h_seconds", "h", []float64{1, 2, 3}, "variant")
+	}()
+}
+
+// TestConcurrentInstruments hammers inc/observe/with/collect from many
+// goroutines; run under -race this is the registry's thread-safety pin,
+// and the final counts double-check no update was lost.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	v := r.CounterVec("ops_by_kind_total", "ops", "kind")
+	g := r.Gauge("depth", "depth")
+	h := r.HistogramVec("dur_seconds", "dur", DefBuckets(), "variant")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < per; i++ {
+				c.Inc()
+				v.With(kind).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.With(kind).Observe(float64(i%100) / 1000)
+				if i%500 == 0 {
+					var b strings.Builder
+					r.WriteProm(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("ops_total = %d, want %d", got, workers*per)
+	}
+	var total uint64
+	for _, k := range []string{"a", "b", "c"} {
+		total += v.With(k).Value()
+	}
+	if total != workers*per {
+		t.Errorf("sum over kinds = %d, want %d", total, workers*per)
+	}
+	var n uint64
+	for _, k := range []string{"a", "b", "c"} {
+		n += h.With(k).Count()
+	}
+	if n != workers*per {
+		t.Errorf("histogram count = %d, want %d", n, workers*per)
+	}
+}
+
+// TestEnabledSwitch: with instrumentation off, Inc/Observe/span updates
+// are dropped while collector-style Store/Set still land — the contract
+// the bench overhead cell relies on.
+func TestEnabledSwitch(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	sp := StartSpan(h)
+	sp.End()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled updates recorded: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+	c.Store(42)
+	if c.Value() != 42 {
+		t.Errorf("Store gated by enabled switch: got %d", c.Value())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 43 {
+		t.Errorf("re-enabled counter = %d, want 43", c.Value())
+	}
+}
+
+// TestNilSafety: nil instruments and zero spans are silent no-ops, so
+// call sites never need guards.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	c.Store(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	StartSpan(h).End()
+	StartSpan(nil).End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+}

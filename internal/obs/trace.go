@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// A Span times one named phase of the hot path — a compile, a full solve,
+// an adaptive-refine wave — and records the elapsed seconds into a
+// histogram when ended. It is a value type: starting and ending a span
+// allocates nothing, and a span started while instrumentation is disabled
+// (or against a nil histogram) is a no-op, so call sites need no guards.
+//
+// Spans wrap whole phases, never per-state or per-transition work: the
+// clock is read at phase boundaries only, the same boundary contract the
+// context checks follow, so solver inner loops stay instrumentation-free
+// and bitwise determinism is preserved by construction.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing a phase recorded into h on End.
+func StartSpan(h *Histogram) Span {
+	if h == nil || !enabled.Load() {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time. Safe on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// EndObserve records the elapsed time and returns it, for call sites that
+// also want to log the duration.
+func (s Span) EndObserve() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,16 @@
+package solve
+
+import "repro/internal/obs"
+
+// Generic-backend (mdp.Model) solve instruments, on the shared default
+// registry. Like the kernel's, these fire only at solve boundaries: the
+// per-sweep loop body is untouched.
+var (
+	solvesTotal = obs.Default().CounterVec("solve_generic_solves_total",
+		"Generic-backend mean-payoff solves, by kernel variant.", "variant")
+	solveSweeps = obs.Default().CounterVec("solve_generic_sweeps_total",
+		"Value-iteration sweeps run by generic-backend solves, by kernel variant.", "variant")
+	solveSeconds = obs.Default().HistogramVec("solve_generic_seconds",
+		"Wall time of one generic-backend mean-payoff solve, by kernel variant.",
+		obs.DefBuckets(), "variant")
+)

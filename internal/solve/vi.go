@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mdp"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -97,6 +98,19 @@ func MeanPayoff(m mdp.Model, opts Options) (*Result, error) {
 // ctx.Err().
 func MeanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result, error) {
 	opts.defaults()
+	variant := opts.Variant.String()
+	sp := obs.StartSpan(solveSeconds.With(variant))
+	res, err := meanPayoffContext(ctx, m, opts)
+	sp.End()
+	solvesTotal.With(variant).Inc()
+	if res != nil {
+		solveSweeps.With(variant).Add(uint64(res.Iters))
+	}
+	return res, err
+}
+
+// meanPayoffContext is MeanPayoffContext behind the phase instruments.
+func meanPayoffContext(ctx context.Context, m mdp.Model, opts Options) (*Result, error) {
 	n := m.NumStates()
 	if n == 0 {
 		return nil, fmt.Errorf("solve: model has no states")

@@ -1,0 +1,19 @@
+package sweep
+
+import "repro/internal/obs"
+
+// Adaptive-refinement instruments, on the shared default registry. Hooks
+// tick at wave boundaries (the engine's natural checkpoints), never inside
+// the per-point solves the callback fans out.
+var (
+	refineRuns = obs.Default().Counter("sweep_refine_runs_total",
+		"Adaptive refinements run (Refine calls).")
+	refineWaves = obs.Default().Counter("sweep_refine_waves_total",
+		"Waves solved by adaptive refinement, including each run's coarse wave.")
+	refinePoints = obs.Default().Counter("sweep_refine_points_total",
+		"Refined (depth >= 1) points solved by adaptive refinement.")
+	refineTruncated = obs.Default().Counter("sweep_refine_truncated_total",
+		"Adaptive refinements cut short by the MaxPoints budget.")
+	refineSeconds = obs.Default().Histogram("sweep_refine_seconds",
+		"Wall time of one adaptive refinement, including all solves.", obs.DefBuckets())
+)

@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // SolveBatch solves one wave of grid points. ps is strictly increasing;
@@ -192,10 +194,15 @@ func Refine(opts Options, solve SolveBatch) (*Result, error) {
 		return nil, fmt.Errorf("sweep: nil solve callback")
 	}
 
+	refineRuns.Inc()
+	sp := obs.StartSpan(refineSeconds)
+	defer sp.End()
+
 	coarse, err := solveWave(solve, opts.Grid, 0, opts.Configs)
 	if err != nil {
 		return nil, err
 	}
+	refineWaves.Inc()
 	points := append([]*pt(nil), coarse...)
 	cells := make([]cell, 0, len(coarse)-1)
 	for i := 0; i+1 < len(coarse); i++ {
@@ -219,6 +226,9 @@ func Refine(opts Options, solve SolveBatch) (*Result, error) {
 		}
 		if opts.MaxPoints > 0 {
 			if remaining := opts.MaxPoints - res.Refined; len(active) > remaining {
+				if !res.Truncated {
+					refineTruncated.Inc()
+				}
 				res.Truncated = true
 				active = active[:remaining]
 			}
@@ -235,6 +245,8 @@ func Refine(opts Options, solve SolveBatch) (*Result, error) {
 			return nil, err
 		}
 		points = append(points, wave...)
+		refineWaves.Inc()
+		refinePoints.Add(uint64(len(wave)))
 		res.Refined += len(wave)
 		next := make([]cell, 0, 2*len(active))
 		for i, c := range active {

@@ -15,7 +15,7 @@ err() {
 }
 
 # --- required docs exist -------------------------------------------------
-for f in docs/ARCHITECTURE.md docs/HTTP_API.md docs/SWEEPS.md docs/PERFORMANCE.md; do
+for f in docs/ARCHITECTURE.md docs/HTTP_API.md docs/SWEEPS.md docs/PERFORMANCE.md docs/OBSERVABILITY.md; do
   [ -f "$f" ] || err "missing $f"
 done
 
@@ -42,15 +42,17 @@ for doc in README.md docs/*.md; do
 done
 
 # --- every registered HTTP route is documented ---------------------------
+# Routes register through the observability middleware (s.handle) or, for
+# the pprof side listener, plain HandleFunc; scrape both forms.
 while IFS= read -r route; do
   path=${route#* } # "POST /v1/analyze" -> "/v1/analyze"
-  grep -qF "$path" docs/HTTP_API.md || err "route '$route' (cmd/serve/main.go) missing from docs/HTTP_API.md"
-done < <(sed -n 's/.*HandleFunc("\([^"]*\)".*/\1/p' cmd/serve/main.go)
+  grep -qF "$path" docs/HTTP_API.md || err "route '$route' (cmd/serve) missing from docs/HTTP_API.md"
+done < <(sed -n -e 's/.*s\.handle("\([^"]*\)".*/\1/p' -e 's/.*HandleFunc("\([^"]*\)".*/\1/p' cmd/serve/main.go cmd/serve/obs.go)
 
 # --- every job error code is documented ----------------------------------
 while IFS= read -r code; do
   grep -qF "\`$code\`" docs/HTTP_API.md || err "job error code '$code' (cmd/serve/jobs.go) missing from docs/HTTP_API.md"
-done < <(sed -n 's/.*httpErrorCode(w, err, [^,]*, "\([a-z_]*\)").*/\1/p' cmd/serve/jobs.go)
+done < <(sed -n 's/.*httpErrorCode(w, r, err, [^,]*, "\([a-z_]*\)").*/\1/p' cmd/serve/jobs.go)
 
 # --- the adaptive sweep surface is documented ----------------------------
 for flag in adaptive tolerance max-depth max-points batch-lanes; do
@@ -86,6 +88,29 @@ grep -qF '`bad_limit`' docs/HTTP_API.md || err "job error code 'bad_limit' missi
 for term in "fencing token" lease; do
   grep -qiF "$term" docs/ARCHITECTURE.md || err "'$term' missing from docs/ARCHITECTURE.md (lease protocol section)"
 done
+
+# --- the observability surface is documented ------------------------------
+# Every metric family CI requires must be documented in the catalog AND
+# still registered somewhere in source, so a rename or removal fails here
+# before a dashboard goes dark.
+while IFS= read -r name; do
+  [ -n "$name" ] || continue
+  grep -qF "\`$name\`" docs/OBSERVABILITY.md || err "metric '$name' (scripts/required_metrics.txt) missing from docs/OBSERVABILITY.md"
+  grep -qrF "\"$name\"" --include='*.go' cmd/ internal/ selfishmining/ || err "metric '$name' (scripts/required_metrics.txt) not registered anywhere in source"
+done < <(grep -vE '^(#|$)' scripts/required_metrics.txt)
+for flag in log-level log-format pprof-addr; do
+  grep -qF "\"$flag\"" cmd/serve/main.go || err "cmd/serve no longer registers -$flag; update docs/OBSERVABILITY.md"
+  grep -qF -- "-$flag" docs/OBSERVABILITY.md || err "flag -$flag missing from docs/OBSERVABILITY.md"
+done
+grep -qF 'json:"request_id,omitempty"' selfishmining/jobs/jobs.go || err "job status no longer carries 'request_id'; update docs"
+for field in request_id; do
+  grep -qF "\`$field\`" docs/HTTP_API.md || err "field '$field' missing from docs/HTTP_API.md"
+  grep -qF "\`$field\`" docs/OBSERVABILITY.md || err "field '$field' missing from docs/OBSERVABILITY.md"
+done
+for route in /metrics /readyz; do
+  grep -qF "$route" docs/OBSERVABILITY.md || err "route $route missing from docs/OBSERVABILITY.md"
+done
+grep -qF "X-Request-ID" docs/HTTP_API.md || err "X-Request-ID header missing from docs/HTTP_API.md"
 
 # --- every CLI and example is referenced ---------------------------------
 for d in cmd/*/; do

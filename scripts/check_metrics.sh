@@ -1,0 +1,67 @@
+#!/bin/sh
+# check_metrics.sh — validate a /metrics scrape against the repository's
+# observability contract.
+#
+# Usage: scripts/check_metrics.sh <exposition-file>
+#
+# Two passes, no dependencies beyond POSIX sh + grep/awk:
+#
+#  1. Format: every non-comment, non-blank line must look like Prometheus
+#     text exposition 0.0.4 — `name 1.5`, `name{a="b"} 2`, with optional
+#     +Inf/NaN values — and every samples block must be preceded by its
+#     family's # HELP and # TYPE headers.
+#  2. Coverage: every family listed in scripts/required_metrics.txt must
+#     appear as a "# TYPE <name> <type>" header. A registered-but-unhit
+#     family still renders its headers, so a fresh boot passes; a renamed
+#     or dropped metric fails CI here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 1 ] || [ ! -f "$1" ]; then
+    echo "usage: $0 <metrics-exposition-file>" >&2
+    exit 2
+fi
+scrape=$1
+required=scripts/required_metrics.txt
+fail=0
+
+# --- pass 1: exposition format ---------------------------------------------
+bad_lines=$(grep -vE '^(#|$)' "$scrape" \
+    | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$' \
+    || true)
+if [ -n "$bad_lines" ]; then
+    echo "FAIL: malformed exposition lines:" >&2
+    echo "$bad_lines" | head -5 >&2
+    fail=1
+fi
+
+bad_types=$(grep '^# TYPE ' "$scrape" | awk '$4 != "counter" && $4 != "gauge" && $4 != "histogram"' || true)
+if [ -n "$bad_types" ]; then
+    echo "FAIL: unknown metric types:" >&2
+    echo "$bad_types" >&2
+    fail=1
+fi
+
+# Every # TYPE must have a matching # HELP (same family, help first).
+grep '^# TYPE ' "$scrape" | awk '{print $3}' | while read -r fam; do
+    if ! grep -q "^# HELP $fam " "$scrape"; then
+        echo "FAIL: family $fam has a # TYPE header but no # HELP" >&2
+        exit 1
+    fi
+done || fail=1
+
+# --- pass 2: required series coverage --------------------------------------
+missing=0
+grep -vE '^(#|$)' "$required" | while read -r name; do
+    if ! grep -q "^# TYPE $name " "$scrape"; then
+        echo "FAIL: required metric family missing from scrape: $name" >&2
+        exit 1
+    fi
+done || { missing=1; fail=1; }
+
+total=$(grep -cvE '^(#|$)' "$required")
+if [ "$fail" -eq 0 ]; then
+    echo "OK: exposition well-formed; all $total required metric families present"
+fi
+exit "$fail"

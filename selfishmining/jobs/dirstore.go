@@ -95,6 +95,19 @@ func (s *DirStore) Dir() string { return s.dir }
 // parse (since this store was opened).
 func (s *DirStore) CorruptFiles() uint64 { return s.recs.CorruptFiles() }
 
+// Healthy reports whether the shared directory layout is still reachable:
+// the job-snapshot directory and the replica registry must both exist.
+// Implements HealthChecker for Manager.Ready.
+func (s *DirStore) Healthy() error {
+	if err := s.recs.Healthy(); err != nil {
+		return err
+	}
+	if _, err := os.Stat(s.repDir); err != nil {
+		return fmt.Errorf("jobs: dir store: %w", err)
+	}
+	return nil
+}
+
 // --- directory lock ------------------------------------------------------
 
 // dirLock is the lock file's content: who holds it and until when other

@@ -39,6 +39,20 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 // Dir returns the snapshot directory.
 func (s *DiskStore) Dir() string { return s.dir }
 
+// Healthy reports whether the snapshot directory is still a reachable
+// directory (it can disappear after open: an unmounted volume, a deleted
+// tree). Implements HealthChecker for Manager.Ready.
+func (s *DiskStore) Healthy() error {
+	info, err := os.Stat(s.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: disk store: %w", err)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("jobs: disk store: %s is not a directory", s.dir)
+	}
+	return nil
+}
+
 // CorruptFiles counts snapshot files quarantined because they failed to
 // parse (since this store was opened).
 func (s *DiskStore) CorruptFiles() uint64 { return s.corrupt.Load() }

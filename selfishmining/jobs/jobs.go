@@ -308,6 +308,10 @@ type Request struct {
 	// Priority orders the queue: higher runs first, FIFO within a
 	// priority.
 	Priority int `json:"priority,omitempty"`
+	// RequestID tags the job with the HTTP request id that submitted it,
+	// correlating job records, logs, and event streams with the original
+	// request's access-log line ("" = untagged).
+	RequestID string `json:"request_id,omitempty"`
 	// Analyze is the spec of a KindAnalyze job.
 	Analyze *AnalyzeSpec `json:"analyze,omitempty"`
 	// Sweep is the spec of a KindSweep job.
@@ -434,6 +438,8 @@ type Status struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Resumes counts how many times the job was re-queued via Resume.
 	Resumes int `json:"resumes,omitempty"`
+	// RequestID echoes the submitting request's id (see Request.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 	// Owner, LeaseToken and LeaseExpires describe the lease on a job
 	// running against a shared LeaseStore: which replica holds it, its
 	// monotonic fencing token, and when the lease lapses absent a

@@ -8,15 +8,18 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/selfishmining"
+	"repro/selfishmining/obs"
 )
 
 // Defaults for Config's zero values.
@@ -59,6 +62,9 @@ type Config struct {
 	// Gates installs deterministic lifecycle hooks for tests (nil in
 	// production). See Gates.
 	Gates *Gates
+	// Logger receives structured lifecycle logs (submit, start, finish,
+	// steal, resume) with job_id/request_id attributes (nil = discard).
+	Logger *slog.Logger
 
 	// ReplicaID names this manager among the replicas sharing a
 	// LeaseStore, enabling multi-replica mode: workers lease jobs
@@ -123,6 +129,9 @@ func (c *Config) defaults() {
 	if c.PollInterval <= 0 {
 		c.PollInterval = DefaultPollInterval
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
 }
 
 // Sentinel errors of the job API.
@@ -145,12 +154,13 @@ var (
 // job is the manager-internal record. Immutable identity fields are set
 // at construction; everything mutable is guarded by the manager's mutex.
 type job struct {
-	id       string
-	kind     Kind
-	priority int
-	seq      int64 // submit order; FIFO tiebreak within a priority
-	analyze  *AnalyzeSpec
-	sweep    *SweepSpec
+	id        string
+	kind      Kind
+	priority  int
+	seq       int64 // submit order; FIFO tiebreak within a priority
+	requestID string
+	analyze   *AnalyzeSpec
+	sweep     *SweepSpec
 
 	state       State
 	submitted   time.Time
@@ -200,6 +210,17 @@ type job struct {
 	persisted  int64 // under persistMu
 }
 
+// logAttrs builds a job's standard log attributes — identity fields only,
+// all immutable after construction, so callers need no lock — followed by
+// any extra key/value pairs.
+func (j *job) logAttrs(extra ...any) []any {
+	attrs := []any{"job_id", j.id, "kind", string(j.kind)}
+	if j.requestID != "" {
+		attrs = append(attrs, "request_id", j.requestID)
+	}
+	return append(attrs, extra...)
+}
+
 // jobQueue is a priority queue: higher Priority first, submit order
 // within a priority.
 type jobQueue []*job
@@ -237,6 +258,7 @@ func (q *jobQueue) Pop() any {
 type Manager struct {
 	svc *selfishmining.Service
 	cfg Config
+	log *slog.Logger
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -250,9 +272,12 @@ type Manager struct {
 	seq       int64 // submit-order tiebreak, spans recovered and new jobs
 
 	// ls is non-nil in multi-replica mode (Config.Store implements
-	// LeaseStore); replicaStart timestamps this replica's presence.
+	// LeaseStore); replicaStart timestamps this replica's presence;
+	// lastBeat is the unix-nano timestamp of the last completed heartbeat
+	// pass, read lock-free by Ready.
 	ls           LeaseStore
 	replicaStart time.Time
+	lastBeat     atomic.Int64
 
 	// Process-lifetime counters (guarded by mu; snapshot via Stats).
 	submitted, started, completed, failed uint64
@@ -298,6 +323,7 @@ func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
 	m := &Manager{
 		svc:          svc,
 		cfg:          cfg,
+		log:          cfg.Logger,
 		ls:           ls,
 		replicaStart: time.Now(),
 		jobs:         make(map[string]*job),
@@ -319,12 +345,51 @@ func New(svc *selfishmining.Service, cfg Config) (*Manager, error) {
 	m.wg.Add(1)
 	go m.janitor()
 	if m.ls != nil {
+		m.lastBeat.Store(time.Now().UnixNano())
 		m.publishReplica()
 		m.wg.Add(2)
 		go m.heartbeat()
 		go m.poll()
 	}
 	return m, nil
+}
+
+// Readiness errors: Ready wraps these with detail; match with errors.Is
+// to tell a failing store apart from a stalled lease heartbeat.
+var (
+	// ErrStoreUnhealthy: the job store failed its health check.
+	ErrStoreUnhealthy = errors.New("jobs: store unhealthy")
+	// ErrHeartbeatStale: the lease heartbeat has not completed a pass
+	// recently (multi-replica mode); leases held here may be stolen.
+	ErrHeartbeatStale = errors.New("jobs: lease heartbeat stale")
+)
+
+// Ready reports whether the manager can accept and run jobs right now:
+// not closed, the store passes its health check (when it has one), and —
+// in multi-replica mode — the lease heartbeat has completed a pass within
+// three periods. A nil error means ready; the error otherwise wraps
+// ErrClosed, ErrStoreUnhealthy, or ErrHeartbeatStale so readiness
+// endpoints can name the failing dependency.
+func (m *Manager) Ready() error {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if hc, ok := m.cfg.Store.(HealthChecker); ok {
+		if err := hc.Healthy(); err != nil {
+			return fmt.Errorf("%w: %v", ErrStoreUnhealthy, err)
+		}
+	}
+	if m.ls != nil {
+		stale := time.Since(time.Unix(0, m.lastBeat.Load()))
+		if stale > 3*m.cfg.Heartbeat {
+			return fmt.Errorf("%w: last pass %v ago (period %v)",
+				ErrHeartbeatStale, stale.Round(time.Millisecond), m.cfg.Heartbeat)
+		}
+	}
+	return nil
 }
 
 // recover loads every stored record into the live index. In
@@ -400,7 +465,8 @@ func (m *Manager) indexRecordLocked(rec *Record) *job {
 	m.seq++
 	j := &job{
 		id: rec.ID, kind: rec.Kind, priority: rec.Priority, seq: m.seq,
-		analyze: rec.Analyze, sweep: rec.Sweep,
+		requestID: rec.RequestID,
+		analyze:   rec.Analyze, sweep: rec.Sweep,
 		state: rec.State, submitted: rec.SubmittedAt,
 		started: rec.StartedAt, finished: rec.FinishedAt,
 		progress: rec.Progress,
@@ -438,7 +504,7 @@ func newID() string {
 // point validated), so the returned spec says exactly what will run.
 func (m *Manager) Submit(req Request) (*Status, error) {
 	j := &job{
-		id: newID(), priority: req.Priority,
+		id: newID(), priority: req.Priority, requestID: req.RequestID,
 		state: StateQueued, submitted: time.Now(),
 		eventCh: make(chan struct{}), heapIdx: -1,
 	}
@@ -489,6 +555,7 @@ func (m *Manager) Submit(req Request) (*Status, error) {
 	for _, id := range evicted {
 		_ = m.cfg.Store.Delete(id)
 	}
+	m.log.Info("job submitted", j.logAttrs("priority", j.priority)...)
 	persist()
 	return st, nil
 }
@@ -642,8 +709,10 @@ func (m *Manager) Cancel(id string) (*Status, error) {
 		j.errMsg = "canceled while queued"
 		j.errCode = "canceled"
 		m.canceled++
+		terminalSeconds.Observe(now.Sub(j.submitted).Seconds())
 		m.emitStatusLocked(j)
 		persist = m.persistFnLocked(j)
+		m.log.Info("job canceled while queued", j.logAttrs()...)
 	case StateRunning:
 		if m.ls != nil && j.lease == nil && !j.claiming {
 			// Leased by another replica: its context is out of our reach.
@@ -709,6 +778,7 @@ func (m *Manager) Resume(id string) (*Status, error) {
 	st := m.statusLocked(j)
 	m.cond.Signal()
 	m.mu.Unlock()
+	m.log.Info("job resumed", j.logAttrs("resumes", st.Resumes)...)
 	persist()
 	return st, nil
 }
@@ -813,6 +883,7 @@ func (m *Manager) worker() {
 			continue
 		}
 		now := time.Now()
+		wait := now.Sub(j.submitted)
 		j.state = StateRunning
 		j.started = &now
 		// Sweep progress is incremental (OnPoint counts up), so a re-run —
@@ -828,6 +899,8 @@ func (m *Manager) worker() {
 		persist := m.persistFnLocked(j)
 		m.mu.Unlock()
 
+		queueWaitSeconds.Observe(wait.Seconds())
+		m.log.Info("job started", j.logAttrs("queue_wait", wait.Seconds())...)
 		persist()
 		m.run(ctx, j)
 		cancel()
@@ -1037,6 +1110,7 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 	m.mu.Lock()
 	j.cancel = nil
 	now := time.Now()
+	started := j.started
 	if j.leaseLost {
 		// The lease was stolen or its renewal failed mid-run: the job
 		// belongs to another replica now and our fencing token is dead,
@@ -1050,6 +1124,7 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 		j.interrupted = true
 		m.emitStatusLocked(j)
 		m.mu.Unlock()
+		m.log.Warn("job surrendered after lease loss", j.logAttrs()...)
 		return
 	}
 	switch {
@@ -1085,6 +1160,13 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 		j.errCode = "solver"
 		m.failed++
 	}
+	if j.state.Terminal() {
+		if started != nil {
+			runSeconds.Observe(now.Sub(*started).Seconds())
+		}
+		terminalSeconds.Observe(now.Sub(j.submitted).Seconds())
+	}
+	state, errMsg := j.state, j.errMsg
 	m.emitStatusLocked(j)
 	persist := m.persistFnLocked(j)
 	var release *Lease
@@ -1097,6 +1179,15 @@ func (m *Manager) finish(j *job, err error, onDone func()) {
 		j.lease = nil
 	}
 	m.mu.Unlock()
+	if state.Terminal() {
+		attrs := j.logAttrs("state", string(state))
+		if errMsg != "" {
+			attrs = append(attrs, "error", errMsg)
+		}
+		m.log.Info("job finished", attrs...)
+	} else {
+		m.log.Info("job interrupted by shutdown, re-queued", j.logAttrs()...)
+	}
 	persist()
 	if release != nil {
 		if m.ls.Release(*release) == nil {
@@ -1148,6 +1239,7 @@ func (m *Manager) heartbeat() {
 		case <-tick.C:
 			m.renewLeases()
 			m.publishReplica()
+			m.lastBeat.Store(time.Now().UnixNano())
 		case <-m.baseCtx.Done():
 			return
 		}
@@ -1380,6 +1472,7 @@ func (m *Manager) stealLocked(j *job, l Lease) {
 	m.interruptedCount++
 	if l.Owner != "" && l.Owner != m.cfg.ReplicaID {
 		m.leasesStolen++
+		m.log.Warn("stealing expired lease", j.logAttrs("prev_owner", l.Owner)...)
 	}
 	j.remoteOwner, j.remoteToken = "", 0
 	j.remoteExpires = time.Time{}
@@ -1450,7 +1543,8 @@ func cloneProgress(p Progress) *Progress { cp := p; return &cp }
 func (m *Manager) statusLocked(j *job) *Status {
 	st := &Status{
 		ID: j.id, Kind: j.kind, State: j.state, Priority: j.priority,
-		Analyze: j.analyze, Sweep: j.sweep,
+		RequestID: j.requestID,
+		Analyze:   j.analyze, Sweep: j.sweep,
 		Progress: j.progress,
 		Result:   j.result, SweepResult: j.sweepResult,
 		Error: j.errMsg, ErrorCode: j.errCode,

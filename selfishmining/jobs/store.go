@@ -166,6 +166,15 @@ type Store interface {
 	List() ([]*Record, error)
 }
 
+// HealthChecker is the optional health probe a Store may implement.
+// Manager.Ready consults it, so readiness endpoints can report a store
+// that went away (an unmounted directory, revoked permissions) before a
+// job write discovers it.
+type HealthChecker interface {
+	// Healthy returns nil while the store can serve reads and writes.
+	Healthy() error
+}
+
 // MemStore is the in-memory Store: job records live and die with the
 // process. It is the default for Managers that do not need restart
 // survival.

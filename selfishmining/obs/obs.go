@@ -1,0 +1,89 @@
+// Package obs is the public facade over the repository's zero-dependency
+// observability core (internal/obs): a Prometheus-text metrics registry,
+// slog-based structured logging with per-request/per-job IDs carried in
+// contexts, and span-style phase timers.
+//
+// The internal package holds the implementation so every layer — kernel,
+// solver, analysis, sweep, service, jobs — can instrument itself without a
+// dependency on the public API; this facade re-exports the pieces
+// embedders and tools (cmd/serve, cmd/bench) need:
+//
+//   - NewRegistry / Default / Handler for building and serving /metrics,
+//   - NewLogger / ParseLevel / Discard for the structured logger,
+//   - WithRequestID / RequestIDFrom (and the job-ID twins) for tracing,
+//   - SetEnabled for overhead measurement (see cmd/bench's obs cell).
+//
+// See docs/OBSERVABILITY.md for the metric catalog and label conventions.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Core metric types, aliased so instruments cross the facade untranslated.
+type (
+	Registry     = obs.Registry
+	Counter      = obs.Counter
+	Gauge        = obs.Gauge
+	Histogram    = obs.Histogram
+	CounterVec   = obs.CounterVec
+	GaugeVec     = obs.GaugeVec
+	HistogramVec = obs.HistogramVec
+	Span         = obs.Span
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Default is the process-wide registry the solver-phase and job-latency
+// instruments live on.
+func Default() *Registry { return obs.Default() }
+
+// Handler serves the merged Prometheus text exposition of regs.
+func Handler(regs ...*Registry) http.Handler { return obs.Handler(regs...) }
+
+// DefBuckets is the default latency bucket layout in seconds.
+func DefBuckets() []float64 { return obs.DefBuckets() }
+
+// SetEnabled turns instrument updates on or off process-wide; it exists
+// for overhead measurement (cmd/bench), not operation.
+func SetEnabled(v bool) { obs.SetEnabled(v) }
+
+// Enabled reports whether instrument updates are currently recorded.
+func Enabled() bool { return obs.Enabled() }
+
+// StartSpan begins timing a phase recorded into h on End.
+func StartSpan(h *Histogram) Span { return obs.StartSpan(h) }
+
+// NewLogger builds a text or json slog logger that stamps context-carried
+// request/job IDs onto every record.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// ParseLevel maps -log-level flag values (debug, info, warn, error) to
+// slog levels.
+func ParseLevel(s string) (slog.Level, error) { return obs.ParseLevel(s) }
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return obs.Discard() }
+
+// NewID returns a fresh 16-hex-character random ID.
+func NewID() string { return obs.NewID() }
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context { return obs.WithRequestID(ctx, id) }
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string { return obs.RequestIDFrom(ctx) }
+
+// WithJobID returns a context carrying the job ID.
+func WithJobID(ctx context.Context, id string) context.Context { return obs.WithJobID(ctx, id) }
+
+// JobIDFrom returns the job ID carried by ctx, or "".
+func JobIDFrom(ctx context.Context) string { return obs.JobIDFrom(ctx) }

@@ -833,6 +833,7 @@ func (s *Service) solveConfigBatched(ctx context.Context, opts SweepOptions, bas
 	for g := 0; g < groups; g++ {
 		group := idxs[g*lanes : min((g+1)*lanes, len(idxs))]
 		if len(group) == 1 {
+			batchSoloPoints.Inc()
 			tk := tasks[group[0]]
 			res, err := s.sweepPoint(ctx, comp, cfg, tk.p, opts)
 			if err != nil {
@@ -841,6 +842,8 @@ func (s *Service) solveConfigBatched(ctx context.Context, opts SweepOptions, bas
 			done(group[0], res.ERRev, res.Sweeps)
 			continue
 		}
+		batchGroupsScheduled.Inc()
+		batchGroupLanes.Add(uint64(len(group)))
 		ps := make([]float64, len(group))
 		seeds := make([][]float64, len(group))
 		for i, idx := range group {
